@@ -1,0 +1,535 @@
+(* deepmc — command-line front end.
+
+   Usage mirrors the paper's workflow: the user points the tool at an
+   NVM program (textual IR) and selects the intended persistency model
+   with -strict / -epoch / -strand; DeepMC runs the static pipeline and,
+   when an entry point is given, the instrumented execution with the
+   dynamic checker, then prints the warnings.
+
+     deepmc check prog.nvmir --strict [--entry main] [--json] [--html r.html]
+     deepmc check-mixed prog.nvmir --model-map models.txt
+     deepmc fix prog.nvmir --strict [-o fixed.nvmir]
+     deepmc crash prog.nvmir [--entry main] [--summary]
+     deepmc fmt prog.nvmir [-i]
+     deepmc dsg prog.nvmir --function nvm_lock
+     deepmc cfg prog.nvmir [--callgraph]
+     deepmc trace prog.nvmir [--root main]
+     deepmc corpus [--name btree_map]
+     deepmc rules *)
+
+open Cmdliner
+
+(* -v / -vv enable Logs-based pipeline tracing on stderr. *)
+let setup_logs_term =
+  let setup verbosity =
+    let level =
+      match List.length verbosity with
+      | 0 -> Some Logs.Warning
+      | 1 -> Some Logs.Info
+      | _ -> Some Logs.Debug
+    in
+    Logs.set_reporter (Logs_fmt.reporter ~dst:Fmt.stderr ());
+    Logs.set_level level
+  in
+  Term.(
+    const setup
+    $ Arg.(
+        value & flag_all
+        & info [ "v"; "verbose" ] ~doc:"Increase verbosity (repeatable)."))
+
+let model_term =
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Check against strict persistency.")
+  in
+  let epoch =
+    Arg.(value & flag & info [ "epoch" ] ~doc:"Check against epoch persistency.")
+  in
+  let strand =
+    Arg.(value & flag & info [ "strand" ] ~doc:"Check against strand persistency.")
+  in
+  let combine strict epoch strand =
+    match (strict, epoch, strand) with
+    | true, false, false | false, false, false -> Ok Analysis.Model.Strict
+    | false, true, false -> Ok Analysis.Model.Epoch
+    | false, false, true -> Ok Analysis.Model.Strand
+    | _ -> Error (`Msg "choose exactly one of --strict, --epoch, --strand")
+  in
+  Term.(term_result (const combine $ strict $ epoch $ strand))
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"NVM program in textual IR (.nvmir).")
+
+let entry_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "entry" ] ~docv:"FUNC"
+        ~doc:"Entry point for the dynamic (online) analysis.")
+
+let no_dynamic_term =
+  Arg.(value & flag & info [ "no-dynamic" ] ~doc:"Skip the dynamic analysis.")
+
+let field_insensitive_term =
+  Arg.(
+    value & flag
+    & info [ "field-insensitive" ]
+        ~doc:"Disable field sensitivity in the DSA (ablation mode).")
+
+let load file =
+  try Ok (Nvmir.Parser.parse_file file) with
+  | Nvmir.Parser.Parse_error (m, line) ->
+    Error (`Msg (Fmt.str "%s:%d: %s" file line m))
+  | Sys_error m -> Error (`Msg m)
+
+let validated prog =
+  match Nvmir.Prog.validate prog with
+  | [] -> Ok prog
+  | errs ->
+    Error
+      (`Msg
+         (Fmt.str "invalid program:@ %a"
+            Fmt.(list ~sep:(any "@ ") Nvmir.Prog.pp_error)
+            errs))
+
+let suppressions_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "suppressions" ] ~docv:"FILE"
+        ~doc:
+          "Suppression database of validated false positives (see deepmc \
+           suppress --help for the format).")
+
+let json_term =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let html_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "html" ] ~docv:"FILE" ~doc:"Also write an HTML report here.")
+
+(* The §4.1 interface annotations: mark externally-created variables as
+   referencing NVM, e.g. --pmem-root nvm_lock:omutex. *)
+let pmem_roots_term =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg "expected FUNC:VAR")
+  in
+  let print ppf (f, v) = Fmt.pf ppf "%s:%s" f v in
+  let root_conv = Arg.conv (parse, print) in
+  Arg.(
+    value & opt_all root_conv []
+    & info [ "pmem-root" ] ~docv:"FUNC:VAR"
+        ~doc:
+          "Annotate a variable as referencing persistent memory (interface \
+           annotation; repeatable).")
+
+let check_cmd =
+  let run () model file entry no_dynamic field_insensitive suppressions json
+      pmem_roots html =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    let driver =
+      Deepmc.Driver.make ~field_sensitive:(not field_insensitive)
+        ~run_dynamic:(not no_dynamic) model
+    in
+    let report =
+      Deepmc.Driver.analyze driver ~persistent_roots:pmem_roots ?entry prog
+    in
+    let* warnings =
+      match suppressions with
+      | None -> Ok report.Deepmc.Driver.warnings
+      | Some path -> (
+        try
+          let db = Deepmc.Suppress.load path in
+          let kept, suppressed =
+            Deepmc.Suppress.filter db report.Deepmc.Driver.warnings
+          in
+          List.iter
+            (fun ((w : Analysis.Warning.t), (e : Deepmc.Suppress.entry)) ->
+              Fmt.pr "suppressed %a %s (%s)@." Nvmir.Loc.pp
+                w.Analysis.Warning.loc
+                (Analysis.Warning.rule_name w.Analysis.Warning.rule)
+                e.Deepmc.Suppress.reason)
+            suppressed;
+          Ok kept
+        with Deepmc.Suppress.Parse_error (m, line) ->
+          Error (`Msg (Fmt.str "%s:%d: %s" path line m)))
+    in
+    Option.iter
+      (fun path ->
+        Deepmc.Html_report.write ~title:(Filename.basename file) prog report
+          path)
+      html;
+    if json then
+      Fmt.pr "%a@." Deepmc.Json_report.pp (Deepmc.Json_report.of_report report)
+    else Fmt.pr "%a@." Deepmc.Driver.pp_report report;
+    if warnings = [] then Ok ()
+    else Error (`Msg (Fmt.str "%d warning(s)" (List.length warnings)))
+  in
+  let doc = "Check an NVM program against a persistency model." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
+       $ no_dynamic_term $ field_insensitive_term $ suppressions_term
+       $ json_term $ pmem_roots_term $ html_term))
+
+(* Mixed-model checking: a map file with one "function model" pair per
+   line assigns each analysis root its intended persistency model. *)
+let check_mixed_cmd =
+  let map_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model-map" ] ~docv:"FILE"
+          ~doc:
+            "Per-root model assignments, one 'function model' pair per line \
+             (model is strict, epoch or strand).")
+  in
+  let parse_map path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let entries =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then None
+          else
+            match
+              String.split_on_char ' ' line |> List.filter (fun x -> x <> "")
+            with
+            | [ f; m ] -> (
+              match Analysis.Model.of_string m with
+              | Some model -> Some (Ok (f, model))
+              | None -> Some (Error (`Msg (Fmt.str "unknown model %S" m))))
+            | _ -> Some (Error (`Msg (Fmt.str "bad model-map line: %s" line))))
+        (String.split_on_char '\n' s)
+    in
+    List.fold_right
+      (fun e acc ->
+        match (e, acc) with
+        | Ok kv, Ok l -> Ok (kv :: l)
+        | Error m, _ -> Error m
+        | _, (Error _ as e) -> e)
+      entries (Ok [])
+  in
+  let run file map_file =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    let* map = parse_map map_file in
+    let roots = List.map fst map in
+    let model_of root =
+      Option.value ~default:Analysis.Model.Strict (List.assoc_opt root map)
+    in
+    let r = Analysis.Checker.check_mixed ~model_of ~roots prog in
+    List.iter
+      (fun (root, model, warnings) ->
+        Fmt.pr "@[<v 2>%s (%a model): %d warning(s)@ %a@]@." root
+          Analysis.Model.pp model (List.length warnings)
+          Fmt.(list ~sep:(any "@ ") Analysis.Warning.pp)
+          warnings)
+      r.Analysis.Checker.per_root;
+    if r.Analysis.Checker.mixed_warnings = [] then Ok ()
+    else
+      Error
+        (`Msg
+           (Fmt.str "%d warning(s)"
+              (List.length r.Analysis.Checker.mixed_warnings)))
+  in
+  let doc =
+    "Check a program whose parts implement different persistency models \
+     (lifts the paper's single-model limitation)."
+  in
+  Cmd.v (Cmd.info "check-mixed" ~doc)
+    Term.(term_result (const run $ file_arg $ map_arg))
+
+let fix_cmd =
+  let out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the repaired program here (default: stdout).")
+  in
+  let run model file out =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    let fixed, outcomes, remaining =
+      Deepmc.Autofix.fix_until_clean ~model prog
+    in
+    List.iter (fun o -> Fmt.epr "%a@." Deepmc.Autofix.pp_outcome o) outcomes;
+    List.iter
+      (fun w -> Fmt.epr "UNFIXED %a@." Analysis.Warning.pp w)
+      remaining;
+    let text = Fmt.str "%a@." Nvmir.Prog.pp fixed in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc);
+    Ok ()
+  in
+  let doc =
+    "Automatically repair the mechanically-fixable persistency bugs (the \
+     future work of the paper's Section 4.3)."
+  in
+  Cmd.v (Cmd.info "fix" ~doc)
+    Term.(term_result (const run $ model_term $ file_arg $ out_term))
+
+let dsg_cmd =
+  let func_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "function" ] ~docv:"FUNC" ~doc:"Dump only this function's DSG.")
+  in
+  let run file func =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    let dsg = Dsa.Dsg.build prog in
+    let funcs =
+      match func with
+      | Some f -> [ f ]
+      | None -> Nvmir.Prog.func_names prog
+    in
+    List.iter
+      (fun f -> Fmt.pr "%a@.@." Dsa.Dsg.pp_function_view (dsg, f))
+      funcs;
+    Ok ()
+  in
+  let doc = "Dump the Data Structure Graph of a program (cf. Figure 10)." in
+  Cmd.v (Cmd.info "dsg" ~doc)
+    Term.(term_result (const run $ file_arg $ func_term))
+
+let cfg_cmd =
+  let func_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "function" ] ~docv:"FUNC" ~doc:"Only this function's CFG.")
+  in
+  let callgraph_term =
+    Arg.(
+      value & flag
+      & info [ "callgraph" ] ~doc:"Emit the program's call graph instead.")
+  in
+  let run file func callgraph =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    if callgraph then begin
+      print_string
+        (Graphs.Dot.of_callgraph (Graphs.Callgraph.of_prog prog) prog);
+      Ok ()
+    end
+    else begin
+      let funcs =
+        match func with
+        | Some f -> Option.to_list (Nvmir.Prog.find_func prog f)
+        | None -> Nvmir.Prog.funcs prog
+      in
+      List.iter
+        (fun f -> print_string (Graphs.Dot.of_cfg (Graphs.Cfg.of_func f)))
+        funcs;
+      Ok ()
+    end
+  in
+  let doc = "Emit control-flow graphs (or the call graph) as Graphviz dot." in
+  Cmd.v (Cmd.info "cfg" ~doc)
+    Term.(term_result (const run $ file_arg $ func_term $ callgraph_term))
+
+let trace_cmd =
+  let root_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"FUNC"
+          ~doc:"Dump only traces rooted at this function.")
+  in
+  let run file root =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    let dsg = Dsa.Dsg.build prog in
+    let roots = Option.map (fun r -> [ r ]) root in
+    let per_root = Analysis.Trace.collect ?roots dsg prog in
+    List.iter
+      (fun (r, traces) ->
+        Fmt.pr "@[<v 2>root %s: %d trace(s)@ %a@]@.@." r (List.length traces)
+          Fmt.(list ~sep:(any "@ @ ") Analysis.Trace.pp)
+          traces)
+      per_root;
+    Ok ()
+  in
+  let doc =
+    "Dump the collected persistency traces, after interprocedural merging \
+     (cf. Figure 11)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(term_result (const run $ file_arg $ root_term))
+
+let corpus_cmd =
+  let name_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME" ~doc:"Only this corpus program.")
+  in
+  let corpus_json_term =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.")
+  in
+  let run name json =
+    let programs =
+      match name with
+      | None -> Corpus.Registry.all
+      | Some n -> (
+        match Corpus.Registry.find n with
+        | Some p -> [ p ]
+        | None -> [])
+    in
+    if programs = [] then
+      Error (`Msg "no such corpus program (try without --name for the list)")
+    else if json then begin
+      let items =
+        List.map
+          (fun (p : Corpus.Types.program) ->
+            let _, score = Corpus.Registry.analyze p in
+            Deepmc.Json_report.Obj
+              [
+                ("program", Deepmc.Json_report.String p.Corpus.Types.name);
+                ( "framework",
+                  Deepmc.Json_report.String
+                    (Corpus.Types.framework_name p.Corpus.Types.framework) );
+                ( "model",
+                  Deepmc.Json_report.String
+                    (Analysis.Model.to_string (Corpus.Types.model p)) );
+                ("score", Deepmc.Json_report.of_score score);
+              ])
+          programs
+      in
+      Fmt.pr "%a@." Deepmc.Json_report.pp (Deepmc.Json_report.List items);
+      Ok ()
+    end
+    else begin
+      List.iter
+        (fun (p : Corpus.Types.program) ->
+          let _, score = Corpus.Registry.analyze p in
+          Fmt.pr "%-22s %-10s %-6s %2d/%-2d validated/warnings@."
+            p.Corpus.Types.name
+            (Corpus.Types.framework_name p.Corpus.Types.framework)
+            (Analysis.Model.to_string (Corpus.Types.model p))
+            (Deepmc.Report.validated_count score)
+            (Deepmc.Report.warning_count score))
+        programs;
+      Ok ()
+    end
+  in
+  let doc = "Analyze the bundled corpus of buggy NVM programs." in
+  Cmd.v
+    (Cmd.info "corpus" ~doc)
+    Term.(term_result (const run $ name_term $ corpus_json_term))
+
+let crash_cmd =
+  let entry_req =
+    Arg.(
+      value
+      & opt string "main"
+      & info [ "entry" ] ~docv:"FUNC" ~doc:"Entry point (default main).")
+  in
+  let summary_term =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Totals only, no per-point rows.")
+  in
+  let run file entry summary =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    match Nvmir.Prog.find_func prog entry with
+    | None -> Error (`Msg (Fmt.str "entry %s not defined" entry))
+    | Some _ ->
+      let r = Runtime.Crash.explore ~entry prog in
+      if summary then begin
+        let peak =
+          List.fold_left
+            (fun a (e : Runtime.Crash.exposure) ->
+              max a e.Runtime.Crash.at_risk_slots)
+            0 r.Runtime.Crash.points
+        in
+        Fmt.pr
+          "crash points: %d; peak in-flight exposure: %d slot(s); never \
+           durable: %d slot(s)@."
+          (List.length r.Runtime.Crash.points)
+          peak r.Runtime.Crash.final_at_risk
+      end
+      else Fmt.pr "%a@." Runtime.Crash.pp_exposure_report r;
+      if r.Runtime.Crash.final_at_risk > 0 then
+        Error
+          (`Msg
+             (Fmt.str "%d slot(s) never became durable"
+                r.Runtime.Crash.final_at_risk))
+      else Ok ()
+  in
+  let doc =
+    "Inject a crash after every persistent-memory event and report how much \
+     durable state is at risk at each point."
+  in
+  Cmd.v (Cmd.info "crash" ~doc)
+    Term.(term_result (const run $ file_arg $ entry_req $ summary_term))
+
+let fmt_cmd =
+  let in_place_term =
+    Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the file.")
+  in
+  let run file in_place =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let text = Fmt.str "%a@." Nvmir.Prog.pp prog in
+    if in_place then begin
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc
+    end
+    else print_string text;
+    Ok ()
+  in
+  let doc = "Canonically format a textual IR file (parse and pretty-print)." in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(term_result (const run $ file_arg $ in_place_term))
+
+let rules_cmd =
+  let run () =
+    List.iter
+      (fun (m : Analysis.Rules.rule_meta) ->
+        Fmt.pr "@[<v 2>%s [%a] (models: %a)@ %s@]@.@."
+          (Analysis.Warning.rule_name m.Analysis.Rules.id)
+          Analysis.Warning.pp_category
+          (Analysis.Warning.category_of_rule m.Analysis.Rules.id)
+          Fmt.(list ~sep:(any ", ") Analysis.Model.pp)
+          m.Analysis.Rules.models m.Analysis.Rules.statement)
+      Analysis.Rules.catalog;
+    Ok ()
+  in
+  let doc = "Print the checking-rule catalog (Tables 4 and 5)." in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(term_result (const run $ const ()))
+
+let main_cmd =
+  let doc = "detect deep memory persistency bugs in NVM programs" in
+  let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; fmt_cmd; dsg_cmd;
+      cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/autofix_demo.ml: Analysis Deepmc Fmt List Nvmir Runtime

@@ -1,0 +1,1 @@
+examples/autofix_demo.mli:

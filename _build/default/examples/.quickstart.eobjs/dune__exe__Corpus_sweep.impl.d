@@ -1,0 +1,1 @@
+examples/corpus_sweep.ml: Analysis Corpus Deepmc Fmt List Nvmir String

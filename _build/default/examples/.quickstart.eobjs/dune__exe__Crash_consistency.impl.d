@@ -1,0 +1,1 @@
+examples/crash_consistency.ml: Fmt Nvmir Runtime

@@ -1,0 +1,1 @@
+examples/kvstore_app.ml: Analysis Fmt Runtime Workloads

@@ -1,0 +1,1 @@
+examples/pqueue_demo.ml: Analysis Deepmc Fmt List Nvmir Runtime Sys

@@ -1,0 +1,1 @@
+examples/pqueue_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Deepmc Fmt Nvmir

@@ -1,0 +1,1 @@
+examples/strand_demo.ml: Analysis Deepmc Fmt Nvmir

@@ -1,0 +1,45 @@
+(* Sweep the bundled corpus — the buggy NVM programs of the paper's
+   Tables 3 and 8 — with the full DeepMC pipeline and print a Table-1
+   style summary.
+
+     dune exec examples/corpus_sweep.exe *)
+
+let () =
+  Fmt.pr "%-22s %-11s %-7s %-20s %s@." "program" "framework" "model"
+    "validated/warnings" "bugs found at";
+  Fmt.pr "%s@." (String.make 100 '-');
+  List.iter
+    (fun (p : Corpus.Types.program) ->
+      let _, score = Corpus.Registry.analyze p in
+      let locs =
+        List.map
+          (fun (w : Analysis.Warning.t) -> Nvmir.Loc.to_string w.Analysis.Warning.loc)
+          score.Deepmc.Report.warnings
+      in
+      Fmt.pr "%-22s %-11s %-7s %2d/%-17d %s@." p.Corpus.Types.name
+        (Corpus.Types.framework_name p.Corpus.Types.framework)
+        (Analysis.Model.to_string (Corpus.Types.model p))
+        (Deepmc.Report.validated_count score)
+        (Deepmc.Report.warning_count score)
+        (String.concat ", " locs))
+    Corpus.Registry.all;
+  Fmt.pr "%s@." (String.make 100 '-');
+  let totals = Corpus.Registry.table1 () in
+  List.iter
+    (fun (t : Corpus.Registry.framework_totals) ->
+      Fmt.pr "%-22s total %2d/%-2d@."
+        (Corpus.Types.framework_name t.Corpus.Registry.framework)
+        t.Corpus.Registry.validated t.Corpus.Registry.warnings)
+    totals;
+  let v = List.fold_left (fun a t -> a + t.Corpus.Registry.validated) 0 totals in
+  let w = List.fold_left (fun a t -> a + t.Corpus.Registry.warnings) 0 totals in
+  Fmt.pr "%-22s total %2d/%-2d (paper: 43/50)@.@." "ALL" v w;
+  let summary =
+    List.fold_left
+      (fun acc (p : Corpus.Types.program) ->
+        let _, score = Corpus.Registry.analyze p in
+        Analysis.Summary.merge acc
+          (Analysis.Summary.of_warnings score.Deepmc.Report.warnings))
+      Analysis.Summary.empty Corpus.Registry.all
+  in
+  Fmt.pr "%a@." Analysis.Summary.pp summary

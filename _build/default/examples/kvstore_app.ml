@@ -1,0 +1,44 @@
+(* Application demo: the persistent key-value store and the
+   log-structured store from the benchmark suite, run with the dynamic
+   checker attached, plus a crash-recovery round trip on the log store.
+
+     dune exec examples/kvstore_app.exe *)
+
+let kv_demo () =
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~model:Analysis.Model.Epoch () in
+  Runtime.Dynamic.attach checker pmem;
+  let kv = Workloads.Kvstore.create ~capacity:64 pmem in
+  ignore (Workloads.Kvstore.set kv 1 100);
+  ignore (Workloads.Kvstore.set kv 2 200);
+  ignore (Workloads.Kvstore.rmw kv 1 (fun v -> v + 1));
+  ignore (Workloads.Kvstore.delete kv 2);
+  Fmt.pr "kvstore: key 1 -> %a, key 2 -> %a, size %d@."
+    Fmt.(option ~none:(any "absent") int)
+    (Workloads.Kvstore.get kv 1)
+    Fmt.(option ~none:(any "absent") int)
+    (Workloads.Kvstore.get kv 2)
+    (Workloads.Kvstore.size kv);
+  Fmt.pr "kvstore heap:   %a@." Runtime.Pmem.pp_stats (Runtime.Pmem.stats pmem);
+  Fmt.pr "kvstore checks: %a@.@." Runtime.Dynamic.pp_summary
+    (Runtime.Dynamic.summary checker)
+
+let log_demo () =
+  let pmem = Runtime.Pmem.create () in
+  let st = Workloads.Logstore.create ~log_capacity:1024 pmem in
+  for k = 1 to 10 do
+    Workloads.Logstore.set st k (k * k)
+  done;
+  (* simulate a crash: rebuild the index from the durable log only *)
+  let recovered = Workloads.Logstore.recover st in
+  Fmt.pr "logstore: recovered %d entries from the durable log@." recovered;
+  Fmt.pr "logstore: key 7 -> %a after recovery@."
+    Fmt.(option ~none:(any "absent") int)
+    (Workloads.Logstore.get st 7);
+  assert (Workloads.Logstore.get st 7 = Some 49)
+
+let () =
+  kv_demo ();
+  log_demo ();
+  Fmt.pr "@.Both stores persist through the DeepMC NVM runtime; attaching@.\
+          the dynamic checker needs no source changes (cf. Section 4.4).@."

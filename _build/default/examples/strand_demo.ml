@@ -1,0 +1,102 @@
+(* Strand persistency demo: two strands that share data race on their
+   persists; the static checker over-approximates the dependence and the
+   dynamic checker confirms it at runtime with happens-before detection
+   (§4.4). The ordered variant separates the strands with a persist
+   barrier and is clean.
+
+     dune exec examples/strand_demo.exe *)
+
+let racy = {|
+struct counter { hits: int, total: int }
+
+# Two strands update the same counter object. Strand persistency lets
+# them persist concurrently -- but they have a WAW dependence, so the
+# result after a crash is unpredictable.
+func update_stats(c: ptr counter) {
+entry:
+  strand_begin 1                 @ stats.c:10
+  store c->hits, 1               @ stats.c:11
+  flush exact c->hits            @ stats.c:12
+  strand_end 1                   @ stats.c:13
+  strand_begin 2                 @ stats.c:15
+  store c->hits, 2               @ stats.c:16
+  flush exact c->hits            @ stats.c:17
+  strand_end 2                   @ stats.c:18
+  fence                          @ stats.c:19
+  ret
+}
+
+func main() {
+entry:
+  c = alloc pmem counter
+  call update_stats(c)
+  ret
+}
+|}
+
+let ordered = {|
+struct counter { hits: int, total: int }
+
+# Same updates, but a persist barrier between the strands makes the
+# second strand depend on the first: no concurrency, no race.
+func update_stats(c: ptr counter) {
+entry:
+  strand_begin 1                 @ stats.c:10
+  store c->hits, 1               @ stats.c:11
+  flush exact c->hits            @ stats.c:12
+  strand_end 1                   @ stats.c:13
+  fence                          @ stats.c:14
+  strand_begin 2                 @ stats.c:15
+  store c->hits, 2               @ stats.c:16
+  flush exact c->hits            @ stats.c:17
+  strand_end 2                   @ stats.c:18
+  fence                          @ stats.c:19
+  ret
+}
+
+func main() {
+entry:
+  c = alloc pmem counter
+  call update_stats(c)
+  ret
+}
+|}
+
+let disjoint = {|
+struct counter { hits: int, total: int }
+
+# Strands touching disjoint fields may persist concurrently: this is
+# the parallelism strand persistency exists for, and it is clean.
+func update_stats(c: ptr counter) {
+entry:
+  strand_begin 1                 @ stats.c:10
+  store c->hits, 1               @ stats.c:11
+  flush exact c->hits            @ stats.c:12
+  strand_end 1                   @ stats.c:13
+  strand_begin 2                 @ stats.c:15
+  store c->total, 2              @ stats.c:16
+  flush exact c->total           @ stats.c:17
+  strand_end 2                   @ stats.c:18
+  fence                          @ stats.c:19
+  ret
+}
+
+func main() {
+entry:
+  c = alloc pmem counter
+  call update_stats(c)
+  ret
+}
+|}
+
+let run label src =
+  let prog = Nvmir.Parser.parse src in
+  let driver = Deepmc.Driver.make Analysis.Model.Strand in
+  let report = Deepmc.Driver.analyze driver ~entry:"main" prog in
+  Fmt.pr "== %s ==@.%a@.@." label Deepmc.Driver.pp_report report
+
+let () =
+  run "racy strands (expect strand-dependence, statically and dynamically)"
+    racy;
+  run "barrier-ordered strands (expect no strand warnings)" ordered;
+  run "disjoint strands (expect no strand warnings)" disjoint

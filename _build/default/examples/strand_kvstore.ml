@@ -1,0 +1,45 @@
+(* The §4.4 concurrency story, end to end: a strand-persistent KV store
+   whose mutations persist concurrently within a barrier batch.
+
+   - With partition-disciplined strand ids, updates that can touch the
+     same entry share a strand and are ordered: the dynamic checker
+     stays silent.
+   - With sloppy per-operation strand ids, two updates to the same key
+     inside one batch are concurrent strands with a WAW dependence: the
+     checker reports them (the Table 4 strand rule, detected at runtime
+     with happens-before tracking).
+
+     dune exec examples/strand_kvstore.exe *)
+
+let run ~sloppy =
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~model:Analysis.Model.Strand () in
+  Runtime.Dynamic.attach checker pmem;
+  let kv =
+    Workloads.Kvstore_strand.create ~capacity:512 ~partitions:8 ~batch:8
+      ~sloppy_strands:sloppy pmem
+  in
+  let rng = Workloads.Gen.rng 2024 in
+  for i = 1 to 4_000 do
+    (* a small hot keyspace so same-key updates land in one batch *)
+    let key = 1 + Workloads.Gen.skewed rng ~keyspace:64 ~theta:0.7 in
+    ignore (Workloads.Kvstore_strand.set kv key i)
+  done;
+  Workloads.Kvstore_strand.quiesce kv;
+  (Runtime.Dynamic.summary checker, kv)
+
+let () =
+  let disciplined, kv = run ~sloppy:false in
+  Fmt.pr "partition-disciplined strands: %a@." Runtime.Dynamic.pp_summary
+    disciplined;
+  assert (disciplined.Runtime.Dynamic.waw = 0);
+  let sloppy, _ = run ~sloppy:true in
+  Fmt.pr "per-operation strand ids:      %a@." Runtime.Dynamic.pp_summary sloppy;
+  assert (sloppy.Runtime.Dynamic.waw > 0);
+  Fmt.pr
+    "@.Same workload, same barriers — only the strand-id discipline \
+     differs.@.The sloppy variant persists dependent updates concurrently; \
+     the@.happens-before checker catches every WAW window. Store still \
+     readable:@.key 1 -> %a@."
+    Fmt.(option ~none:(any "absent") int)
+    (Workloads.Kvstore_strand.get kv 1)

@@ -1,0 +1,1 @@
+lib/analysis/checker.ml: Config Dsa Fmt List Model Nvmir Rules Trace Warning

@@ -1,0 +1,1 @@
+lib/analysis/checker.mli: Config Dsa Fmt Model Nvmir Warning

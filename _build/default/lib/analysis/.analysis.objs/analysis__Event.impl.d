@@ -1,0 +1,1 @@
+lib/analysis/event.ml: Dsa Fmt Nvmir

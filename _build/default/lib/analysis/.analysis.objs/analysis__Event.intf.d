@@ -1,0 +1,1 @@
+lib/analysis/event.mli: Dsa Fmt Nvmir

@@ -1,0 +1,1 @@
+lib/analysis/rules.ml: Dsa Event Fmt Int List Model Nvmir Trace Warning

@@ -1,0 +1,1 @@
+lib/analysis/rules.mli: Dsa Event Model Nvmir Trace Warning

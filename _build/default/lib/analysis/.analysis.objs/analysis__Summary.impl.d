@@ -1,0 +1,1 @@
+lib/analysis/summary.ml: Fmt Hashtbl List Model Nvmir Option Warning

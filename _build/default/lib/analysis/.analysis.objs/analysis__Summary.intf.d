@@ -1,0 +1,1 @@
+lib/analysis/summary.mli: Fmt Model Warning

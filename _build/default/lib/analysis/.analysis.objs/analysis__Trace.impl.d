@@ -1,0 +1,1 @@
+lib/analysis/trace.ml: Config Dsa Event Fmt Graphs Hashtbl List Nvmir Option

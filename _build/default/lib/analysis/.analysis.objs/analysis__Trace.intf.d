@@ -1,0 +1,1 @@
+lib/analysis/trace.mli: Config Dsa Event Fmt Nvmir

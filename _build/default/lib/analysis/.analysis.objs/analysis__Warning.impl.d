@@ -1,0 +1,1 @@
+lib/analysis/warning.ml: Fmt Hashtbl List Model Nvmir

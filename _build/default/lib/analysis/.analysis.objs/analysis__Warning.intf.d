@@ -1,0 +1,1 @@
+lib/analysis/warning.mli: Fmt Model Nvmir

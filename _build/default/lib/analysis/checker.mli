@@ -1,0 +1,45 @@
+(** The static checker (steps 2–4 of Figure 8): build the DSG, collect
+    interprocedural traces, apply the rule set for the selected model,
+    and report deduplicated warnings. *)
+
+type result = {
+  model : Model.t;
+  warnings : Warning.t list;
+  trace_count : int;
+  event_count : int;
+  dsg : Dsa.Dsg.t;
+}
+
+val check :
+  ?config:Config.t ->
+  ?field_sensitive:bool ->
+  ?persistent_roots:(string * string) list ->
+  ?roots:string list ->
+  model:Model.t ->
+  Nvmir.Prog.t ->
+  result
+
+(** {1 Mixed-model checking}
+
+    Lifts the §4.5 limitation: each analysis root carries its own
+    intended persistency model, so one run can check a program whose
+    parts implement different models. *)
+
+type mixed_result = {
+  per_root : (string * Model.t * Warning.t list) list;
+  mixed_warnings : Warning.t list;  (** union, deduplicated *)
+  mixed_dsg : Dsa.Dsg.t;
+}
+
+val check_mixed :
+  ?config:Config.t ->
+  ?field_sensitive:bool ->
+  ?persistent_roots:(string * string) list ->
+  model_of:(string -> Model.t) ->
+  roots:string list ->
+  Nvmir.Prog.t ->
+  mixed_result
+
+val violations : result -> Warning.t list
+val performance_bugs : result -> Warning.t list
+val pp_result : result Fmt.t

@@ -1,0 +1,66 @@
+(* Trace events: the persistency-relevant history of one execution path.
+
+   A trace contains only operations involving persistent memory — the
+   DSG filters everything else out (§4.3, "the DSG limits traces to only
+   operations involving persistent memory"). [Persist] instructions are
+   lowered to a [Flush] followed by a [Fence] during collection, so the
+   rules reason over three primitive durability operations. *)
+
+(* Whether a flush event came from a bare cacheline write-back or from a
+   combined persist operation (flush + fence). The distinction matters
+   for classifying performance bugs: a persist over unwritten data is a
+   "durable transaction without persistent writes" (Figure 7), a bare
+   flush over unwritten data is "writing back unmodified data". *)
+type flush_origin = Plain | From_persist
+
+type kind =
+  | Write of Dsa.Aaddr.t
+  | Flush of Dsa.Aaddr.t * flush_origin
+  | Fence
+  | Log of Dsa.Aaddr.t (* undo-log registration (TX_ADD) *)
+  | Tx_begin
+  | Tx_end
+  | Epoch_begin
+  | Epoch_end
+  | Strand_begin of int
+  | Strand_end of int
+  | Call_mark of string (* provenance markers for merged traces, Fig. 11 *)
+  | Ret_mark of string
+
+type t = {
+  kind : kind;
+  loc : Nvmir.Loc.t;
+  fname : string; (* function the event originated from *)
+}
+
+let make ~fname ~loc kind = { kind; loc; fname }
+
+let pp_kind ppf = function
+  | Write a -> Fmt.pf ppf "W %a" Dsa.Aaddr.pp a
+  | Flush (a, Plain) -> Fmt.pf ppf "F %a" Dsa.Aaddr.pp a
+  | Flush (a, From_persist) -> Fmt.pf ppf "P %a" Dsa.Aaddr.pp a
+  | Fence -> Fmt.string ppf "FENCE"
+  | Log a -> Fmt.pf ppf "LOG %a" Dsa.Aaddr.pp a
+  | Tx_begin -> Fmt.string ppf "TX{"
+  | Tx_end -> Fmt.string ppf "}TX"
+  | Epoch_begin -> Fmt.string ppf "EPOCH{"
+  | Epoch_end -> Fmt.string ppf "}EPOCH"
+  | Strand_begin n -> Fmt.pf ppf "STRAND%d{" n
+  | Strand_end n -> Fmt.pf ppf "}STRAND%d" n
+  | Call_mark f -> Fmt.pf ppf ">%s" f
+  | Ret_mark f -> Fmt.pf ppf "<%s" f
+
+let pp ppf t = Fmt.pf ppf "%a @@%a" pp_kind t.kind Nvmir.Loc.pp t.loc
+
+let is_marker t =
+  match t.kind with
+  | Call_mark _ | Ret_mark _ -> true
+  | Write _ | Flush _ | Fence | Log _ | Tx_begin | Tx_end | Epoch_begin
+  | Epoch_end | Strand_begin _ | Strand_end _ -> false
+
+(* Address of the event, when it has one. *)
+let addr t =
+  match t.kind with
+  | Write a | Flush (a, _) | Log a -> Some a
+  | Fence | Tx_begin | Tx_end | Epoch_begin | Epoch_end | Strand_begin _
+  | Strand_end _ | Call_mark _ | Ret_mark _ -> None

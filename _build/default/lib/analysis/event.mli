@@ -1,0 +1,29 @@
+(** Trace events: the persistency-relevant history of one execution
+    path. Traces contain only operations involving persistent memory
+    (§4.3); [Persist] instructions are lowered to flush-then-fence. *)
+
+(** Whether a flush came from a bare write-back or a combined persist —
+    the distinction classifies the performance-bug warnings. *)
+type flush_origin = Plain | From_persist
+
+type kind =
+  | Write of Dsa.Aaddr.t
+  | Flush of Dsa.Aaddr.t * flush_origin
+  | Fence
+  | Log of Dsa.Aaddr.t  (** undo-log registration (TX_ADD) *)
+  | Tx_begin
+  | Tx_end
+  | Epoch_begin
+  | Epoch_end
+  | Strand_begin of int
+  | Strand_end of int
+  | Call_mark of string  (** provenance markers of merged traces *)
+  | Ret_mark of string
+
+type t = { kind : kind; loc : Nvmir.Loc.t; fname : string }
+
+val make : fname:string -> loc:Nvmir.Loc.t -> kind -> t
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t
+val is_marker : t -> bool
+val addr : t -> Dsa.Aaddr.t option

@@ -1,0 +1,91 @@
+(* Aggregate statistics over warning sets: the per-rule / per-category /
+   per-file breakdowns the report tooling and the evaluation benches
+   print. Pure folds over warning lists. *)
+
+type t = {
+  total : int;
+  violations : int;
+  performance : int;
+  static_found : int;
+  dynamic_found : int;
+  by_rule : (Warning.rule_id * int) list; (* descending count *)
+  by_file : (string * int) list; (* descending count *)
+  models : Model.t list; (* models seen, deduplicated *)
+}
+
+let count p l = List.length (List.filter p l)
+
+let tally key_of warnings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let k = key_of w in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    warnings;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let of_warnings (warnings : Warning.t list) : t =
+  {
+    total = List.length warnings;
+    violations =
+      count (fun w -> Warning.category w = Warning.Model_violation) warnings;
+    performance =
+      count (fun w -> Warning.category w = Warning.Performance) warnings;
+    static_found =
+      count (fun (w : Warning.t) -> w.Warning.origin = Warning.Static) warnings;
+    dynamic_found =
+      count (fun (w : Warning.t) -> w.Warning.origin = Warning.Dynamic) warnings;
+    by_rule = tally (fun (w : Warning.t) -> w.Warning.rule) warnings;
+    by_file = tally (fun (w : Warning.t) -> w.Warning.loc.Nvmir.Loc.file) warnings;
+    models =
+      List.sort_uniq compare
+        (List.map (fun (w : Warning.t) -> w.Warning.model) warnings);
+  }
+
+(* Merge summaries from several programs (e.g. a whole framework). *)
+let merge_tally xs ys =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace tbl k
+        (n + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (xs @ ys);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (_, x) (_, y) -> compare y x)
+
+let merge (a : t) (b : t) : t =
+  {
+    total = a.total + b.total;
+    violations = a.violations + b.violations;
+    performance = a.performance + b.performance;
+    static_found = a.static_found + b.static_found;
+    dynamic_found = a.dynamic_found + b.dynamic_found;
+    by_rule = merge_tally a.by_rule b.by_rule;
+    by_file = merge_tally a.by_file b.by_file;
+    models = List.sort_uniq compare (a.models @ b.models);
+  }
+
+let empty : t =
+  {
+    total = 0;
+    violations = 0;
+    performance = 0;
+    static_found = 0;
+    dynamic_found = 0;
+    by_rule = [];
+    by_file = [];
+    models = [];
+  }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf
+    "@[<v>%d warning(s): %d violation(s), %d performance (%d static, %d \
+     dynamic)@ by rule: %a@ by file: %a@]"
+    t.total t.violations t.performance t.static_found t.dynamic_found
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (r, n) ->
+          Fmt.pf ppf "%s=%d" (Warning.rule_name r) n))
+    t.by_rule
+    Fmt.(list ~sep:(any ", ") (fun ppf (f, n) -> Fmt.pf ppf "%s=%d" f n))
+    t.by_file

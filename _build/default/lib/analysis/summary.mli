@@ -1,0 +1,19 @@
+(** Aggregate statistics over warning sets: per-rule, per-category and
+    per-file breakdowns, with a monoid structure for merging programs
+    into framework-level totals. *)
+
+type t = {
+  total : int;
+  violations : int;
+  performance : int;
+  static_found : int;
+  dynamic_found : int;
+  by_rule : (Warning.rule_id * int) list;  (** descending count *)
+  by_file : (string * int) list;  (** descending count *)
+  models : Model.t list;  (** models seen, deduplicated *)
+}
+
+val of_warnings : Warning.t list -> t
+val merge : t -> t -> t
+val empty : t
+val pp : t Fmt.t

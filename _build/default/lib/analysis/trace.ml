@@ -1,0 +1,184 @@
+(* Trace collection (§4.3).
+
+   Phase 1 (intra-procedural): depth-first path enumeration over each
+   function's CFG, bounded by [Config.loop_bound] back-edge traversals
+   and [Config.max_paths] paths. Each path yields one trace whose events
+   are resolved through the DSG; writes and flushes that the DSG proves
+   volatile are dropped, so traces contain only persistent operations.
+
+   Phase 2 (inter-procedural): the call graph is traversed so that
+   callee traces are spliced into caller traces at call sites
+   (Figure 11), bounded by [Config.recursion_bound] on the call chain
+   and [Config.expansion_fanout] callee traces per site. Call/return
+   provenance markers are kept in the merged trace. *)
+
+type t = Event.t list
+
+(* Events of one instruction, in order. [Persist] lowers to flush;fence. *)
+let events_of_instr dsg ~fname (i : Nvmir.Instr.t) : Event.t list =
+  let ev kind = Event.make ~fname ~loc:i.loc kind in
+  match i.kind with
+  | Nvmir.Instr.Store { dst; _ } ->
+    let a = Dsa.Dsg.resolve dsg ~fname dst in
+    if Dsa.Dsg.is_persistent_addr dsg a then [ ev (Event.Write a) ] else []
+  | Nvmir.Instr.Flush { target; extent } ->
+    let a = Dsa.Dsg.resolve_extent dsg ~fname target extent in
+    if Dsa.Dsg.is_persistent_addr dsg a then
+      [ ev (Event.Flush (a, Event.Plain)) ]
+    else []
+  | Nvmir.Instr.Persist { target; extent } ->
+    let a = Dsa.Dsg.resolve_extent dsg ~fname target extent in
+    if Dsa.Dsg.is_persistent_addr dsg a then
+      [ ev (Event.Flush (a, Event.From_persist)); ev Event.Fence ]
+    else []
+  | Nvmir.Instr.Tx_add { target; extent } ->
+    let a = Dsa.Dsg.resolve_extent dsg ~fname target extent in
+    if Dsa.Dsg.is_persistent_addr dsg a then [ ev (Event.Log a) ] else []
+  | Nvmir.Instr.Fence -> [ ev Event.Fence ]
+  | Nvmir.Instr.Tx_begin -> [ ev Event.Tx_begin ]
+  | Nvmir.Instr.Tx_end -> [ ev Event.Tx_end ]
+  | Nvmir.Instr.Epoch_begin -> [ ev Event.Epoch_begin ]
+  | Nvmir.Instr.Epoch_end -> [ ev Event.Epoch_end ]
+  | Nvmir.Instr.Strand_begin n -> [ ev (Event.Strand_begin n) ]
+  | Nvmir.Instr.Strand_end n -> [ ev (Event.Strand_end n) ]
+  | Nvmir.Instr.Call { callee; _ } -> [ ev (Event.Call_mark callee) ]
+  | Nvmir.Instr.Load _ | Nvmir.Instr.Assign _ | Nvmir.Instr.Binop _
+  | Nvmir.Instr.Alloc _ | Nvmir.Instr.Addr_of _ | Nvmir.Instr.Comment _ -> []
+
+(* Phase 1: enumerate bounded paths through [func], accumulating events.
+   Paths containing persistent operations are explored first when a cap
+   cut is needed — we achieve this cheaply by enumerating in CFG order
+   and capping, which suffices for corpus-scale functions. *)
+let collect_function (config : Config.t) dsg (func : Nvmir.Func.t) : t list =
+  let cfg = Graphs.Cfg.of_func func in
+  let loops = Graphs.Loops.compute cfg in
+  let fname = Nvmir.Func.name func in
+  let traces = ref [] in
+  let count = ref 0 in
+  let rec walk label acc edge_counts =
+    if !count >= config.max_paths then ()
+    else
+      match Graphs.Cfg.block cfg label with
+      | None -> ()
+      | Some block ->
+        let acc =
+          List.fold_left
+            (fun acc i -> List.rev_append (events_of_instr dsg ~fname i) acc)
+            acc block.instrs
+        in
+        let follow target =
+          if Graphs.Loops.is_back_edge loops ~source:label ~target then begin
+            let key = (label, target) in
+            let taken =
+              Option.value ~default:0 (List.assoc_opt key edge_counts)
+            in
+            if taken < config.loop_bound then
+              walk target acc ((key, taken + 1) :: List.remove_assoc key edge_counts)
+          end
+          else walk target acc edge_counts
+        in
+        (match block.term with
+        | Nvmir.Func.Ret _ ->
+          if !count < config.max_paths then begin
+            incr count;
+            traces := List.rev acc :: !traces
+          end
+        | Nvmir.Func.Br l -> follow l
+        | Nvmir.Func.Cond_br { then_lbl; else_lbl; _ } ->
+          follow then_lbl;
+          follow else_lbl)
+  in
+  walk (Graphs.Cfg.entry cfg) [] [];
+  List.rev !traces
+
+(* Phase 2: splice callee traces into caller traces at call sites.
+
+   Expansion is memoized bottom-up over the call graph (callees first,
+   the Figure 11 merge order), so each function's merged traces are
+   computed once. Call marks whose callee expansion is not yet available
+   — the back edges of recursive cycles — stay unexpanded; functions in
+   cyclic SCCs are then re-expanded [Config.recursion_bound] times, each
+   pass splicing the previous pass's results, which bounds recursion
+   unrolling exactly like §4.3 describes. *)
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let expand_with (config : Config.t) ~memo (trace : t) : t list =
+  (* the path cap is applied at every combination point — the
+     cross-product of call-site expansions would otherwise materialize
+     exponentially many traces before any cap could trim them *)
+  let cap = config.max_paths in
+  let rec expand_trace trace =
+    match trace with
+    | [] -> [ [] ]
+    | ({ Event.kind = Event.Call_mark callee; fname; loc } as ev) :: rest -> (
+      let rests = take cap (expand_trace rest) in
+      match Hashtbl.find_opt memo callee with
+      | Some callee_traces when callee_traces <> [] ->
+        let callee_traces = take config.expansion_fanout callee_traces in
+        take cap
+          (List.concat_map
+             (fun ct ->
+               List.map
+                 (fun r ->
+                   (ev :: ct)
+                   @ (Event.make ~fname ~loc (Event.Ret_mark callee) :: r))
+                 rests)
+             callee_traces)
+      | Some _ | None -> List.map (fun r -> ev :: r) rests)
+    | ev :: rest -> List.map (fun r -> ev :: r) (expand_trace rest)
+  in
+  take cap (expand_trace trace)
+
+(* Collect fully expanded traces for the given root functions (defaults
+   to the call-graph roots: functions never called from the program). *)
+let collect ?(config = Config.default) ?roots dsg prog :
+    (string * t list) list =
+  let intra = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace intra (Nvmir.Func.name f) (collect_function config dsg f))
+    (Nvmir.Prog.funcs prog);
+  let cg = Graphs.Callgraph.of_prog prog in
+  let memo : (string, t list) Hashtbl.t = Hashtbl.create 64 in
+  let expand_function fname =
+    let own = Option.value ~default:[] (Hashtbl.find_opt intra fname) in
+    List.concat_map (expand_with config ~memo) own
+    |> List.filteri (fun i _ -> i < config.max_paths)
+  in
+  List.iter
+    (fun fname -> Hashtbl.replace memo fname (expand_function fname))
+    (Graphs.Callgraph.postorder cg);
+  (* bounded unrolling for recursive components *)
+  let cyclic =
+    List.concat_map
+      (fun scc ->
+        match scc with
+        | [ f ] when not (List.mem f (Graphs.Callgraph.callees cg f)) -> []
+        | fs -> fs)
+      (Graphs.Callgraph.sccs cg)
+  in
+  if cyclic <> [] then
+    for _ = 2 to config.recursion_bound do
+      List.iter
+        (fun fname -> Hashtbl.replace memo fname (expand_function fname))
+        cyclic
+    done;
+  let roots =
+    match roots with
+    | Some rs -> rs
+    | None -> (
+      match Graphs.Callgraph.roots cg with
+      | [] -> Nvmir.Prog.func_names prog
+      | rs -> rs)
+  in
+  List.map
+    (fun r -> (r, Option.value ~default:[] (Hashtbl.find_opt memo r)))
+    roots
+
+let pp ppf (trace : t) =
+  Fmt.pf ppf "@[<v 2>trace (%d events)@ %a@]" (List.length trace)
+    Fmt.(list ~sep:(any "@ ") Event.pp)
+    trace
+
+(* Number of non-marker events; used by bench reporting. *)
+let length trace = List.length (List.filter (fun e -> not (Event.is_marker e)) trace)

@@ -1,0 +1,26 @@
+(** Trace collection (§4.3): bounded depth-first path enumeration per
+    function, then memoized bottom-up splicing of callee traces into
+    callers at call sites (Figure 11). *)
+
+type t = Event.t list
+
+val events_of_instr : Dsa.Dsg.t -> fname:string -> Nvmir.Instr.t -> Event.t list
+(** The events one instruction contributes; writes and flushes the DSG
+    proves volatile contribute nothing. *)
+
+val collect_function : Config.t -> Dsa.Dsg.t -> Nvmir.Func.t -> t list
+(** Phase 1: intra-procedural traces, with unexpanded call marks. *)
+
+val collect :
+  ?config:Config.t ->
+  ?roots:string list ->
+  Dsa.Dsg.t ->
+  Nvmir.Prog.t ->
+  (string * t list) list
+(** Fully-expanded traces per root. [roots] defaults to the call-graph
+    roots (functions never called within the program). *)
+
+val pp : t Fmt.t
+
+val length : t -> int
+(** Non-marker events. *)

@@ -1,0 +1,1 @@
+lib/core/autofix.ml: Analysis Fmt List Nvmir Rewrite Stdlib String

@@ -1,0 +1,1 @@
+lib/core/autofix.mli: Analysis Fmt Nvmir Stdlib

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Analysis List Nvmir

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Analysis Fmt Graphs List Logs Nvmir Runtime Unix

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Analysis Fmt Nvmir Runtime

@@ -1,0 +1,1 @@
+lib/core/html_report.ml: Analysis Buffer Driver Fmt List Nvmir Runtime String

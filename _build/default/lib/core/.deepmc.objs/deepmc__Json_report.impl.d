@@ -1,0 +1,1 @@
+lib/core/json_report.ml: Analysis Autofix Buffer Char Driver Float Fmt List Nvmir Report Runtime String

@@ -1,0 +1,1 @@
+lib/core/json_report.mli: Analysis Autofix Driver Fmt Report Runtime

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Analysis Array Atomic Domain Fmt List Nvmir Unix

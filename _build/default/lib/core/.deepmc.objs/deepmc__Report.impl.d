@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Fmt List Nvmir Option String

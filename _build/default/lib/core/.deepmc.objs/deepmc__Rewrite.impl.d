@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Fmt Graphs List Nvmir String

@@ -1,0 +1,1 @@
+lib/core/suppress.ml: Analysis Either Fmt List Nvmir String

@@ -1,0 +1,1 @@
+lib/core/suppress.mli: Analysis

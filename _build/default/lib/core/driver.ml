@@ -1,0 +1,151 @@
+(* The DeepMC toolkit driver: the end-to-end pipeline of Figure 8.
+
+   Given an IR program and the persistency-model flag (-strict, -epoch
+   or -strand), the driver
+     1. builds CFGs and the call graph,
+     2. collects interprocedural traces,
+     3. builds the DSG,
+     4. applies the static checking rules,
+     5. (optionally) instruments and executes the program with the
+        runtime library attached,
+     6. performs the online checks,
+   and merges the static and dynamic warnings into one report. *)
+
+let src = Logs.Src.create "deepmc" ~doc:"DeepMC pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  model : Analysis.Model.t;
+  config : Analysis.Config.t;
+  field_sensitive : bool;
+  run_dynamic : bool;
+}
+
+let make ?(config = Analysis.Config.default) ?(field_sensitive = true)
+    ?(run_dynamic = true) model =
+  { model; config; field_sensitive; run_dynamic }
+
+type dynamic_outcome =
+  | Dynamic_ok of Runtime.Dynamic.summary * Analysis.Warning.t list
+  | Dynamic_skipped of string
+
+type report = {
+  model : Analysis.Model.t;
+  static : Analysis.Checker.result;
+  dynamic : dynamic_outcome;
+  warnings : Analysis.Warning.t list; (* merged, deduplicated *)
+  elapsed_static : float;
+  elapsed_dynamic : float;
+}
+
+let run_dynamic_analysis (t : t) ?entry ?args prog =
+  match entry with
+  | None -> (Dynamic_skipped "no entry point", [])
+  | Some entry -> (
+    match Nvmir.Prog.find_func prog entry with
+    | None -> (Dynamic_skipped (Fmt.str "entry %s not defined" entry), [])
+    | Some _ -> (
+      let pmem = Runtime.Pmem.create () in
+      let checker = Runtime.Dynamic.create ~model:t.model () in
+      Runtime.Dynamic.attach checker pmem;
+      let interp = Runtime.Interp.create ~pmem prog in
+      try
+        ignore (Runtime.Interp.run ~entry ?args interp);
+        let ws = Runtime.Dynamic.warnings checker in
+        (Dynamic_ok (Runtime.Dynamic.summary checker, ws), ws)
+      with
+      | Runtime.Interp.Runtime_error (m, loc) ->
+        ( Dynamic_skipped
+            (Fmt.str "runtime error at %a: %s" Nvmir.Loc.pp loc m),
+          Runtime.Dynamic.warnings checker )
+      | Runtime.Interp.Out_of_fuel ->
+        (Dynamic_skipped "execution exceeded fuel budget",
+         Runtime.Dynamic.warnings checker)))
+
+(* Analyze a program. [persistent_roots] are the user's interface
+   annotations: (function, variable) pairs known to reference NVM.
+   [entry]/[args] drive the optional dynamic run. *)
+let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args prog : report =
+  Log.info (fun m ->
+      m "analyzing %d function(s) against the %a model (%a)"
+        (List.length (Nvmir.Prog.funcs prog))
+        Analysis.Model.pp t.model Analysis.Config.pp t.config);
+  let t0 = Unix.gettimeofday () in
+  let static =
+    Analysis.Checker.check ~config:t.config ~field_sensitive:t.field_sensitive
+      ~persistent_roots ?roots ~model:t.model prog
+  in
+  let t1 = Unix.gettimeofday () in
+  Log.info (fun m ->
+      m "static: %d trace(s), %d event(s), %d warning(s) in %.1f ms"
+        static.Analysis.Checker.trace_count static.Analysis.Checker.event_count
+        (List.length static.Analysis.Checker.warnings)
+        ((t1 -. t0) *. 1000.));
+  let dynamic, dyn_warnings =
+    if t.run_dynamic then run_dynamic_analysis t ?entry ?args prog
+    else (Dynamic_skipped "dynamic analysis disabled", [])
+  in
+  let t2 = Unix.gettimeofday () in
+  (match dynamic with
+  | Dynamic_ok (s, ws) ->
+    Log.info (fun m ->
+        m "dynamic: %a; %d warning(s) in %.1f ms" Runtime.Dynamic.pp_summary s
+          (List.length ws)
+          ((t2 -. t1) *. 1000.))
+  | Dynamic_skipped reason -> Log.debug (fun m -> m "dynamic skipped: %s" reason));
+  let warnings =
+    Analysis.Warning.dedup (static.Analysis.Checker.warnings @ dyn_warnings)
+    |> Analysis.Warning.sort
+  in
+  {
+    model = t.model;
+    static;
+    dynamic;
+    warnings;
+    elapsed_static = t1 -. t0;
+    elapsed_dynamic = t2 -. t1;
+  }
+
+(* The "baseline compilation" of Table 9: a full front-end pass with no
+   checking — emit the program to its textual form, re-parse it,
+   validate, and build CFGs and the call graph. Returns elapsed
+   seconds. *)
+let baseline_compile prog =
+  let t0 = Unix.gettimeofday () in
+  let text = Fmt.str "%a" Nvmir.Prog.pp prog in
+  let reparsed = Nvmir.Parser.parse text in
+  ignore (Nvmir.Prog.validate reparsed);
+  List.iter
+    (fun f -> ignore (Graphs.Cfg.of_func f))
+    (Nvmir.Prog.funcs reparsed);
+  ignore (Graphs.Callgraph.of_prog reparsed);
+  Unix.gettimeofday () -. t0
+
+let violations r =
+  List.filter
+    (fun w -> Analysis.Warning.category w = Analysis.Warning.Model_violation)
+    r.warnings
+
+let performance_bugs r =
+  List.filter
+    (fun w -> Analysis.Warning.category w = Analysis.Warning.Performance)
+    r.warnings
+
+let pp_report ppf r =
+  let pp_dynamic ppf = function
+    | Dynamic_ok (s, _) -> Runtime.Dynamic.pp_summary ppf s
+    | Dynamic_skipped reason -> Fmt.pf ppf "skipped (%s)" reason
+  in
+  Fmt.pf ppf
+    "@[<v>DeepMC report (%a model)@ static: %.1f ms, dynamic: %.1f ms@ \
+     dynamic: %a@ %d warning(s): %d violation(s), %d performance@ %a@]"
+    Analysis.Model.pp r.model
+    (r.elapsed_static *. 1000.)
+    (r.elapsed_dynamic *. 1000.)
+    pp_dynamic r.dynamic
+    (List.length r.warnings)
+    (List.length (violations r))
+    (List.length (performance_bugs r))
+    Fmt.(list ~sep:(any "@ ") Analysis.Warning.pp)
+    r.warnings

@@ -1,0 +1,46 @@
+(** The DeepMC toolkit driver: the end-to-end pipeline of Figure 8.
+    Given a program and the persistency-model flag, runs the static
+    checker and (optionally) the instrumented execution with the dynamic
+    checker, merging both warning streams into one report. *)
+
+type t
+
+val make :
+  ?config:Analysis.Config.t ->
+  ?field_sensitive:bool ->
+  ?run_dynamic:bool ->
+  Analysis.Model.t ->
+  t
+
+type dynamic_outcome =
+  | Dynamic_ok of Runtime.Dynamic.summary * Analysis.Warning.t list
+  | Dynamic_skipped of string
+
+type report = {
+  model : Analysis.Model.t;
+  static : Analysis.Checker.result;
+  dynamic : dynamic_outcome;
+  warnings : Analysis.Warning.t list;  (** merged, deduplicated *)
+  elapsed_static : float;
+  elapsed_dynamic : float;
+}
+
+val analyze :
+  t ->
+  ?persistent_roots:(string * string) list ->
+  ?roots:string list ->
+  ?entry:string ->
+  ?args:int list ->
+  Nvmir.Prog.t ->
+  report
+(** [persistent_roots] are the user's interface annotations;
+    [roots] selects static-analysis roots; [entry]/[args] drive the
+    dynamic run (skipped when absent). *)
+
+val baseline_compile : Nvmir.Prog.t -> float
+(** The Table 9 baseline: a full front-end pass (emit, re-parse,
+    validate, CFG/CG) with no checking. Elapsed seconds. *)
+
+val violations : report -> Analysis.Warning.t list
+val performance_bugs : report -> Analysis.Warning.t list
+val pp_report : report Fmt.t

@@ -1,0 +1,10 @@
+(** Standalone HTML report (scan-build style): run summary, warnings
+    grouped by category, and the analyzed program listing with warning
+    lines highlighted. Self-contained, no external assets. *)
+
+val escape : string -> string
+
+val render : ?title:string -> Nvmir.Prog.t -> Driver.report -> string
+
+val write : ?title:string -> Nvmir.Prog.t -> Driver.report -> string -> unit
+(** Render to a file. *)

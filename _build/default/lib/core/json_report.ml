@@ -1,0 +1,134 @@
+(* Machine-readable report output (JSON), for CI integration and editor
+   tooling. A tiny self-contained encoder — the report shapes are simple
+   enough that a JSON library dependency is not warranted. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+    else Fmt.pf ppf "%.6g" f
+  | String s -> pp_string ppf s
+  | List items ->
+    Fmt.pf ppf "@[<hv 2>[%a]@]" Fmt.(list ~sep:(any ",@ ") pp) items
+  | Obj fields ->
+    let pp_field ppf (k, v) =
+      Fmt.pf ppf "@[<hov 2>%a: %a@]" pp_string k pp v
+    in
+    Fmt.pf ppf "@[<hv 2>{%a}@]" Fmt.(list ~sep:(any ",@ ") pp_field) fields
+
+and pp_string ppf s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Fmt.string ppf (Buffer.contents buf)
+
+let to_string j = Fmt.str "%a" pp j
+
+(* ------------------------------------------------------------------ *)
+(* Encoders *)
+
+let of_warning (w : Analysis.Warning.t) =
+  Obj
+    [
+      ("rule", String (Analysis.Warning.rule_name w.Analysis.Warning.rule));
+      ( "category",
+        String
+          (match Analysis.Warning.category w with
+          | Analysis.Warning.Model_violation -> "model-violation"
+          | Analysis.Warning.Performance -> "performance") );
+      ("model", String (Analysis.Model.to_string w.Analysis.Warning.model));
+      ("file", String w.Analysis.Warning.loc.Nvmir.Loc.file);
+      ("line", Int w.Analysis.Warning.loc.Nvmir.Loc.line);
+      ("function", String w.Analysis.Warning.fname);
+      ( "origin",
+        String
+          (match w.Analysis.Warning.origin with
+          | Analysis.Warning.Static -> "static"
+          | Analysis.Warning.Dynamic -> "dynamic") );
+      ("message", String w.Analysis.Warning.message);
+    ]
+
+let of_dynamic_summary (s : Runtime.Dynamic.summary) =
+  Obj
+    [
+      ("waw_races", Int s.Runtime.Dynamic.waw);
+      ("raw_races", Int s.Runtime.Dynamic.raw);
+      ("unflushed_at_epoch_end", Int s.Runtime.Dynamic.unflushed);
+      ("redundant_flushes", Int s.Runtime.Dynamic.redundant);
+      ("tracked_cells", Int s.Runtime.Dynamic.tracked_cells);
+      ("warning_count", Int s.Runtime.Dynamic.warning_count);
+    ]
+
+let of_report (r : Driver.report) =
+  Obj
+    [
+      ("model", String (Analysis.Model.to_string r.Driver.model));
+      ("warnings", List (List.map of_warning r.Driver.warnings));
+      ( "summary",
+        Obj
+          [
+            ("total", Int (List.length r.Driver.warnings));
+            ("violations", Int (List.length (Driver.violations r)));
+            ("performance", Int (List.length (Driver.performance_bugs r)));
+            ( "traces_analyzed",
+              Int r.Driver.static.Analysis.Checker.trace_count );
+            ("events_analyzed", Int r.Driver.static.Analysis.Checker.event_count);
+            ("elapsed_static_ms", Float (r.Driver.elapsed_static *. 1000.));
+            ("elapsed_dynamic_ms", Float (r.Driver.elapsed_dynamic *. 1000.));
+          ] );
+      ( "dynamic",
+        match r.Driver.dynamic with
+        | Driver.Dynamic_ok (s, _) -> of_dynamic_summary s
+        | Driver.Dynamic_skipped reason ->
+          Obj [ ("skipped", String reason) ] );
+    ]
+
+let of_score (s : Report.score) =
+  Obj
+    [
+      ("warnings", Int (Report.warning_count s));
+      ("validated", Int (Report.validated_count s));
+      ("false_positives", Int (Report.false_positive_count s));
+      ("missed", Int (List.length s.Report.missed));
+      ("unexpected", Int (List.length s.Report.unexpected));
+      ("recall", Float (Report.recall s));
+    ]
+
+let of_fix_outcome = function
+  | Autofix.Fixed { warning; description } ->
+    Obj
+      [
+        ("status", String "fixed");
+        ("warning", of_warning warning);
+        ("description", String description);
+      ]
+  | Autofix.Skipped { warning; reason } ->
+    Obj
+      [
+        ("status", String "skipped");
+        ("warning", of_warning warning);
+        ("reason", String reason);
+      ]

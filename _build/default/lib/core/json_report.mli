@@ -1,0 +1,20 @@
+(** Machine-readable report output (JSON), for CI integration and editor
+    tooling. Self-contained encoder, no external dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val pp : json Fmt.t
+val to_string : json -> string
+
+val of_warning : Analysis.Warning.t -> json
+val of_dynamic_summary : Runtime.Dynamic.summary -> json
+val of_report : Driver.report -> json
+val of_score : Report.score -> json
+val of_fix_outcome : Autofix.outcome -> json

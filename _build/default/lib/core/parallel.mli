@@ -1,0 +1,27 @@
+(** Multicore analysis driver (OCaml 5 domains): whole-program checking
+    shares nothing across programs, so batch jobs fan out over a domain
+    pool. *)
+
+val default_domains : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map preserving order. [domains] defaults to
+    [recommended_domain_count - 1], capped at 8. *)
+
+type corpus_result = {
+  program : string;
+  model : Analysis.Model.t;
+  warnings : Analysis.Warning.t list;
+  elapsed_s : float;
+}
+
+val check_many :
+  ?domains:int ->
+  ?config:Analysis.Config.t ->
+  ?field_sensitive:bool ->
+  (string * Analysis.Model.t * Nvmir.Prog.t * string list) list ->
+  corpus_result list
+(** Statically analyze many (name, model, program, roots) jobs in
+    parallel. *)
+
+val pp_corpus_result : corpus_result Fmt.t

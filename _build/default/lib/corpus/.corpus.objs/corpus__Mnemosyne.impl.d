@@ -1,0 +1,1 @@
+lib/corpus/mnemosyne.ml: Analysis Deepmc Types

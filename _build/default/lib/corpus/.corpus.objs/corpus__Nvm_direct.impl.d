@@ -1,0 +1,1 @@
+lib/corpus/nvm_direct.ml: Analysis Deepmc Types

@@ -1,0 +1,1 @@
+lib/corpus/pmdk.ml: Analysis Deepmc Fmt String Types

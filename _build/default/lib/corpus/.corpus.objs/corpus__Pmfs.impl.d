@@ -1,0 +1,1 @@
+lib/corpus/pmfs.ml: Analysis Deepmc Types

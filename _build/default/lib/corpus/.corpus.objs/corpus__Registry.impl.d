@@ -1,0 +1,1 @@
+lib/corpus/registry.ml: Analysis Deepmc List Mnemosyne Nvm_direct Pmdk Pmfs String Types

@@ -1,0 +1,1 @@
+lib/corpus/synth.ml: Fmt List Nvmir

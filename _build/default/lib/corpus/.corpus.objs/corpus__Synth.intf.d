@@ -1,0 +1,1 @@
+lib/corpus/synth.mli: Nvmir

@@ -1,0 +1,1 @@
+lib/corpus/types.mli: Analysis Deepmc Nvmir

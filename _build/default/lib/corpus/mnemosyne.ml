@@ -1,0 +1,246 @@
+(* Mnemosyne corpus (epoch persistency): phlog_base.c, chhash.c and
+   CHash.c. All four Mnemosyne bugs of Table 8 are found by the dynamic
+   checker: the buggy accesses go through pointers the static analysis
+   cannot resolve (Mnemosyne's raw-word logging macros expand to pointer
+   arithmetic), so only the instrumented execution observes them —
+   these are four of the six dynamically-discovered new bugs of §5.1. *)
+
+open Types
+
+let w = Analysis.Warning.Unflushed_write
+let mf = Analysis.Warning.Multiple_flushes
+let ps = Analysis.Warning.Persist_same_object_in_tx
+
+let phlog_base =
+  {
+    name = "phlog_base";
+    framework = Mnemosyne;
+    description =
+      "Physical log: the head update of an append is still volatile when \
+       its epoch closes";
+    entry = "phlog_driver";
+    entry_args = [];
+    roots = [ "phlog_driver" ];
+    source =
+      {|
+struct phlog { head: int, tail: int }
+
+# The write goes through Mnemosyne's raw-word macro (modeled as pointer
+# arithmetic); the epoch ends while it is still in the cache.
+func phlog_append(log: ptr phlog) {
+entry:
+  epoch_begin                    @ phlog_base.c:128
+  q = log + 0
+  store q->head, 3               @ phlog_base.c:132
+  epoch_end                      @ phlog_base.c:134
+  ret
+}
+
+func phlog_driver() {
+entry:
+  log = alloc pmem phlog
+  call phlog_append(log)
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct phlog { head: int, tail: int }
+
+func phlog_append(log: ptr phlog) {
+entry:
+  epoch_begin
+  store log->head, 3
+  flush exact log->head
+  fence
+  epoch_end
+  ret
+}
+
+func phlog_driver() {
+entry:
+  log = alloc pmem phlog
+  call phlog_append(log)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:w ~file:"phlog_base.c" ~line:132 ~is_new:true ~years:10.0
+          ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
+          "Unflushed write (found at runtime: the store goes through \
+           Mnemosyne's raw-word macro)";
+      ];
+  }
+
+let chhash =
+  {
+    name = "chhash";
+    framework = Mnemosyne;
+    description =
+      "Cuckoo hash table: bucket counters persisted twice per \
+       transaction through the logging macros";
+    entry = "chhash_driver_all";
+    entry_args = [];
+    roots = [ "chhash_driver_insert"; "chhash_driver_expand" ];
+    source =
+      {|
+struct chhash_t { size: int, count: int }
+
+func chhash_insert(h: ptr chhash_t) {
+entry:
+  epoch_begin                    @ chhash.c:176
+  tx_begin                       @ chhash.c:178
+  tx_add exact h->size           @ chhash.c:179
+  store h->size, 5               @ chhash.c:180
+  q = h + 0
+  store q->count, 1              @ chhash.c:182
+  flush exact q->count           @ chhash.c:183
+  flush exact q->count           @ chhash.c:185
+  fence                          @ chhash.c:186
+  tx_end                         @ chhash.c:188
+  epoch_end                      @ chhash.c:190
+  ret
+}
+
+func chhash_expand(h: ptr chhash_t) {
+entry:
+  epoch_begin                    @ chhash.c:261
+  tx_begin                       @ chhash.c:263
+  tx_add exact h->size           @ chhash.c:264
+  store h->size, 9               @ chhash.c:265
+  q = h + 0
+  store q->count, 2              @ chhash.c:267
+  flush exact q->count           @ chhash.c:268
+  flush exact q->count           @ chhash.c:270
+  fence                          @ chhash.c:271
+  tx_end                         @ chhash.c:273
+  epoch_end                      @ chhash.c:275
+  ret
+}
+
+func chhash_driver_insert() {
+entry:
+  h = alloc pmem chhash_t
+  call chhash_insert(h)
+  ret
+}
+
+func chhash_driver_expand() {
+entry:
+  h = alloc pmem chhash_t
+  call chhash_expand(h)
+  ret
+}
+
+func chhash_driver_all() {
+entry:
+  call chhash_driver_insert()
+  call chhash_driver_expand()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct chhash_t { size: int, count: int }
+
+func chhash_insert(h: ptr chhash_t) {
+entry:
+  epoch_begin
+  tx_begin
+  tx_add exact h->size
+  store h->size, 5
+  store h->count, 1
+  flush exact h->count
+  fence
+  tx_end
+  epoch_end
+  ret
+}
+
+func chhash_driver_all() {
+entry:
+  h = alloc pmem chhash_t
+  call chhash_insert(h)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:ps ~file:"chhash.c" ~line:185 ~is_new:true ~years:10.0
+          ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
+          "Multiple writes to the same object in a transaction (bucket \
+           counter persisted twice)";
+        exp ~rule:ps ~file:"chhash.c" ~line:270 ~is_new:true ~years:10.0
+          ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
+          "Multiple writes to the same object in a transaction";
+      ];
+  }
+
+let chash =
+  {
+    name = "chash";
+    framework = Mnemosyne;
+    description =
+      "Chained hash table: the capacity field is flushed again after the \
+       rehash already wrote it back";
+    entry = "chash_driver";
+    entry_args = [];
+    roots = [ "chash_driver" ];
+    source =
+      {|
+struct chash_tbl { cap: int, buckets: int }
+
+func chash_rehash(tbl: ptr chash_tbl) {
+entry:
+  epoch_begin                    @ CHash.c:142
+  store tbl->cap, 8              @ CHash.c:146
+  flush exact tbl->cap           @ CHash.c:147
+  fence                          @ CHash.c:148
+  q = tbl + 0
+  flush exact q->cap             @ CHash.c:150
+  fence                          @ CHash.c:151
+  epoch_end                      @ CHash.c:153
+  ret
+}
+
+func chash_driver() {
+entry:
+  t = alloc pmem chash_tbl
+  call chash_rehash(t)
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct chash_tbl { cap: int, buckets: int }
+
+func chash_rehash(tbl: ptr chash_tbl) {
+entry:
+  epoch_begin
+  store tbl->cap, 8
+  flush exact tbl->cap
+  fence
+  epoch_end
+  ret
+}
+
+func chash_driver() {
+entry:
+  t = alloc pmem chash_tbl
+  call chash_rehash(t)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:mf ~file:"CHash.c" ~line:150 ~is_new:true ~years:10.0
+          ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
+          "Multiple flushes to a persistent object";
+      ];
+  }
+
+let programs = [ phlog_base; chhash; chash ]

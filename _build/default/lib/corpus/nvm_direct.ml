@@ -1,0 +1,415 @@
+(* NVM-Direct corpus (strict persistency): library slices of
+   nvm_region.c, nvm_heap.c and nvm_locks.c, including Figure 3 (missing
+   persist barrier after a region flush), Figure 6 (redundant flush
+   across caller/callee) and Figure 9 / Figure 10 (the nvm_lock function
+   whose new_level update is never flushed). *)
+
+open Types
+
+let w = Analysis.Warning.Unflushed_write
+let mb = Analysis.Warning.Missing_persist_barrier
+let mf = Analysis.Warning.Multiple_flushes
+let fu = Analysis.Warning.Flush_unmodified
+let dt = Analysis.Warning.Durable_tx_no_writes
+
+let nvm_region =
+  {
+    name = "nvm_region";
+    framework = Nvm_direct;
+    description =
+      "Region management (Fig. 3): the freshly-initialized region is \
+       flushed but not fenced before the next transaction begins";
+    entry = "nvm_region_driver_all";
+    entry_args = [];
+    roots = [ "nvm_region_driver_create"; "nvm_region_driver_attach" ];
+    source =
+      {|
+struct nvm_region_t { state: int, vsize: int }
+
+# Figure 3: nvm_create_region flushes the region header and immediately
+# begins a transaction with no intervening persist barrier.
+func nvm_create_region(region: ptr nvm_region_t) {
+entry:
+  store region->state, 1         @ nvm_region.c:609
+  store region->vsize, 0         @ nvm_region.c:610
+  flush object region            @ nvm_region.c:614
+  tx_begin                       @ nvm_region.c:618
+  tx_add exact region->vsize     @ nvm_region.c:619
+  store region->vsize, 64        @ nvm_region.c:620
+  tx_end                         @ nvm_region.c:622
+  ret
+}
+
+func nvm_attach_region(region: ptr nvm_region_t) {
+entry:
+  store region->state, 2         @ nvm_region.c:928
+  store region->vsize, 0         @ nvm_region.c:929
+  flush object region            @ nvm_region.c:933
+  tx_begin                       @ nvm_region.c:937
+  tx_add exact region->vsize     @ nvm_region.c:938
+  store region->vsize, 128       @ nvm_region.c:939
+  tx_end                         @ nvm_region.c:941
+  ret
+}
+
+func nvm_region_driver_create() {
+entry:
+  r = alloc pmem nvm_region_t
+  call nvm_create_region(r)
+  ret
+}
+
+func nvm_region_driver_attach() {
+entry:
+  r = alloc pmem nvm_region_t
+  call nvm_attach_region(r)
+  ret
+}
+
+func nvm_region_driver_all() {
+entry:
+  call nvm_region_driver_create()
+  call nvm_region_driver_attach()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct nvm_region_t { state: int, vsize: int }
+
+func nvm_create_region(region: ptr nvm_region_t) {
+entry:
+  store region->state, 1
+  store region->vsize, 0
+  flush object region
+  fence
+  tx_begin
+  tx_add exact region->vsize
+  store region->vsize, 64
+  tx_end
+  ret
+}
+
+func nvm_region_driver_all() {
+entry:
+  r = alloc pmem nvm_region_t
+  call nvm_create_region(r)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:mb ~file:"nvm_region.c" ~line:614 ~kind:Deepmc.Report.Lib
+          "Missing persist barrier between epoch transactions (Fig. 3)";
+        exp ~rule:mb ~file:"nvm_region.c" ~line:933 ~kind:Deepmc.Report.Lib
+          "Missing persist barrier between epoch transactions";
+      ];
+  }
+
+let nvm_heap =
+  {
+    name = "nvm_heap";
+    framework = Nvm_direct;
+    description =
+      "Heap management: Fig. 6 redundant write-back across caller and \
+       callee, a flush of never-modified free-list metadata, and a \
+       benign flush the static analysis cannot prove covered";
+    entry = "nvm_heap_driver_all";
+    entry_args = [];
+    roots =
+      [ "nvm_heap_driver_free"; "nvm_heap_driver_init"; "nvm_heap_driver_repair" ];
+    source =
+      {|
+struct nvm_blk { state: int, next: int }
+struct nvm_heap_t { free: int, size: int }
+
+# Figure 6: nvm_free_blk flushes the block; nvm_free_callback flushes
+# the same block again with no intervening modification.
+func nvm_free_blk(blk: ptr nvm_blk) {
+entry:
+  store blk->state, 0            @ nvm_heap.c:1950
+  flush exact blk->state         @ nvm_heap.c:1952
+  fence                          @ nvm_heap.c:1953
+  ret
+}
+
+func nvm_free_callback(blk: ptr nvm_blk) {
+entry:
+  call nvm_free_blk(blk)
+  flush exact blk->state         @ nvm_heap.c:1965
+  fence                          @ nvm_heap.c:1966
+  ret
+}
+
+# New bug (Table 8): the free pointer is written back although nothing
+# modified it.
+func nvm_heap_init(heap: ptr nvm_heap_t) {
+entry:
+  flush exact heap->free         @ nvm_heap.c:1675
+  fence                          @ nvm_heap.c:1676
+  ret
+}
+
+# False positive (Section 5.4): the size field is modified through
+# pointer arithmetic the static analysis cannot resolve, so the flush
+# looks like a write-back of unmodified data.
+func nvm_heap_repair(heap: ptr nvm_heap_t) {
+entry:
+  q = heap + 0
+  store q->size, 1               @ nvm_heap.c:1698
+  flush exact heap->size         @ nvm_heap.c:1700
+  fence                          @ nvm_heap.c:1701
+  ret
+}
+
+func nvm_heap_driver_free() {
+entry:
+  blk = alloc pmem nvm_blk
+  call nvm_free_callback(blk)
+  ret
+}
+
+func nvm_heap_driver_init() {
+entry:
+  h = alloc pmem nvm_heap_t
+  call nvm_heap_init(h)
+  ret
+}
+
+func nvm_heap_driver_repair() {
+entry:
+  h = alloc pmem nvm_heap_t
+  call nvm_heap_repair(h)
+  ret
+}
+
+func nvm_heap_driver_all() {
+entry:
+  call nvm_heap_driver_free()
+  call nvm_heap_driver_init()
+  call nvm_heap_driver_repair()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct nvm_blk { state: int, next: int }
+struct nvm_heap_t { free: int, size: int }
+
+func nvm_free_blk(blk: ptr nvm_blk) {
+entry:
+  store blk->state, 0
+  flush exact blk->state
+  fence
+  ret
+}
+
+func nvm_free_callback(blk: ptr nvm_blk) {
+entry:
+  call nvm_free_blk(blk)
+  ret
+}
+
+func nvm_heap_init(heap: ptr nvm_heap_t) {
+entry:
+  ret
+}
+
+func nvm_heap_driver_all() {
+entry:
+  blk = alloc pmem nvm_blk
+  call nvm_free_callback(blk)
+  h = alloc pmem nvm_heap_t
+  call nvm_heap_init(h)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:mf ~file:"nvm_heap.c" ~line:1965 ~kind:Deepmc.Report.Lib
+          "Redundant flushes of persistent object (Fig. 6, across \
+           caller/callee)";
+        exp ~rule:fu ~file:"nvm_heap.c" ~line:1675 ~is_new:true ~years:5.3
+          ~kind:Deepmc.Report.Lib
+          "Flushing unmodified fields of an object";
+        exp ~rule:fu ~file:"nvm_heap.c" ~line:1700 ~validated:false
+          ~kind:Deepmc.Report.Lib
+          "Benign: covered by a pointer-arithmetic write the static \
+           analysis cannot see";
+      ];
+  }
+
+let nvm_locks =
+  {
+    name = "nvm_locks";
+    framework = Nvm_direct;
+    description =
+      "Lock records (Fig. 9/10): new_level update never flushed, an \
+       empty durable transaction, a whole-record persist after a \
+       single-field update, and a benign empty-looking persist";
+    entry = "nvm_locks_driver_all";
+    entry_args = [];
+    roots =
+      [
+        "nvm_locks_driver_lock";
+        "nvm_locks_driver_unlock";
+        "nvm_locks_driver_release";
+        "nvm_locks_driver_upgrade";
+      ];
+    source =
+      {|
+struct nvm_lkrec { state: int, new_level: int, owner: int }
+struct nvm_amutex { owners: int, level: int, waiters: int }
+
+# Figure 9: the conditional update of lk->new_level at line 932 is never
+# made durable; DeepMC reports it when the fence at 936 arrives with
+# only lk->state flushed (Fig. 10 walks the DSG for this function).
+func nvm_lock(omutex: ptr nvm_amutex) {
+entry:
+  mutex = omutex
+  lk = alloc pmem nvm_lkrec      @ nvm_locks.c:920
+  store lk->state, 1             @ nvm_locks.c:922
+  persist exact lk->state        @ nvm_locks.c:923
+  store mutex->owners, 0         @ nvm_locks.c:925
+  persist exact mutex->owners    @ nvm_locks.c:926
+  lvl = load mutex->level
+  nl = load lk->new_level
+  c = lvl > nl
+  br c, raise_level, done
+raise_level:
+  store lk->new_level, 2         @ nvm_locks.c:932
+  br done
+done:
+  store lk->state, 3             @ nvm_locks.c:935
+  persist exact lk->state        @ nvm_locks.c:936
+  ret
+}
+
+# New bug (Table 8): the unlock path opens a durable transaction that
+# performs no persistent write.
+func nvm_unlock(mutex: ptr nvm_amutex) {
+entry:
+  tx_begin                       @ nvm_locks.c:905
+  tx_end                         @ nvm_locks.c:907
+  ret
+}
+
+# New bug (Table 8): the whole lock record is persisted although only
+# the owner field changed.
+func nvm_release(lk: ptr nvm_lkrec) {
+entry:
+  store lk->owner, 0             @ nvm_locks.c:1409
+  persist object lk              @ nvm_locks.c:1411
+  ret
+}
+
+# False positive (Section 5.4): the owners field is updated through a
+# compatibility shim using pointer arithmetic, invisible statically.
+func nvm_lock_upgrade(mutex: ptr nvm_amutex) {
+entry:
+  q = mutex + 0
+  store q->owners, 1             @ nvm_locks.c:908
+  persist object mutex           @ nvm_locks.c:910
+  ret
+}
+
+func nvm_locks_driver_lock() {
+entry:
+  m = alloc pmem nvm_amutex
+  call nvm_lock(m)
+  ret
+}
+
+func nvm_locks_driver_unlock() {
+entry:
+  m = alloc pmem nvm_amutex
+  call nvm_unlock(m)
+  ret
+}
+
+func nvm_locks_driver_release() {
+entry:
+  lk = alloc pmem nvm_lkrec
+  call nvm_release(lk)
+  ret
+}
+
+func nvm_locks_driver_upgrade() {
+entry:
+  m = alloc pmem nvm_amutex
+  call nvm_lock_upgrade(m)
+  ret
+}
+
+func nvm_locks_driver_all() {
+entry:
+  call nvm_locks_driver_lock()
+  call nvm_locks_driver_unlock()
+  call nvm_locks_driver_release()
+  call nvm_locks_driver_upgrade()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct nvm_lkrec { state: int, new_level: int, owner: int }
+struct nvm_amutex { owners: int, level: int, waiters: int }
+
+func nvm_lock(omutex: ptr nvm_amutex) {
+entry:
+  mutex = omutex
+  lk = alloc pmem nvm_lkrec
+  store lk->state, 1
+  persist exact lk->state
+  store mutex->owners, 0
+  persist exact mutex->owners
+  lvl = load mutex->level
+  nl = load lk->new_level
+  c = lvl > nl
+  br c, raise_level, done
+raise_level:
+  store lk->new_level, 2
+  persist exact lk->new_level
+  br done
+done:
+  store lk->state, 3
+  persist exact lk->state
+  ret
+}
+
+func nvm_release(lk: ptr nvm_lkrec) {
+entry:
+  store lk->owner, 0
+  persist exact lk->owner
+  ret
+}
+
+func nvm_locks_driver_all() {
+entry:
+  m = alloc pmem nvm_amutex
+  call nvm_lock(m)
+  lk = alloc pmem nvm_lkrec
+  call nvm_release(lk)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:w ~file:"nvm_locks.c" ~line:932 ~is_new:true ~years:5.3
+          ~kind:Deepmc.Report.Lib "Missing flush (Fig. 9 nvm_lock)";
+        exp ~rule:dt ~file:"nvm_locks.c" ~line:905 ~is_new:true ~years:5.3
+          ~kind:Deepmc.Report.Lib
+          "Durable transaction without persistent writes";
+        exp ~rule:fu ~file:"nvm_locks.c" ~line:1411 ~is_new:true ~years:5.3
+          ~kind:Deepmc.Report.Lib "Flushing unmodified fields of an object";
+        exp ~rule:dt ~file:"nvm_locks.c" ~line:910 ~validated:false
+          ~kind:Deepmc.Report.Lib
+          "Benign: persist covers a shim write the static analysis cannot \
+           see";
+      ];
+  }
+
+let programs = [ nvm_region; nvm_heap; nvm_locks ]

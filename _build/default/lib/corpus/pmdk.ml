@@ -1,0 +1,1003 @@
+(* PMDK corpus (strict persistency): the example programs and library
+   slices of Tables 3 and 8 — btree_map, rbtree_map, pminvaders,
+   hashmap, hashmap_atomic, obj_pmemlog and obj_pmemlog_simple — with
+   the studied and newly-detected bugs at the paper's line numbers.
+
+   Each program has one driver per buggy function so the analysis roots
+   stay independent (the paper analyzes each example program
+   separately). *)
+
+open Types
+
+let w = Analysis.Warning.Unflushed_write
+let mb = Analysis.Warning.Missing_persist_barrier
+let sm = Analysis.Warning.Semantic_mismatch
+let mf = Analysis.Warning.Multiple_flushes
+let fu = Analysis.Warning.Flush_unmodified
+let ps = Analysis.Warning.Persist_same_object_in_tx
+let dt = Analysis.Warning.Durable_tx_no_writes
+
+(* ------------------------------------------------------------------ *)
+(* btree_map: Figure 2 (unflushed write in a transaction), plus the new
+   flushing-unmodified-fields bugs of Table 8, plus the symbolic-index
+   false positive of §5.4. *)
+
+let btree_map =
+  {
+    name = "btree_map";
+    roots = [ "btree_driver_split"; "btree_driver_insert"; "btree_driver_rotate"; "btree_driver_clear" ];
+    framework = Pmdk;
+    description =
+      "B-tree map example: node split modifies an item without logging \
+       it (Fig. 2); insert/rotate persist whole nodes after single-field \
+       updates";
+    entry = "btree_driver_all";
+    entry_args = [];
+    source =
+      {|
+struct tree_map_node { n: int, items: int[8], slots: int[8] }
+
+# Figure 2: executed inside a transaction; [node] is never TX_ADDed, so
+# the item update at line 201 is unlogged and not durable.
+func btree_map_create_split_node(node: ptr tree_map_node, m: ptr tree_map_node) {
+entry:
+  tx_add exact m->n              @ btree_map.c:195
+  c = load node->n
+  cm1 = c - 1
+  store node->items[cm1], 0      @ btree_map.c:201
+  store m->n, 5                  @ btree_map.c:203
+  ret
+}
+
+# New bug (Table 8): the whole node is persisted although only one of
+# its three fields was modified.
+func btree_map_insert_item(node: ptr tree_map_node) {
+entry:
+  store node->n, 7               @ btree_map.c:360
+  persist object node            @ btree_map.c:365
+  ret
+}
+
+func btree_map_rotate(node: ptr tree_map_node) {
+entry:
+  store node->n, 9               @ btree_map.c:460
+  persist object node            @ btree_map.c:465
+  ret
+}
+
+# False positive (Section 5.4): d equals c at runtime, so the flush at
+# 217 covers the write at 215, but symbolic-index disambiguation cannot
+# prove it.
+func btree_map_clear_item(node: ptr tree_map_node, c: int) {
+entry:
+  d = c + 0
+  store node->items[c], 0        @ btree_map.c:215
+  persist exact node->items[d]   @ btree_map.c:217
+  ret
+}
+
+func btree_driver_split() {
+entry:
+  node = alloc pmem tree_map_node
+  m = alloc pmem tree_map_node
+  store node->n, 4               @ btree_driver.c:10
+  persist exact node->n          @ btree_driver.c:11
+  tx_begin                       @ btree_driver.c:12
+  call btree_map_create_split_node(node, m)
+  tx_end                         @ btree_driver.c:14
+  ret
+}
+
+func btree_driver_insert() {
+entry:
+  node = alloc pmem tree_map_node
+  call btree_map_insert_item(node)
+  ret
+}
+
+func btree_driver_rotate() {
+entry:
+  node = alloc pmem tree_map_node
+  call btree_map_rotate(node)
+  ret
+}
+
+func btree_driver_clear() {
+entry:
+  node = alloc pmem tree_map_node
+  call btree_map_clear_item(node, 2)
+  ret
+}
+
+func btree_driver_all() {
+entry:
+  call btree_driver_split()
+  call btree_driver_insert()
+  call btree_driver_rotate()
+  call btree_driver_clear()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct tree_map_node { n: int, items: int[8], slots: int[8] }
+
+func btree_map_create_split_node(node: ptr tree_map_node, m: ptr tree_map_node) {
+entry:
+  tx_add exact m->n
+  c = load node->n
+  cm1 = c - 1
+  tx_add exact node->items[cm1]
+  store node->items[cm1], 0
+  store m->n, 5
+  ret
+}
+
+func btree_map_insert_item(node: ptr tree_map_node) {
+entry:
+  store node->n, 7
+  persist exact node->n
+  ret
+}
+
+func btree_map_rotate(node: ptr tree_map_node) {
+entry:
+  store node->n, 9
+  persist exact node->n
+  ret
+}
+
+func btree_map_clear_item(node: ptr tree_map_node, c: int) {
+entry:
+  store node->items[c], 0
+  persist exact node->items[c]
+  ret
+}
+
+func btree_driver_all() {
+entry:
+  node = alloc pmem tree_map_node
+  m = alloc pmem tree_map_node
+  store node->n, 4
+  persist exact node->n
+  tx_begin
+  call btree_map_create_split_node(node, m)
+  tx_end
+  n2 = alloc pmem tree_map_node
+  call btree_map_insert_item(n2)
+  n3 = alloc pmem tree_map_node
+  call btree_map_rotate(n3)
+  n4 = alloc pmem tree_map_node
+  call btree_map_clear_item(n4, 2)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:w ~file:"btree_map.c" ~line:201
+          "Modify tree node without making it durable (unlogged write in \
+           transaction)";
+        exp ~rule:w ~file:"btree_map.c" ~line:215 ~validated:false
+          "Benign: flushed through an equal symbolic index the static \
+           analysis cannot resolve";
+        exp ~rule:fu ~file:"btree_map.c" ~line:365 ~is_new:true ~years:4.4
+          "Flushing unmodified fields of tree node";
+        exp ~rule:fu ~file:"btree_map.c" ~line:465 ~is_new:true ~years:4.4
+          "Flushing unmodified fields of tree node";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rbtree_map *)
+
+let rbtree_map =
+  {
+    name = "rbtree_map";
+    roots = [ "rbtree_driver_insert"; "rbtree_driver_recolor"; "rbtree_driver_rotate"; "rbtree_driver_darken"; "rbtree_driver_update" ];
+    framework = Pmdk;
+    description =
+      "Red-black tree map example: missing barrier before a transaction, \
+       double logging, redundant flushes, whole-node persists";
+    entry = "rbtree_driver_all";
+    entry_args = [];
+    source =
+      {|
+struct rb_node { color: int, parent: int, left: int }
+
+# Studied bug: the flushed recoloring is not fenced before the next
+# transaction begins.
+func rbtree_map_insert(node: ptr rb_node) {
+entry:
+  store node->color, 1           @ rbtree_map.c:375
+  flush exact node->color        @ rbtree_map.c:379
+  tx_begin                       @ rbtree_map.c:383
+  tx_add exact node->parent      @ rbtree_map.c:384
+  store node->parent, 2          @ rbtree_map.c:385
+  tx_end                         @ rbtree_map.c:386
+  ret
+}
+
+# Studied bug: the node is logged into the transaction twice.
+func rbtree_map_recolor(x: ptr rb_node) {
+entry:
+  tx_begin                       @ rbtree_map.c:193
+  tx_add exact x->color          @ rbtree_map.c:195
+  store x->color, 1              @ rbtree_map.c:196
+  tx_add exact x->color          @ rbtree_map.c:197
+  store x->color, 0              @ rbtree_map.c:198
+  tx_end                         @ rbtree_map.c:199
+  ret
+}
+
+# Studied bug: the parent pointer is persisted twice with no
+# modification in between.
+func rbtree_map_rotate_right(y: ptr rb_node) {
+entry:
+  store y->parent, 3             @ rbtree_map.c:228
+  persist exact y->parent        @ rbtree_map.c:229
+  persist exact y->parent        @ rbtree_map.c:231
+  ret
+}
+
+# New bug (Table 8): whole node flushed after a single-field update.
+func rbtree_map_darken(z: ptr rb_node) {
+entry:
+  store z->color, 1              @ rbtree_map.c:257
+  persist object z               @ rbtree_map.c:259
+  ret
+}
+
+# False positive (Section 5.4): the second persist covers a write made
+# through pointer arithmetic the static analysis cannot track.
+func rbtree_map_update(v: ptr rb_node) {
+entry:
+  store v->color, 1              @ rbtree_map.c:237
+  persist exact v->color         @ rbtree_map.c:238
+  q = v + 0
+  store q->color, 2              @ rbtree_map.c:239
+  persist exact v->color         @ rbtree_map.c:240
+  ret
+}
+
+func rbtree_driver_insert() {
+entry:
+  n = alloc pmem rb_node
+  call rbtree_map_insert(n)
+  ret
+}
+
+func rbtree_driver_recolor() {
+entry:
+  n = alloc pmem rb_node
+  call rbtree_map_recolor(n)
+  ret
+}
+
+func rbtree_driver_rotate() {
+entry:
+  n = alloc pmem rb_node
+  call rbtree_map_rotate_right(n)
+  ret
+}
+
+func rbtree_driver_darken() {
+entry:
+  n = alloc pmem rb_node
+  call rbtree_map_darken(n)
+  ret
+}
+
+func rbtree_driver_update() {
+entry:
+  n = alloc pmem rb_node
+  call rbtree_map_update(n)
+  ret
+}
+
+func rbtree_driver_all() {
+entry:
+  call rbtree_driver_insert()
+  call rbtree_driver_recolor()
+  call rbtree_driver_rotate()
+  call rbtree_driver_darken()
+  call rbtree_driver_update()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct rb_node { color: int, parent: int, left: int }
+
+func rbtree_map_insert(node: ptr rb_node) {
+entry:
+  store node->color, 1
+  flush exact node->color
+  fence
+  tx_begin
+  tx_add exact node->parent
+  store node->parent, 2
+  tx_end
+  ret
+}
+
+func rbtree_map_recolor(x: ptr rb_node) {
+entry:
+  tx_begin
+  tx_add exact x->color
+  store x->color, 1
+  store x->color, 0
+  tx_end
+  ret
+}
+
+func rbtree_map_rotate_right(y: ptr rb_node) {
+entry:
+  store y->parent, 3
+  persist exact y->parent
+  ret
+}
+
+func rbtree_map_darken(z: ptr rb_node) {
+entry:
+  store z->color, 1
+  persist exact z->color
+  ret
+}
+
+func rbtree_map_update(v: ptr rb_node) {
+entry:
+  store v->color, 1
+  persist exact v->color
+  q = v + 0
+  store q->color, 2
+  persist exact v->color
+  ret
+}
+
+func rbtree_driver_all() {
+entry:
+  a = alloc pmem rb_node
+  call rbtree_map_insert(a)
+  b = alloc pmem rb_node
+  call rbtree_map_recolor(b)
+  c = alloc pmem rb_node
+  call rbtree_map_rotate_right(c)
+  d = alloc pmem rb_node
+  call rbtree_map_darken(d)
+  e = alloc pmem rb_node
+  call rbtree_map_update(e)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:mb ~file:"rbtree_map.c" ~line:379
+          "Modified object not made durable before the next transaction \
+           (missing persist barrier)";
+        exp ~rule:ps ~file:"rbtree_map.c" ~line:197
+          "Log unmodified fields of a tree node (node logged twice in one \
+           transaction)";
+        exp ~rule:mf ~file:"rbtree_map.c" ~line:231
+          "Redundant flush of the parent pointer";
+        exp ~rule:fu ~file:"rbtree_map.c" ~line:259 ~is_new:true ~years:4.4
+          "Flushing unmodified fields of tree node";
+        exp ~rule:mf ~file:"rbtree_map.c" ~line:240 ~validated:false
+          "Benign: second persist covers a pointer-arithmetic write the \
+           static analysis cannot see";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* pminvaders: Figure 7 (durable transaction without persistent writes)
+   and redundant flushes. *)
+
+let pminvaders_proc name file lines struct_name =
+  let l1, l2, l3, lp = lines in
+  Fmt.str
+    {|
+func %s(it: ptr %s) {
+entry:
+  t = load it->timer
+  c = t == 0
+  br c, update, skip
+update:
+  store it->timer, 100           @@ %s:%d
+  store it->y, 1                 @@ %s:%d
+  store it->x, 2                 @@ %s:%d
+  br skip
+skip:
+  persist object it              @@ %s:%d
+  ret
+}
+|}
+    name struct_name file l1 file l2 file l3 file lp
+
+let pminvaders =
+  let f = "pminvaders.c" in
+  {
+    name = "pminvaders";
+    roots = [ "pminvaders_driver_aliens"; "pminvaders_driver_bullets"; "pminvaders_driver_player"; "pminvaders_driver_stars"; "pminvaders_driver_frame"; "pminvaders_driver_draw"; "pminvaders_driver_score" ];
+    framework = Pmdk;
+    description =
+      "PM-Invaders game example: objects persisted on paths where nothing \
+       was modified (Fig. 7) and sprites flushed twice per frame";
+    entry = "pminvaders_driver_all";
+    entry_args = [];
+    source =
+      String.concat ""
+        [
+          "\nstruct alien { timer: int, y: int, x: int }\n";
+          pminvaders_proc "process_aliens" f (252, 253, 254, 256) "alien";
+          pminvaders_proc "process_bullets" f (297, 298, 299, 301) "alien";
+          pminvaders_proc "process_player" f (245, 246, 247, 249) "alien";
+          pminvaders_proc "update_stars" f (262, 263, 264, 266) "alien";
+          pminvaders_proc "draw_frame" f (347, 348, 349, 351) "alien";
+          {|
+func draw_alien(a: ptr alien) {
+entry:
+  store a->x, 5                  @ pminvaders.c:140
+  persist exact a->x             @ pminvaders.c:141
+  persist exact a->x             @ pminvaders.c:143
+  ret
+}
+
+func update_score(s: ptr alien) {
+entry:
+  store s->y, 1                  @ pminvaders.c:244
+  persist exact s->y             @ pminvaders.c:245
+  persist exact s->y             @ pminvaders.c:246
+  ret
+}
+
+func pminvaders_driver_aliens() {
+entry:
+  a = alloc pmem alien
+  call process_aliens(a)
+  ret
+}
+
+func pminvaders_driver_bullets() {
+entry:
+  a = alloc pmem alien
+  call process_bullets(a)
+  ret
+}
+
+func pminvaders_driver_player() {
+entry:
+  a = alloc pmem alien
+  call process_player(a)
+  ret
+}
+
+func pminvaders_driver_stars() {
+entry:
+  a = alloc pmem alien
+  call update_stars(a)
+  ret
+}
+
+func pminvaders_driver_frame() {
+entry:
+  a = alloc pmem alien
+  call draw_frame(a)
+  ret
+}
+
+func pminvaders_driver_draw() {
+entry:
+  a = alloc pmem alien
+  call draw_alien(a)
+  ret
+}
+
+func pminvaders_driver_score() {
+entry:
+  a = alloc pmem alien
+  call update_score(a)
+  ret
+}
+
+func pminvaders_driver_all() {
+entry:
+  call pminvaders_driver_aliens()
+  call pminvaders_driver_bullets()
+  call pminvaders_driver_player()
+  call pminvaders_driver_stars()
+  call pminvaders_driver_frame()
+  call pminvaders_driver_draw()
+  call pminvaders_driver_score()
+  ret
+}
+|};
+        ];
+    fixed_source =
+      Some
+        {|
+struct alien { timer: int, y: int, x: int }
+
+func process_aliens(it: ptr alien) {
+entry:
+  t = load it->timer
+  c = t == 0
+  br c, update, skip
+update:
+  store it->timer, 100
+  store it->y, 1
+  store it->x, 2
+  persist object it
+  br skip
+skip:
+  ret
+}
+
+func draw_alien(a: ptr alien) {
+entry:
+  store a->x, 5
+  persist exact a->x
+  ret
+}
+
+func update_score(s: ptr alien) {
+entry:
+  store s->y, 1
+  persist exact s->y
+  ret
+}
+
+func pminvaders_driver_all() {
+entry:
+  a = alloc pmem alien
+  call process_aliens(a)
+  b = alloc pmem alien
+  call draw_alien(b)
+  c = alloc pmem alien
+  call update_score(c)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:dt ~file:f ~line:256
+          "Durable transaction without persistent writes (Fig. 7)";
+        exp ~rule:dt ~file:f ~line:301
+          "Durable transaction without persistent writes";
+        exp ~rule:dt ~file:f ~line:249 ~is_new:true ~years:4.4
+          "Durable transaction without persistent writes";
+        exp ~rule:dt ~file:f ~line:266 ~is_new:true ~years:4.4
+          "Durable transaction without persistent writes";
+        exp ~rule:dt ~file:f ~line:351 ~is_new:true ~years:4.4
+          "Durable transaction without persistent writes";
+        exp ~rule:mf ~file:f ~line:143 "Flush unmodified fields of an object \
+                                        (sprite flushed twice)";
+        exp ~rule:mf ~file:f ~line:246 "Flush unmodified fields of an object \
+                                        (score flushed twice)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* hashmap (Figure 1): semantic gap — the bucket array and the bucket
+   count are persisted in separate persist units although the program
+   expects the initialization to be atomic. *)
+
+let hashmap =
+  {
+    name = "hashmap";
+    roots = [ "hashmap_driver_create"; "hashmap_driver_rebuild" ];
+    framework = Pmdk;
+    description =
+      "Hashmap example of Fig. 1: nbuckets and the bucket array persist \
+       in separate units; a crash between them leaves the map \
+       inconsistent";
+    entry = "hashmap_driver_all";
+    entry_args = [];
+    source =
+      {|
+struct hashmap { nbuckets: int, buckets: int[16], seed: int }
+
+func hashmap_create(h: ptr hashmap) {
+entry:
+  store h->buckets[0], 0         @ hash_map.c:116
+  persist exact h->buckets[0]    @ hash_map.c:117
+  store h->nbuckets, 16          @ hash_map.c:120
+  persist exact h->nbuckets      @ hash_map.c:121
+  ret
+}
+
+func hashmap_rebuild(h: ptr hashmap) {
+entry:
+  store h->buckets[1], 0         @ hash_map.c:262
+  persist exact h->buckets[1]    @ hash_map.c:263
+  store h->nbuckets, 32          @ hash_map.c:264
+  persist exact h->nbuckets      @ hash_map.c:265
+  ret
+}
+
+func hashmap_driver_create() {
+entry:
+  h = alloc pmem hashmap
+  call hashmap_create(h)
+  ret
+}
+
+func hashmap_driver_rebuild() {
+entry:
+  h = alloc pmem hashmap
+  call hashmap_rebuild(h)
+  ret
+}
+
+func hashmap_driver_all() {
+entry:
+  call hashmap_driver_create()
+  call hashmap_driver_rebuild()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct hashmap { nbuckets: int, buckets: int[16], seed: int }
+
+func hashmap_create(h: ptr hashmap) {
+entry:
+  tx_begin
+  tx_add exact h->buckets[0]
+  tx_add exact h->nbuckets
+  store h->buckets[0], 1
+  store h->nbuckets, 16
+  tx_end
+  ret
+}
+
+func hashmap_driver_all() {
+entry:
+  h = alloc pmem hashmap
+  call hashmap_create(h)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:sm ~file:"hash_map.c" ~line:120
+          "Multiple epochs writing to different fields of an object \
+           (Fig. 1 semantic gap)";
+        exp ~rule:sm ~file:"hash_map.c" ~line:264
+          "Multiple epochs writing to different fields of an object";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* hashmap_atomic: four new semantic-mismatch bugs plus one benign
+   counter-update pattern the conservative rule also flags. *)
+
+let hm_atomic_fn name file (l1, l2, l3, l4) fld1 fld2 =
+  Fmt.str
+    {|
+func %s(h: ptr hm_atomic) {
+entry:
+  store h->%s, 1                 @@ %s:%d
+  persist exact h->%s            @@ %s:%d
+  store h->%s, 2                 @@ %s:%d
+  persist exact h->%s            @@ %s:%d
+  ret
+}
+|}
+    name fld1 file l1 fld1 file l2 fld2 file l3 fld2 file l4
+
+let hashmap_atomic =
+  let f = "hashmap_atomic.c" in
+  {
+    name = "hashmap_atomic";
+    roots = [ "hm_atomic_driver_create"; "hm_atomic_driver_rebuild"; "hm_atomic_driver_insert"; "hm_atomic_driver_remove"; "hm_atomic_driver_stats" ];
+    framework = Pmdk;
+    description =
+      "Atomic hashmap example: logically-atomic multi-field updates \
+       split across persist units";
+    entry = "hm_atomic_driver_all";
+    entry_args = [];
+    source =
+      String.concat ""
+        [
+          "\n\
+           struct hm_atomic { nbuckets: int, count: int, seed: int, hits: \
+           int, misses: int }\n";
+          hm_atomic_fn "hm_atomic_create" f (118, 119, 120, 121) "count"
+            "nbuckets";
+          hm_atomic_fn "hm_atomic_rebuild" f (262, 263, 264, 265) "count"
+            "nbuckets";
+          hm_atomic_fn "hm_atomic_insert" f (283, 284, 285, 286) "nbuckets"
+            "count";
+          hm_atomic_fn "hm_atomic_remove" f (494, 495, 496, 497) "nbuckets"
+            "count";
+          (* benign: independent statistics counters *)
+          hm_atomic_fn "hm_atomic_stats" f (298, 299, 300, 301) "hits"
+            "misses";
+          {|
+func hm_atomic_driver_create() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_create(h)
+  ret
+}
+
+func hm_atomic_driver_rebuild() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_rebuild(h)
+  ret
+}
+
+func hm_atomic_driver_insert() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_insert(h)
+  ret
+}
+
+func hm_atomic_driver_remove() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_remove(h)
+  ret
+}
+
+func hm_atomic_driver_stats() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_stats(h)
+  ret
+}
+
+func hm_atomic_driver_all() {
+entry:
+  call hm_atomic_driver_create()
+  call hm_atomic_driver_rebuild()
+  call hm_atomic_driver_insert()
+  call hm_atomic_driver_remove()
+  call hm_atomic_driver_stats()
+  ret
+}
+|};
+        ];
+    fixed_source =
+      Some
+        {|
+struct hm_atomic { nbuckets: int, count: int, seed: int, hits: int, misses: int }
+
+# The fix the paper implies for the semantic gap: make the logically-
+# atomic multi-field update actually atomic with a transaction.
+func hm_atomic_create(h: ptr hm_atomic) {
+entry:
+  tx_begin
+  tx_add exact h->count
+  tx_add exact h->nbuckets
+  store h->count, 1
+  store h->nbuckets, 2
+  tx_end
+  ret
+}
+
+func hm_atomic_stats(h: ptr hm_atomic) {
+entry:
+  store h->hits, 1
+  persist exact h->hits
+  store h->misses, 2
+  persist exact h->misses
+  ret
+}
+
+func hm_atomic_driver_all() {
+entry:
+  h = alloc pmem hm_atomic
+  call hm_atomic_create(h)
+  h2 = alloc pmem hm_atomic
+  call hm_atomic_stats(h2)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:sm ~file:f ~line:120 ~is_new:true ~years:4.4
+          "Multiple epochs write to different fields of an object";
+        exp ~rule:sm ~file:f ~line:264 ~is_new:true ~years:4.4
+          "Multiple epochs write to different fields of an object";
+        exp ~rule:sm ~file:f ~line:285 ~is_new:true ~years:4.4
+          "Multiple epochs write to different fields of an object";
+        exp ~rule:sm ~file:f ~line:496 ~is_new:true ~years:4.4
+          "Multiple epochs write to different fields of an object";
+        exp ~rule:sm ~file:f ~line:300 ~validated:false
+          "Benign: hits/misses statistics counters are semantically \
+           independent";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* obj_pmemlog: missing persist barrier between a flush and the next
+   transaction (library code). *)
+
+let obj_pmemlog =
+  {
+    name = "obj_pmemlog";
+    roots = [ "pmemlog_driver" ];
+    framework = Pmdk;
+    description =
+      "pmemlog example (library slice): header flush not fenced before \
+       the append transaction begins";
+    entry = "pmemlog_driver";
+    entry_args = [];
+    source =
+      {|
+struct plog { len: int, tail: int }
+
+func pmemlog_append(log: ptr plog) {
+entry:
+  store log->len, 8              @ obj_pmemlog.c:89
+  flush exact log->len           @ obj_pmemlog.c:91
+  tx_begin                       @ obj_pmemlog.c:93
+  tx_add exact log->tail         @ obj_pmemlog.c:94
+  store log->tail, 1             @ obj_pmemlog.c:95
+  tx_end                         @ obj_pmemlog.c:97
+  ret
+}
+
+func pmemlog_driver() {
+entry:
+  log = alloc pmem plog
+  call pmemlog_append(log)
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct plog { len: int, tail: int }
+
+func pmemlog_append(log: ptr plog) {
+entry:
+  store log->len, 8
+  flush exact log->len
+  fence
+  tx_begin
+  tx_add exact log->tail
+  store log->tail, 1
+  tx_end
+  ret
+}
+
+func pmemlog_driver() {
+entry:
+  log = alloc pmem plog
+  call pmemlog_append(log)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:mb ~file:"obj_pmemlog.c" ~line:91 ~kind:Deepmc.Report.Lib
+          "Header flush not followed by a persist barrier before the next \
+           transaction";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* obj_pmemlog_simple: the same object logged twice within one
+   transaction (new bugs). *)
+
+let obj_pmemlog_simple =
+  let f = "obj_pmemlog_simple.c" in
+  {
+    name = "obj_pmemlog_simple";
+    roots = [ "pmemlog_simple_driver_append"; "pmemlog_simple_driver_truncate" ];
+    framework = Pmdk;
+    description =
+      "simple pmemlog variant: log header registered in the undo log \
+       twice per transaction";
+    entry = "pmemlog_simple_driver_all";
+    entry_args = [];
+    source =
+      {|
+struct plog_s { len: int, tail: int }
+
+func pmemlog_simple_append(log: ptr plog_s) {
+entry:
+  tx_begin                       @ obj_pmemlog_simple.c:203
+  tx_add exact log->len          @ obj_pmemlog_simple.c:205
+  store log->len, 4              @ obj_pmemlog_simple.c:206
+  tx_add exact log->len          @ obj_pmemlog_simple.c:207
+  store log->len, 5              @ obj_pmemlog_simple.c:208
+  tx_end                         @ obj_pmemlog_simple.c:210
+  ret
+}
+
+func pmemlog_simple_truncate(log: ptr plog_s) {
+entry:
+  tx_begin                       @ obj_pmemlog_simple.c:248
+  tx_add exact log->tail         @ obj_pmemlog_simple.c:250
+  store log->tail, 0             @ obj_pmemlog_simple.c:251
+  tx_add exact log->tail         @ obj_pmemlog_simple.c:252
+  store log->tail, 1             @ obj_pmemlog_simple.c:253
+  tx_end                         @ obj_pmemlog_simple.c:255
+  ret
+}
+
+func pmemlog_simple_driver_append() {
+entry:
+  log = alloc pmem plog_s
+  call pmemlog_simple_append(log)
+  ret
+}
+
+func pmemlog_simple_driver_truncate() {
+entry:
+  log = alloc pmem plog_s
+  call pmemlog_simple_truncate(log)
+  ret
+}
+
+func pmemlog_simple_driver_all() {
+entry:
+  call pmemlog_simple_driver_append()
+  call pmemlog_simple_driver_truncate()
+  ret
+}
+|};
+    fixed_source =
+      Some
+        {|
+struct plog_s { len: int, tail: int }
+
+func pmemlog_simple_append(log: ptr plog_s) {
+entry:
+  tx_begin
+  tx_add exact log->len
+  store log->len, 4
+  store log->len, 5
+  tx_end
+  ret
+}
+
+func pmemlog_simple_truncate(log: ptr plog_s) {
+entry:
+  tx_begin
+  tx_add exact log->tail
+  store log->tail, 0
+  store log->tail, 1
+  tx_end
+  ret
+}
+
+func pmemlog_simple_driver_all() {
+entry:
+  log = alloc pmem plog_s
+  call pmemlog_simple_append(log)
+  log2 = alloc pmem plog_s
+  call pmemlog_simple_truncate(log2)
+  ret
+}
+|};
+    expectations =
+      [
+        exp ~rule:ps ~file:f ~line:207 ~is_new:true ~years:4.4
+          ~kind:Deepmc.Report.Lib
+          "Multiple epochs write to different fields of an object (header \
+           logged twice per transaction)";
+        exp ~rule:ps ~file:f ~line:252 ~is_new:true ~years:4.4
+          ~kind:Deepmc.Report.Lib
+          "Multiple epochs write to different fields of an object (tail \
+           logged twice per transaction)";
+      ];
+  }
+
+let programs =
+  [
+    btree_map;
+    rbtree_map;
+    pminvaders;
+    hashmap;
+    hashmap_atomic;
+    obj_pmemlog;
+    obj_pmemlog_simple;
+  ]

@@ -1,0 +1,21 @@
+(** Synthetic NVM-program generator: well-formed, executable programs of
+    a requested size with correct strict-persistency discipline, and
+    optionally a known number of seeded defects. Used by the Table 9
+    bench (application-sized programs), the property-based tests, and
+    the scalability/recall ablations. Deterministic per seed. *)
+
+type config = {
+  seed : int;
+  nstructs : int;
+  nfuncs : int;
+  calls_per_func : int;
+  buggy_fraction_pct : int;  (** 0..100: fraction of defective workers *)
+}
+
+val default_config : config
+
+val generate : config -> Nvmir.Prog.t * int
+(** The program and the number of seeded defects. *)
+
+val roots : config -> string list
+(** The per-worker drivers, for static analysis. *)

@@ -1,0 +1,56 @@
+(* The corpus: IR re-implementations of the buggy NVM programs the paper
+   studies (Table 3) and the programs in which DeepMC found new bugs
+   (Table 8), with ground truth at the paper's file:line coordinates.
+
+   Each [program] is the persistency-relevant slice of one NVM program:
+   the buggy source, an optional fixed variant (used by the crash oracle
+   and the performance-fix benchmark), a driver entry point so the
+   dynamic checker can execute it, and the expected warnings. *)
+
+type framework = Pmdk | Pmfs | Nvm_direct | Mnemosyne
+
+let framework_name = function
+  | Pmdk -> "PMDK"
+  | Pmfs -> "PMFS"
+  | Nvm_direct -> "NVM-Direct"
+  | Mnemosyne -> "Mnemosyne"
+
+let framework_model = function
+  | Pmdk | Nvm_direct -> Analysis.Model.Strict
+  | Pmfs | Mnemosyne -> Analysis.Model.Epoch
+
+let all_frameworks = [ Pmdk; Nvm_direct; Pmfs; Mnemosyne ]
+
+(* How the paper's evaluation discovered a bug (§5.1: of the 24 new
+   bugs, 18 were found by the static checker and 6 dynamically). *)
+type discovery = Static_analysis | Dynamic_analysis
+
+type program = {
+  name : string;
+  framework : framework;
+  source : string; (* textual .nvmir *)
+  fixed_source : string option; (* corrected variant *)
+  entry : string; (* driver function for dynamic analysis *)
+  entry_args : int list;
+  roots : string list;
+      (* static-analysis roots: one driver per scenario, so traces of
+         independent code paths do not interleave *)
+  expectations : (Deepmc.Report.expectation * discovery) list;
+  description : string;
+}
+
+let model p = framework_model p.framework
+
+let parse p = Nvmir.Parser.parse ~file:(p.name ^ ".nvmir") p.source
+
+let parse_fixed p =
+  Option.map (Nvmir.Parser.parse ~file:(p.name ^ "_fixed.nvmir")) p.fixed_source
+
+let expectations p = List.map fst p.expectations
+
+let exp ?(validated = true) ?(is_new = false) ?(kind = Deepmc.Report.Example)
+    ?(years = 0.) ?(discovery = Static_analysis) ~rule ~file ~line description
+    =
+  ( Deepmc.Report.expectation ~validated ~is_new ~kind ~years ~rule ~file ~line
+      description,
+    discovery )

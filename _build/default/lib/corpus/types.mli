@@ -1,0 +1,49 @@
+(** The corpus: IR re-implementations of the buggy NVM programs of
+    Tables 3 and 8, with ground truth at the paper's file:line
+    coordinates, fixed variants, and runnable drivers. *)
+
+type framework = Pmdk | Pmfs | Nvm_direct | Mnemosyne
+
+val framework_name : framework -> string
+
+val framework_model : framework -> Analysis.Model.t
+(** PMDK and NVM-Direct implement strict persistency; PMFS and Mnemosyne
+    epoch persistency (§2.2). *)
+
+val all_frameworks : framework list
+
+(** How the evaluation discovered a bug (§5.1: 18 statically, 6
+    dynamically). *)
+type discovery = Static_analysis | Dynamic_analysis
+
+type program = {
+  name : string;
+  framework : framework;
+  source : string;  (** textual .nvmir *)
+  fixed_source : string option;  (** corrected variant *)
+  entry : string;  (** driver for the dynamic analysis *)
+  entry_args : int list;
+  roots : string list;
+      (** static-analysis roots: one driver per scenario, keeping
+          independent code paths' traces separate *)
+  expectations : (Deepmc.Report.expectation * discovery) list;
+  description : string;
+}
+
+val model : program -> Analysis.Model.t
+val parse : program -> Nvmir.Prog.t
+val parse_fixed : program -> Nvmir.Prog.t option
+val expectations : program -> Deepmc.Report.expectation list
+
+val exp :
+  ?validated:bool ->
+  ?is_new:bool ->
+  ?kind:Deepmc.Report.location_kind ->
+  ?years:float ->
+  ?discovery:discovery ->
+  rule:Analysis.Warning.rule_id ->
+  file:string ->
+  line:int ->
+  string ->
+  Deepmc.Report.expectation * discovery
+(** Ground-truth constructor used by the per-framework modules. *)

@@ -1,0 +1,1 @@
+lib/dsa/aaddr.ml: Fmt Option String

@@ -1,0 +1,1 @@
+lib/dsa/aaddr.mli: Fmt

@@ -1,0 +1,1 @@
+lib/dsa/arena.ml: Fmt Hashtbl List Nvmir

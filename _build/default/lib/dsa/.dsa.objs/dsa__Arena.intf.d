@@ -1,0 +1,1 @@
+lib/dsa/arena.mli: Fmt Nvmir

@@ -1,0 +1,1 @@
+lib/dsa/dsg.ml: Aaddr Arena Fmt Graphs Hashtbl Int List Nvmir Option String

@@ -1,0 +1,1 @@
+lib/dsa/dsg.mli: Aaddr Arena Fmt Nvmir

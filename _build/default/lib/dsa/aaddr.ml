@@ -1,0 +1,71 @@
+(* Abstract addresses: the result of resolving an IR place through the
+   DSG. The static checking rules of Tables 4 and 5 are phrased over
+   address equality/containment/overlap; those relations are decided
+   here, field- and index-sensitively. *)
+
+(* Array-index abstraction. Two distinct constants are disjoint; a
+   symbolic index conservatively overlaps everything (including other
+   symbolic indexes — they may be equal at runtime). *)
+type index = No_index | Const_index of int | Sym_index of string
+
+type t = {
+  node : int; (* canonical DSG node of the containing object *)
+  field : string option; (* None = the whole object *)
+  index : index;
+}
+
+let whole node = { node; field = None; index = No_index }
+let field node f = { node; field = Some f; index = No_index }
+
+let pp_index ppf = function
+  | No_index -> ()
+  | Const_index n -> Fmt.pf ppf "[%d]" n
+  | Sym_index v -> Fmt.pf ppf "[%s]" v
+
+let pp ppf t =
+  match t.field with
+  | None -> Fmt.pf ppf "n%d%a" t.node pp_index t.index
+  | Some f -> Fmt.pf ppf "n%d.%s%a" t.node f pp_index t.index
+
+let index_equal a b =
+  match (a, b) with
+  | No_index, No_index -> true
+  | Const_index x, Const_index y -> x = y
+  | Sym_index x, Sym_index y -> String.equal x y
+  | (No_index | Const_index _ | Sym_index _), _ -> false
+
+let index_may_equal a b =
+  match (a, b) with
+  | No_index, _ | _, No_index -> true
+  | Const_index x, Const_index y -> x = y
+  | Sym_index _, _ | _, Sym_index _ -> true
+
+(* Exact syntactic equality of abstract addresses. *)
+let equal a b =
+  a.node = b.node && Option.equal String.equal a.field b.field
+  && index_equal a.index b.index
+
+(* Same object? *)
+let same_object a b = a.node = b.node
+
+(* May the two addresses denote overlapping memory? Whole-object
+   addresses overlap every field of the same object. *)
+let may_overlap a b =
+  a.node = b.node
+  &&
+  match (a.field, b.field) with
+  | None, _ | _, None -> true
+  | Some f, Some g -> String.equal f g && index_may_equal a.index b.index
+
+(* Is [a] definitely contained in [b]? (b covers a). *)
+let contained_in a b =
+  a.node = b.node
+  &&
+  match (b.field, a.field) with
+  | None, _ -> true (* whole object covers any field *)
+  | Some g, Some f ->
+    String.equal f g
+    && (match (b.index, a.index) with
+       | No_index, _ -> true (* whole array covers any element *)
+       | bi, ai -> index_equal ai bi)
+  | Some _, None -> false

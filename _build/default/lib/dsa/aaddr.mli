@@ -1,0 +1,32 @@
+(** Abstract addresses: the result of resolving an IR place through the
+    DSG. The checking rules of Tables 4 and 5 are phrased over address
+    equality/containment/overlap, decided here field- and
+    index-sensitively. *)
+
+(** Array-index abstraction: distinct constants are disjoint; a symbolic
+    index conservatively overlaps everything. *)
+type index = No_index | Const_index of int | Sym_index of string
+
+type t = {
+  node : int;  (** canonical DSG node of the containing object *)
+  field : string option;  (** [None] = the whole object *)
+  index : index;
+}
+
+val whole : int -> t
+val field : int -> string -> t
+val pp : t Fmt.t
+val index_equal : index -> index -> bool
+val index_may_equal : index -> index -> bool
+
+val equal : t -> t -> bool
+(** Exact syntactic equality. *)
+
+val same_object : t -> t -> bool
+
+val may_overlap : t -> t -> bool
+(** May the two addresses denote overlapping memory? Whole-object
+    addresses overlap every field of the same object. *)
+
+val contained_in : t -> t -> bool
+(** [contained_in a b]: is [a] definitely covered by [b]? *)

@@ -1,0 +1,169 @@
+(* Node arena with union-find for the Data Structure Graph.
+
+   Each node abstracts one (set of) runtime object(s). Nodes are merged
+   Steensgaard-style when the analysis discovers they may be the same
+   object (assignments, call-boundary parameter binding). Merging unions
+   attribute flags, alloc sites, mod/ref field sets, and recursively
+   unifies points-to edges.
+
+   Field edges are keyed by field name ([Some f]) or by the anonymous
+   key [None] when field sensitivity is disabled — the ablation switch
+   the evaluation uses to show why field sensitivity matters. *)
+
+type field_key = string option
+
+type node = {
+  id : int;
+  mutable parent : int; (* union-find parent; self when canonical *)
+  mutable rank : int;
+  mutable ty : Nvmir.Ty.t option; (* pointee type, when known *)
+  mutable persistent : bool; (* allocated from / proven to be in NVM *)
+  mutable heap : bool; (* created at an allocation site *)
+  mutable unknown : bool; (* synthesized for unresolved pointers *)
+  mutable alloc_sites : (string * Nvmir.Loc.t) list;
+  mutable edges : (field_key * int) list; (* points-to, per field *)
+  mutable mod_fields : field_key list; (* fields written through this node *)
+  mutable ref_fields : field_key list; (* fields read through this node *)
+  mutable names : string list; (* variables known to point here, for dumps *)
+}
+
+type t = { nodes : (int, node) Hashtbl.t; mutable len : int }
+
+let create () = { nodes = Hashtbl.create 64; len = 0 }
+
+let node t id = Hashtbl.find t.nodes id
+
+let fresh t ?ty ?(persistent = false) ?(heap = false) ?(unknown = false) () =
+  let id = t.len in
+  let n =
+    {
+      id;
+      parent = id;
+      rank = 0;
+      ty;
+      persistent;
+      heap;
+      unknown;
+      alloc_sites = [];
+      edges = [];
+      mod_fields = [];
+      ref_fields = [];
+      names = [];
+    }
+  in
+  Hashtbl.replace t.nodes id n;
+  t.len <- t.len + 1;
+  id
+
+let rec find t id =
+  let n = node t id in
+  if n.parent = id then id
+  else begin
+    let root = find t n.parent in
+    n.parent <- root;
+    root
+  end
+
+let canonical t id = node t (find t id)
+
+let union_list a b =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) a b
+
+(* Unify two nodes, merging attributes and recursively unifying the
+   points-to targets of matching field edges. *)
+let rec unify t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let na = node t ra and nb = node t rb in
+    let winner, loser = if na.rank >= nb.rank then (na, nb) else (nb, na) in
+    loser.parent <- winner.id;
+    if winner.rank = loser.rank then winner.rank <- winner.rank + 1;
+    winner.ty <- (match winner.ty with None -> loser.ty | Some _ -> winner.ty);
+    winner.persistent <- winner.persistent || loser.persistent;
+    winner.heap <- winner.heap || loser.heap;
+    winner.unknown <- winner.unknown && loser.unknown;
+    winner.alloc_sites <- union_list winner.alloc_sites loser.alloc_sites;
+    winner.mod_fields <- union_list winner.mod_fields loser.mod_fields;
+    winner.ref_fields <- union_list winner.ref_fields loser.ref_fields;
+    winner.names <- union_list winner.names loser.names;
+    (* merge edges: same key -> unify targets *)
+    let pending = loser.edges in
+    loser.edges <- [];
+    List.iter
+      (fun (key, target) ->
+        match List.assoc_opt key winner.edges with
+        | Some existing -> unify t existing target
+        | None -> winner.edges <- (key, target) :: winner.edges)
+      pending
+  end
+
+(* Follow (or create) the points-to edge for a field. *)
+let edge_target t id key =
+  let n = canonical t id in
+  match List.assoc_opt key n.edges with
+  | Some target -> Some (find t target)
+  | None -> None
+
+let ensure_edge t id key =
+  let n = canonical t id in
+  match List.assoc_opt key n.edges with
+  | Some target -> find t target
+  | None ->
+    let target = fresh t ~unknown:true () in
+    n.edges <- (key, target) :: n.edges;
+    target
+
+let set_persistent t id =
+  (canonical t id).persistent <- true
+
+let is_persistent t id = (canonical t id).persistent
+
+let add_mod t id key =
+  let n = canonical t id in
+  if not (List.mem key n.mod_fields) then n.mod_fields <- key :: n.mod_fields
+
+let add_ref t id key =
+  let n = canonical t id in
+  if not (List.mem key n.ref_fields) then n.ref_fields <- key :: n.ref_fields
+
+let add_name t id name =
+  let n = canonical t id in
+  if not (List.mem name n.names) then n.names <- name :: n.names
+
+let add_alloc_site t id site =
+  let n = canonical t id in
+  if not (List.mem site n.alloc_sites) then
+    n.alloc_sites <- site :: n.alloc_sites
+
+let canonical_ids t =
+  let rec collect acc i =
+    if i >= t.len then List.rev acc
+    else if find t i = i then collect (i :: acc) (i + 1)
+    else collect acc (i + 1)
+  in
+  collect [] 0
+
+let size t = t.len
+
+let pp_field_key ppf = function
+  | None -> Fmt.string ppf "*"
+  | Some f -> Fmt.string ppf f
+
+let pp_node t ppf id =
+  let n = canonical t id in
+  let pp_edge ppf (k, tgt) = Fmt.pf ppf "%a -> n%d" pp_field_key k (find t tgt) in
+  Fmt.pf ppf "@[<v 2>n%d%s%s%s [%a]@ ty: %a@ edges: %a@ mod: {%a} ref: {%a}@]"
+    n.id
+    (if n.persistent then " pmem" else "")
+    (if n.heap then " heap" else "")
+    (if n.unknown then " unknown" else "")
+    Fmt.(list ~sep:(any ", ") string)
+    n.names
+    Fmt.(option ~none:(any "?") Nvmir.Ty.pp)
+    n.ty
+    Fmt.(list ~sep:(any ", ") pp_edge)
+    n.edges
+    Fmt.(list ~sep:(any ", ") pp_field_key)
+    n.mod_fields
+    Fmt.(list ~sep:(any ", ") pp_field_key)
+    n.ref_fields

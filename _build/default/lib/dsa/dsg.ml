@@ -1,0 +1,401 @@
+(* Data Structure Graph construction (§4.2).
+
+   Three phases, mirroring the paper:
+
+   - Local analysis: one pass over each function creating nodes at
+     allocation sites, binding pointer variables to nodes, adding
+     field-sensitive points-to edges, and recording mod/ref fields.
+   - Bottom-up analysis: the call graph is traversed in post-order
+     (callees before callers); at each call site, argument nodes are
+     unified with the callee's parameter nodes and return values with
+     call destinations, so callee effects (mod/ref, persistence,
+     points-to structure) become visible to callers.
+   - Top-down analysis: caller knowledge (notably: which parameters
+     receive persistent objects) flows into callees. With the
+     unification-based core, flag propagation is already bidirectional,
+     so this phase finalizes the graph: it computes, per function, the
+     set of persistent nodes its variables can reach and prunes
+     volatile-only bookkeeping from the exported view.
+
+   Deviation from the paper, recorded in DESIGN.md: the original DSA
+   clones callee graphs per call site (full context sensitivity); we
+   unify at call boundaries instead (context-insensitive, Steensgaard-
+   style across calls, field-sensitive throughout). The corpus's helper
+   functions have few call sites, so checking precision is unaffected;
+   conservatism surfaces as the same kind of false positives §5.4
+   discusses.
+
+   Field sensitivity is a build switch so the evaluation can ablate it
+   (the paper credits field sensitivity for 31% of the performance
+   bugs). *)
+
+type t = {
+  arena : Arena.t;
+  prog : Nvmir.Prog.t;
+  cg : Graphs.Callgraph.t;
+  bindings : (string * string, int) Hashtbl.t; (* (fname, var) -> node *)
+  ret_nodes : (string, int) Hashtbl.t;
+  cells : (int, (Arena.field_key * int) list ref) Hashtbl.t;
+      (* field-cell nodes per object node (for address-of) *)
+  cell_backref : (int, int * Arena.field_key) Hashtbl.t;
+      (* cell node -> (object node, field) *)
+  field_sensitive : bool;
+  mutable recording : bool; (* record mod/ref during local phase only *)
+}
+
+let field_sensitive t = t.field_sensitive
+let arena t = t.arena
+
+let key t f = if t.field_sensitive then Some f else None
+
+let binding t ~fname var = Hashtbl.find_opt t.bindings (fname, var)
+
+let bind t ~fname var node =
+  Arena.add_name t.arena node var;
+  Hashtbl.replace t.bindings (fname, var) node
+
+let binding_or_fresh t ~fname var =
+  match binding t ~fname var with
+  | Some n -> n
+  | None ->
+    let n = Arena.fresh t.arena ~unknown:true () in
+    bind t ~fname var n;
+    n
+
+(* Field cells: distinct nodes denoting the address of object.field, so
+   that [x = addr p->f] followed by stores through [x] resolves back to
+   writes of p.f. *)
+let cell_of t obj_node k =
+  let root = Arena.find t.arena obj_node in
+  let cells =
+    match Hashtbl.find_opt t.cells root with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace t.cells root r;
+      r
+  in
+  match List.assoc_opt k !cells with
+  | Some c -> c
+  | None ->
+    let c = Arena.fresh t.arena () in
+    Hashtbl.replace t.cell_backref c (root, k);
+    cells := (k, c) :: !cells;
+    c
+
+let cell_backref t node =
+  match Hashtbl.find_opt t.cell_backref (Arena.find t.arena node) with
+  | Some (obj, k) -> Some (Arena.find t.arena obj, k)
+  | None ->
+    (* the canonical id may differ from the id the backref was filed
+       under; scan is acceptable because cells are rare *)
+    Hashtbl.fold
+      (fun c br acc ->
+        if acc = None && Arena.find t.arena c = Arena.find t.arena node then
+          Some (Arena.find t.arena (fst br), snd br)
+        else acc)
+      t.cell_backref None
+
+let index_of_operand = function
+  | Nvmir.Operand.Const n -> Aaddr.Const_index n
+  | Nvmir.Operand.Var v -> Aaddr.Sym_index v
+  | Nvmir.Operand.Bool_const _ | Nvmir.Operand.Null -> Aaddr.No_index
+
+(* Resolve a place to an abstract address, creating unknown nodes for
+   unresolved pointer hops (conservative, per §5.4). *)
+let resolve t ~fname (place : Nvmir.Place.t) : Aaddr.t =
+  let base_node = binding_or_fresh t ~fname (Nvmir.Place.base place) in
+  let start_node, carried =
+    match cell_backref t base_node with
+    | Some (obj, k) -> (obj, k)
+    | None -> (Arena.find t.arena base_node, None)
+  in
+  let rec walk node carried path : Aaddr.t =
+    match (path : Nvmir.Place.access list) with
+    | [] -> { Aaddr.node; field = carried; index = Aaddr.No_index }
+    | [ Nvmir.Place.Field f ] -> (
+      match carried with
+      | None -> { Aaddr.node; field = key t f; index = Aaddr.No_index }
+      | Some cf ->
+        (* pointer hop through the carried field, then select f *)
+        let next = Arena.ensure_edge t.arena node (Some cf) in
+        { Aaddr.node = next; field = key t f; index = Aaddr.No_index })
+    | [ Nvmir.Place.Index i ] ->
+      { Aaddr.node; field = carried; index = index_of_operand i }
+    | [ Nvmir.Place.Field f; Nvmir.Place.Index i ] when carried = None ->
+      { Aaddr.node; field = key t f; index = index_of_operand i }
+    | Nvmir.Place.Field f :: rest ->
+      let node =
+        match carried with
+        | None -> node
+        | Some cf -> Arena.ensure_edge t.arena node (Some cf)
+      in
+      (* a field followed by more accesses: if the next access is an
+         index and then nothing, handled above; otherwise this field is
+         a pointer we dereference *)
+      (match rest with
+      | [ Nvmir.Place.Index i ] ->
+        { Aaddr.node; field = key t f; index = index_of_operand i }
+      | _ -> walk (Arena.ensure_edge t.arena node (key t f)) None rest)
+    | Nvmir.Place.Index _ :: rest ->
+      (* indexing stays within the same abstract object *)
+      walk node carried rest
+  in
+  let addr = walk start_node carried (Nvmir.Place.path place) in
+  { addr with Aaddr.node = Arena.find t.arena addr.Aaddr.node }
+
+(* Resolve with a flush extent: [Object] widens the address to the whole
+   containing object; [Bytes _] behaves like a whole-buffer flush of the
+   addressed region. *)
+let resolve_extent t ~fname place (extent : Nvmir.Instr.extent) : Aaddr.t =
+  let addr = resolve t ~fname place in
+  match extent with
+  | Nvmir.Instr.Exact -> addr
+  | Nvmir.Instr.Object -> Aaddr.whole addr.Aaddr.node
+  | Nvmir.Instr.Bytes _ ->
+    (* byte-extent flushes cover the addressed field/buffer; we keep
+       the field component so adjacent-object flushes stay disjoint *)
+    { addr with Aaddr.index = Aaddr.No_index }
+
+let is_persistent_addr t (a : Aaddr.t) = Arena.is_persistent t.arena a.Aaddr.node
+
+let is_persistent_place t ~fname place =
+  is_persistent_addr t (resolve t ~fname place)
+
+let record_mod t (a : Aaddr.t) =
+  if t.recording then Arena.add_mod t.arena a.Aaddr.node a.Aaddr.field
+
+let record_ref t (a : Aaddr.t) =
+  if t.recording then Arena.add_ref t.arena a.Aaddr.node a.Aaddr.field
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: local analysis *)
+
+let local_instr t ~fname (i : Nvmir.Instr.t) =
+  match i.kind with
+  | Nvmir.Instr.Alloc { dst; ty; space } ->
+    let persistent = space = Nvmir.Instr.Persistent in
+    let pointee =
+      match ty with
+      | Nvmir.Ty.Ptr inner -> inner
+      | other -> other
+    in
+    let n = Arena.fresh t.arena ~ty:pointee ~persistent ~heap:true () in
+    Arena.add_alloc_site t.arena n (fname, i.loc);
+    bind t ~fname dst n
+  | Nvmir.Instr.Addr_of { dst; src } ->
+    let a = resolve t ~fname src in
+    let c = cell_of t a.Aaddr.node a.Aaddr.field in
+    bind t ~fname dst c
+  | Nvmir.Instr.Store { dst; src } -> (
+    let a = resolve t ~fname dst in
+    record_mod t a;
+    match src with
+    | Nvmir.Operand.Var v -> (
+      match binding t ~fname v with
+      | Some src_node ->
+        (* storing a pointer: add/unify the points-to edge *)
+        let tgt = Arena.ensure_edge t.arena a.Aaddr.node a.Aaddr.field in
+        Arena.unify t.arena tgt src_node
+      | None -> ())
+    | Nvmir.Operand.Const _ | Nvmir.Operand.Bool_const _ | Nvmir.Operand.Null
+      -> ())
+  | Nvmir.Instr.Load { dst; src } ->
+    let a = resolve t ~fname src in
+    record_ref t a;
+    let tgt = Arena.ensure_edge t.arena a.Aaddr.node a.Aaddr.field in
+    bind t ~fname dst tgt
+  | Nvmir.Instr.Assign { dst; src } -> (
+    match src with
+    | Nvmir.Operand.Var v ->
+      let n = binding_or_fresh t ~fname v in
+      (match binding t ~fname dst with
+      | Some existing -> Arena.unify t.arena existing n
+      | None -> bind t ~fname dst n)
+    | Nvmir.Operand.Const _ | Nvmir.Operand.Bool_const _ | Nvmir.Operand.Null
+      -> ())
+  | Nvmir.Instr.Flush { target; extent } | Nvmir.Instr.Persist { target; extent }
+    ->
+    let a = resolve_extent t ~fname target extent in
+    record_ref t a
+  | Nvmir.Instr.Tx_add { target; extent } ->
+    let a = resolve_extent t ~fname target extent in
+    record_ref t a
+  | Nvmir.Instr.Binop _ | Nvmir.Instr.Fence | Nvmir.Instr.Tx_begin
+  | Nvmir.Instr.Tx_end | Nvmir.Instr.Epoch_begin | Nvmir.Instr.Epoch_end
+  | Nvmir.Instr.Strand_begin _ | Nvmir.Instr.Strand_end _ | Nvmir.Instr.Call _
+  | Nvmir.Instr.Comment _ -> ()
+
+let local_phase t =
+  t.recording <- true;
+  List.iter
+    (fun (f : Nvmir.Func.t) ->
+      let fname = Nvmir.Func.name f in
+      (* parameters: fresh nodes for pointer-typed parameters *)
+      List.iter
+        (fun (p, ty) ->
+          match ty with
+          | Nvmir.Ty.Ptr pointee ->
+            let n = Arena.fresh t.arena ~ty:pointee () in
+            bind t ~fname p n
+          | Nvmir.Ty.Int | Nvmir.Ty.Bool | Nvmir.Ty.Named _
+          | Nvmir.Ty.Array _ -> ())
+        f.params;
+      Nvmir.Func.iter_instrs (fun _lbl i -> local_instr t ~fname i) f;
+      (* return node, if the function returns a bound pointer *)
+      List.iter
+        (fun (b : Nvmir.Func.block) ->
+          match b.term with
+          | Nvmir.Func.Ret (Some (Nvmir.Operand.Var v)) -> (
+            match binding t ~fname v with
+            | Some n -> (
+              match Hashtbl.find_opt t.ret_nodes fname with
+              | Some existing -> Arena.unify t.arena existing n
+              | None -> Hashtbl.replace t.ret_nodes fname n)
+            | None -> ())
+          | Nvmir.Func.Ret _ | Nvmir.Func.Br _ | Nvmir.Func.Cond_br _ -> ())
+        f.blocks)
+    (Nvmir.Prog.funcs t.prog);
+  t.recording <- false
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: bottom-up analysis *)
+
+let apply_call_site t ~caller (i : Nvmir.Instr.t) =
+  match i.kind with
+  | Nvmir.Instr.Call { dst; callee; args } -> (
+    match Nvmir.Prog.find_func t.prog callee with
+    | None -> () (* external function: no summary *)
+    | Some cf ->
+      let params = cf.params in
+      List.iteri
+        (fun idx arg ->
+          match (arg, List.nth_opt params idx) with
+          | Nvmir.Operand.Var v, Some (p, Nvmir.Ty.Ptr _) ->
+            let arg_node = binding_or_fresh t ~fname:caller v in
+            let param_node = binding_or_fresh t ~fname:callee p in
+            Arena.unify t.arena arg_node param_node
+          | _, _ -> ())
+        args;
+      match (dst, Hashtbl.find_opt t.ret_nodes callee) with
+      | Some d, Some rn -> (
+        match binding t ~fname:caller d with
+        | Some existing -> Arena.unify t.arena existing rn
+        | None -> bind t ~fname:caller d rn)
+      | _, _ -> ())
+  | _ -> ()
+
+let bottom_up_phase t =
+  List.iter
+    (fun fname ->
+      match Nvmir.Prog.find_func t.prog fname with
+      | None -> ()
+      | Some f ->
+        Nvmir.Func.iter_instrs (fun _lbl i -> apply_call_site t ~caller:fname i) f)
+    (Graphs.Callgraph.postorder t.cg)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: top-down analysis *)
+
+(* With unification the persistence flags have already flowed through
+   call boundaries in both directions. The top-down pass revisits call
+   sites in reverse post-order (callers first) to catch bindings created
+   late during phase 2, then propagates persistence through field cells:
+   a cell addressing a field of a persistent object is itself
+   persistent. *)
+let top_down_phase t =
+  let order = List.rev (Graphs.Callgraph.postorder t.cg) in
+  List.iter
+    (fun fname ->
+      match Nvmir.Prog.find_func t.prog fname with
+      | None -> ()
+      | Some f ->
+        Nvmir.Func.iter_instrs (fun _lbl i -> apply_call_site t ~caller:fname i) f)
+    order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun cell (obj, _k) ->
+        if
+          Arena.is_persistent t.arena obj
+          && not (Arena.is_persistent t.arena cell)
+        then begin
+          Arena.set_persistent t.arena cell;
+          changed := true
+        end)
+      t.cell_backref;
+    (* persistence also flows along points-to edges out of persistent
+       objects' pointer fields when the target was heap-allocated from
+       pmem elsewhere; unification already covers the common case. *)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(* [persistent_roots] marks additional variables as pointing to
+   persistent memory — the "interface annotations" of §4.1 by which
+   users tell DeepMC which externally-created objects live in NVM.
+   Each entry is (function, variable). *)
+let build ?(field_sensitive = true) ?(persistent_roots = []) prog =
+  let t =
+    {
+      arena = Arena.create ();
+      prog;
+      cg = Graphs.Callgraph.of_prog prog;
+      bindings = Hashtbl.create 64;
+      ret_nodes = Hashtbl.create 16;
+      cells = Hashtbl.create 16;
+      cell_backref = Hashtbl.create 16;
+      field_sensitive;
+      recording = false;
+    }
+  in
+  local_phase t;
+  List.iter
+    (fun (fname, var) ->
+      let n = binding_or_fresh t ~fname var in
+      Arena.set_persistent t.arena n)
+    persistent_roots;
+  bottom_up_phase t;
+  top_down_phase t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Queries and dumps *)
+
+let node_of_var t ~fname var =
+  Option.map (Arena.find t.arena) (binding t ~fname var)
+
+let may_alias t ~fname p1 p2 =
+  Aaddr.may_overlap (resolve t ~fname p1) (resolve t ~fname p2)
+
+let modified_fields t node = (Arena.canonical t.arena node).Arena.mod_fields
+let referenced_fields t node = (Arena.canonical t.arena node).Arena.ref_fields
+
+(* Nodes a function's variables can reach, persistent ones only: the
+   per-function DSG view of Figure 10. *)
+let function_view t ~fname =
+  let seen = Hashtbl.create 16 in
+  let rec visit node =
+    let root = Arena.find t.arena node in
+    if not (Hashtbl.mem seen root) then begin
+      Hashtbl.replace seen root ();
+      let n = Arena.canonical t.arena root in
+      List.iter (fun (_, tgt) -> visit tgt) n.Arena.edges
+    end
+  in
+  Hashtbl.iter
+    (fun (fn, _var) node -> if String.equal fn fname then visit node)
+    t.bindings;
+  Hashtbl.fold
+    (fun node () acc ->
+      if Arena.is_persistent t.arena node then node :: acc else acc)
+    seen []
+  |> List.sort Int.compare
+
+let pp_function_view ppf (t, fname) =
+  let nodes = function_view t ~fname in
+  Fmt.pf ppf "@[<v>DSG of %s (%d persistent node(s))@ %a@]" fname
+    (List.length nodes)
+    Fmt.(list ~sep:(any "@ ") (fun ppf n -> Arena.pp_node t.arena ppf n))
+    nodes

@@ -1,0 +1,52 @@
+(** Data Structure Graph construction (§4.2): local, bottom-up, and
+    top-down phases producing a field-sensitive, persistence-aware alias
+    summary of the whole program.
+
+    Deviation from the paper (see DESIGN.md): calls unify argument and
+    parameter nodes instead of cloning callee graphs, trading context
+    sensitivity for simplicity; field sensitivity is a build switch so
+    the evaluation can ablate it. *)
+
+type t
+
+val build :
+  ?field_sensitive:bool ->
+  ?persistent_roots:(string * string) list ->
+  Nvmir.Prog.t ->
+  t
+(** Run all three phases. [persistent_roots] are interface annotations:
+    (function, variable) pairs known to reference NVM. *)
+
+val field_sensitive : t -> bool
+val arena : t -> Arena.t
+
+val resolve : t -> fname:string -> Nvmir.Place.t -> Aaddr.t
+(** Resolve a place to an abstract address, creating conservative
+    unknown nodes for unresolved pointer hops. *)
+
+val resolve_extent :
+  t -> fname:string -> Nvmir.Place.t -> Nvmir.Instr.extent -> Aaddr.t
+(** Like {!resolve}, widened by a flush extent ([Object] covers the
+    whole containing object). *)
+
+val is_persistent_addr : t -> Aaddr.t -> bool
+val is_persistent_place : t -> fname:string -> Nvmir.Place.t -> bool
+
+val node_of_var : t -> fname:string -> string -> int option
+(** The canonical node a variable points to, if bound. *)
+
+val may_alias : t -> fname:string -> Nvmir.Place.t -> Nvmir.Place.t -> bool
+val modified_fields : t -> int -> Arena.field_key list
+val referenced_fields : t -> int -> Arena.field_key list
+
+val function_view : t -> fname:string -> int list
+(** The persistent nodes a function's variables can reach: the
+    per-function DSG of Figure 10. *)
+
+val pp_function_view : (t * string) Fmt.t
+
+(** {1 Phases} — exposed for tests; [build] runs them in order *)
+
+val local_phase : t -> unit
+val bottom_up_phase : t -> unit
+val top_down_phase : t -> unit

@@ -1,0 +1,1 @@
+lib/graphs/callgraph.ml: Fmt Hashtbl List Nvmir Option String

@@ -1,0 +1,1 @@
+lib/graphs/callgraph.mli: Fmt Nvmir

@@ -1,0 +1,1 @@
+lib/graphs/cfg.ml: Fmt Hashtbl List Nvmir Option

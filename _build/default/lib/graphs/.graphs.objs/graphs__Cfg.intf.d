@@ -1,0 +1,1 @@
+lib/graphs/cfg.mli: Fmt Hashtbl Nvmir

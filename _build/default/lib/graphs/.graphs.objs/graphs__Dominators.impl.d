@@ -1,0 +1,1 @@
+lib/graphs/dominators.ml: Cfg Hashtbl List String

@@ -1,0 +1,1 @@
+lib/graphs/dominators.mli: Cfg

@@ -1,0 +1,1 @@
+lib/graphs/dot.ml: Buffer Callgraph Cfg Fmt List Nvmir String

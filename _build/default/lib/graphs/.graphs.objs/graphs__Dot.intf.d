@@ -1,0 +1,1 @@
+lib/graphs/dot.mli: Callgraph Cfg Nvmir

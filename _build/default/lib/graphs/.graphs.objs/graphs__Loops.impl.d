@@ -1,0 +1,1 @@
+lib/graphs/loops.ml: Cfg Dominators Hashtbl List String

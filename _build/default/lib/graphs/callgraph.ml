@@ -1,0 +1,116 @@
+(* Call graphs over IR programs (step 1 of Figure 8). Nodes are function
+   names; edges are direct call sites. External functions — callees with
+   no definition in the program, e.g. framework primitives modeled as IR
+   instructions elsewhere — appear as leaf nodes.
+
+   [postorder] visits callees before callers, the order both the DSA
+   bottom-up phase (§4.2) and interprocedural trace merging (§4.3)
+   require. Tarjan's SCC algorithm groups mutually recursive functions
+   so recursion can be depth-bounded. *)
+
+type t = {
+  prog : Nvmir.Prog.t;
+  callees : (string, string list) Hashtbl.t;
+  callers : (string, string list) Hashtbl.t;
+}
+
+let of_prog (prog : Nvmir.Prog.t) =
+  let callees = Hashtbl.create 16 and callers = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let name = Nvmir.Func.name f in
+      let cs = Nvmir.Func.callees f in
+      Hashtbl.replace callees name cs;
+      List.iter
+        (fun c ->
+          let old = Option.value ~default:[] (Hashtbl.find_opt callers c) in
+          if not (List.mem name old) then Hashtbl.replace callers c (old @ [ name ]))
+        cs)
+    (Nvmir.Prog.funcs prog);
+  { prog; callees; callers }
+
+let callees t name = Option.value ~default:[] (Hashtbl.find_opt t.callees name)
+let callers t name = Option.value ~default:[] (Hashtbl.find_opt t.callers name)
+let is_defined t name = Nvmir.Prog.find_func t.prog name <> None
+
+(* Functions never called from within the program: analysis roots. *)
+let roots t =
+  List.filter
+    (fun name -> callers t name = [])
+    (Nvmir.Prog.func_names t.prog)
+
+(* Post-order over defined functions: every callee precedes its callers.
+   Cycles (recursion) are broken at the revisit point. *)
+let postorder t =
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go name =
+    if is_defined t name && not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      List.iter go (callees t name);
+      out := name :: !out
+    end
+  in
+  let roots = match roots t with [] -> Nvmir.Prog.func_names t.prog | rs -> rs in
+  List.iter go roots;
+  (* pick up functions only reachable through cycles *)
+  List.iter go (Nvmir.Prog.func_names t.prog);
+  List.rev !out
+
+(* Tarjan's strongly-connected components; components are emitted in
+   reverse topological order (callees first), matching [postorder]. *)
+let sccs t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if is_defined t w then
+          if not (Hashtbl.mem index w) then begin
+            strongconnect w;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.mem on_stack w then
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter
+    (fun name -> if not (Hashtbl.mem index name) then strongconnect name)
+    (Nvmir.Prog.func_names t.prog);
+  List.rev !components
+
+let is_recursive t name =
+  List.mem name (callees t name)
+  || List.exists (fun scc -> List.length scc > 1 && List.mem name scc) (sccs t)
+
+let pp ppf t =
+  let pp_node ppf name =
+    Fmt.pf ppf "%s -> {%a}" name
+      Fmt.(list ~sep:(any ", ") string)
+      (callees t name)
+  in
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:(any "@ ") pp_node)
+    (Nvmir.Prog.func_names t.prog)

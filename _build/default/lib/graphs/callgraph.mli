@@ -1,0 +1,23 @@
+(** Call graphs over IR programs. {!postorder} visits callees before
+    callers — the order both the DSA bottom-up phase (§4.2) and
+    interprocedural trace merging (§4.3) require. *)
+
+type t
+
+val of_prog : Nvmir.Prog.t -> t
+val callees : t -> string -> string list
+val callers : t -> string -> string list
+val is_defined : t -> string -> bool
+
+val roots : t -> string list
+(** Functions never called from within the program: analysis roots. *)
+
+val postorder : t -> string list
+(** Every (defined) callee precedes its callers; recursion cycles are
+    broken at the revisit point. Covers all defined functions. *)
+
+val sccs : t -> string list list
+(** Tarjan's strongly-connected components, callees-first. *)
+
+val is_recursive : t -> string -> bool
+val pp : t Fmt.t

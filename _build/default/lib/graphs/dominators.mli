@@ -1,0 +1,15 @@
+(** Dominator computation (Cooper–Harvey–Kennedy over reverse-postorder
+    indices). The loop detector uses it to identify back edges. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> string -> string option
+(** Immediate dominator; [None] for the entry block. *)
+
+val dominates : t -> string -> string -> bool
+(** [dominates t a b]: does [a] dominate [b]? Reflexive. *)
+
+val dominator_chain : t -> string -> string list
+(** The block, its idom, and so on up to the entry. *)

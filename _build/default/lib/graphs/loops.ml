@@ -1,0 +1,47 @@
+(* Natural-loop detection. A back edge is an edge b -> h where h
+   dominates b; the natural loop of the edge is h plus every block that
+   can reach b without passing through h. Trace collection consults
+   [back_edges] to cap loop iterations (10 by default, per §4.3). *)
+
+type loop = { header : string; body : string list (* includes header *) }
+
+type t = { back_edges : (string * string) list; loops : loop list }
+
+let natural_loop (cfg : Cfg.t) ~source ~header =
+  let body = Hashtbl.create 16 in
+  Hashtbl.replace body header ();
+  let rec add label =
+    if not (Hashtbl.mem body label) then begin
+      Hashtbl.replace body label ();
+      List.iter add (Cfg.predecessors cfg label)
+    end
+  in
+  add source;
+  { header; body = Hashtbl.fold (fun l () acc -> l :: acc) body [] |> List.sort String.compare }
+
+let compute (cfg : Cfg.t) =
+  let doms = Dominators.compute cfg in
+  let back_edges =
+    List.concat_map
+      (fun label ->
+        List.filter_map
+          (fun succ ->
+            if Dominators.dominates doms succ label then Some (label, succ)
+            else None)
+          (Cfg.successors cfg label))
+      (Cfg.dfs_preorder cfg)
+  in
+  let loops =
+    List.map (fun (source, header) -> natural_loop cfg ~source ~header) back_edges
+  in
+  { back_edges; loops }
+
+let is_back_edge t ~source ~target =
+  List.exists
+    (fun (s, h) -> String.equal s source && String.equal h target)
+    t.back_edges
+
+let headers t = List.map (fun l -> l.header) t.loops |> List.sort_uniq String.compare
+
+let in_loop t label =
+  List.exists (fun l -> List.mem label l.body) t.loops

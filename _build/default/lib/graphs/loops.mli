@@ -1,0 +1,12 @@
+(** Natural-loop detection. A back edge is an edge [b -> h] where [h]
+    dominates [b]; trace collection consults {!is_back_edge} to cap loop
+    iterations (§4.3, 10 by default). *)
+
+type loop = { header : string; body : string list (** includes header *) }
+type t = { back_edges : (string * string) list; loops : loop list }
+
+val natural_loop : Cfg.t -> source:string -> header:string -> loop
+val compute : Cfg.t -> t
+val is_back_edge : t -> source:string -> target:string -> bool
+val headers : t -> string list
+val in_loop : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/nvmir/builder.ml: Fmt Func Instr List Loc Operand Place Prog Ty

@@ -1,0 +1,1 @@
+lib/nvmir/builder.mli: Func Instr Operand Place Prog Ty

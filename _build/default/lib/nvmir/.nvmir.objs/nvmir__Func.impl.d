@@ -1,0 +1,1 @@
+lib/nvmir/func.ml: Fmt Instr List Loc Operand String Ty

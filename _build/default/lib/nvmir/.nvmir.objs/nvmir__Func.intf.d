@@ -1,0 +1,1 @@
+lib/nvmir/func.mli: Fmt Instr Loc Operand Ty

@@ -1,0 +1,1 @@
+lib/nvmir/instr.ml: Fmt List Loc Operand Option Place Ty

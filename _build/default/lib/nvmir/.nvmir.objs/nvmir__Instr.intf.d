@@ -1,0 +1,1 @@
+lib/nvmir/instr.mli: Fmt Loc Operand Place Ty

@@ -1,0 +1,1 @@
+lib/nvmir/lexer.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/nvmir/loc.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/nvmir/loc.mli: Fmt

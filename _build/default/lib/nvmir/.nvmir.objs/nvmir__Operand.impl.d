@@ -1,0 +1,1 @@
+lib/nvmir/operand.ml: Bool Fmt String

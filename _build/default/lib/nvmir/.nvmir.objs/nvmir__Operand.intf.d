@@ -1,0 +1,1 @@
+lib/nvmir/operand.mli: Fmt

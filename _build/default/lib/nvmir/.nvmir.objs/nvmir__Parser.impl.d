@@ -1,0 +1,1 @@
+lib/nvmir/parser.ml: Fmt Func Instr Lexer List Loc Operand Place Prog Ty

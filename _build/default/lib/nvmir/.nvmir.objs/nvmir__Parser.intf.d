@@ -1,0 +1,1 @@
+lib/nvmir/parser.mli: Prog

@@ -1,0 +1,1 @@
+lib/nvmir/place.ml: Fmt List Operand String

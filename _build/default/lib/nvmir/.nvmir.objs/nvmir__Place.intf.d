@@ -1,0 +1,1 @@
+lib/nvmir/place.mli: Fmt Operand

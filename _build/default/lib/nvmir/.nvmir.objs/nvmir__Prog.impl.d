@@ -1,0 +1,1 @@
+lib/nvmir/prog.ml: Fmt Func Hashtbl Instr List String Ty

@@ -1,0 +1,1 @@
+lib/nvmir/prog.mli: Fmt Func Ty

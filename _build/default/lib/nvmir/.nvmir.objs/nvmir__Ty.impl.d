@@ -1,0 +1,1 @@
+lib/nvmir/ty.ml: Fmt Hashtbl List String

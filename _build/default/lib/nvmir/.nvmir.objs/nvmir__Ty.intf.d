@@ -1,0 +1,1 @@
+lib/nvmir/ty.mli: Fmt

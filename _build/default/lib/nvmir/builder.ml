@@ -1,0 +1,160 @@
+(* Imperative builder DSL for constructing IR programs in OCaml.
+
+   The corpus re-implementations (lib/corpus) are written against this
+   API. A function body is built block by block; opening a new label
+   while the current block lacks a terminator inserts a fall-through
+   branch, which keeps the corpus code close in shape to the original C.
+
+   Each function builder carries a default source file so instructions
+   only need a [~line] to carry the paper's ground-truth coordinates. *)
+
+type fb = {
+  fname : string;
+  file : string;
+  mutable cur_label : string;
+  mutable cur_instrs : Instr.t list; (* reversed *)
+  mutable cur_term : (Func.terminator * Loc.t) option;
+  mutable finished : Func.block list; (* reversed *)
+}
+
+let loc_of fb line =
+  if line = 0 then Loc.none else Loc.make ~file:fb.file ~line
+
+let flush_block fb =
+  let term, term_loc =
+    match fb.cur_term with
+    | Some (t, l) -> (t, l)
+    | None ->
+      invalid_arg
+        (Fmt.str "Builder: block %s in %s lacks a terminator" fb.cur_label
+           fb.fname)
+  in
+  let block =
+    {
+      Func.label = fb.cur_label;
+      instrs = List.rev fb.cur_instrs;
+      term;
+      term_loc;
+    }
+  in
+  fb.finished <- block :: fb.finished
+
+(* Open a new basic block. If the current block has no terminator yet, a
+   fall-through branch to the new label is inserted. *)
+let label fb name =
+  (match fb.cur_term with
+  | None -> fb.cur_term <- Some (Func.Br name, Loc.none)
+  | Some _ -> ());
+  flush_block fb;
+  fb.cur_label <- name;
+  fb.cur_instrs <- [];
+  fb.cur_term <- None
+
+let emit fb ?(line = 0) kind =
+  (match fb.cur_term with
+  | Some _ ->
+    invalid_arg
+      (Fmt.str "Builder: instruction after terminator in %s/%s" fb.fname
+         fb.cur_label)
+  | None -> ());
+  fb.cur_instrs <- Instr.make ~loc:(loc_of fb line) kind :: fb.cur_instrs
+
+let terminate fb ?(line = 0) term =
+  match fb.cur_term with
+  | Some _ ->
+    invalid_arg
+      (Fmt.str "Builder: duplicate terminator in %s/%s" fb.fname fb.cur_label)
+  | None -> fb.cur_term <- Some (term, loc_of fb line)
+
+(* Operand shorthands. *)
+let i n = Operand.Const n
+let b v = Operand.Bool_const v
+let v name = Operand.Var name
+let null = Operand.Null
+
+(* Place shorthands. *)
+let vr base = Place.var base
+let fld base f = Place.field base f
+let idx base op = Place.index base op
+let fldi base f op = Place.field_index base f op
+
+(* Instructions. *)
+let store fb ?line dst src = emit fb ?line (Instr.Store { dst; src })
+let load fb ?line dst src = emit fb ?line (Instr.Load { dst; src })
+let assign fb ?line dst src = emit fb ?line (Instr.Assign { dst; src })
+
+let binop fb ?line dst op lhs rhs =
+  emit fb ?line (Instr.Binop { dst; op; lhs; rhs })
+
+let palloc fb ?line dst ty =
+  emit fb ?line (Instr.Alloc { dst; ty; space = Instr.Persistent })
+
+let valloc fb ?line dst ty =
+  emit fb ?line (Instr.Alloc { dst; ty; space = Instr.Volatile })
+
+let addr_of fb ?line dst src = emit fb ?line (Instr.Addr_of { dst; src })
+
+let flush fb ?line ?(extent = Instr.Exact) target =
+  emit fb ?line (Instr.Flush { target; extent })
+
+let fence fb ?line () = emit fb ?line Instr.Fence
+
+let persist fb ?line ?(extent = Instr.Exact) target =
+  emit fb ?line (Instr.Persist { target; extent })
+
+let tx_begin fb ?line () = emit fb ?line Instr.Tx_begin
+let tx_end fb ?line () = emit fb ?line Instr.Tx_end
+
+let tx_add fb ?line ?(extent = Instr.Object) target =
+  emit fb ?line (Instr.Tx_add { target; extent })
+
+let epoch_begin fb ?line () = emit fb ?line Instr.Epoch_begin
+let epoch_end fb ?line () = emit fb ?line Instr.Epoch_end
+let strand_begin fb ?line n = emit fb ?line (Instr.Strand_begin n)
+let strand_end fb ?line n = emit fb ?line (Instr.Strand_end n)
+
+let call fb ?line ?dst callee args =
+  emit fb ?line (Instr.Call { dst; callee; args })
+
+let comment fb ?line text = emit fb ?line (Instr.Comment text)
+
+(* Terminators. *)
+let ret fb ?line ?value () = terminate fb ?line (Func.Ret value)
+let br fb ?line lbl = terminate fb ?line (Func.Br lbl)
+
+let cond_br fb ?line cond then_lbl else_lbl =
+  terminate fb ?line (Func.Cond_br { cond; then_lbl; else_lbl })
+
+(* Build a function. [body] receives the builder positioned at the entry
+   block (labeled "entry"). *)
+let func prog ?(file = "<builtin>") ?(line = 0) ?ret name params body =
+  let fb =
+    {
+      fname = name;
+      file;
+      cur_label = "entry";
+      cur_instrs = [];
+      cur_term = None;
+      finished = [];
+    }
+  in
+  body fb;
+  (match fb.cur_term with
+  | None ->
+    (* implicit void return at the end of the last block *)
+    fb.cur_term <- Some (Func.Ret None, Loc.none)
+  | Some _ -> ());
+  flush_block fb;
+  let f : Func.t =
+    {
+      Func.fname = name;
+      params;
+      ret_ty = ret;
+      blocks = List.rev fb.finished;
+      floc = (if line = 0 then Loc.none else Loc.make ~file ~line);
+    }
+  in
+  Prog.add_func prog f;
+  f
+
+let struct_ prog name fields = Prog.add_struct prog { Ty.sname = name; fields }

@@ -1,0 +1,80 @@
+(** Imperative builder DSL for constructing IR programs from OCaml.
+
+    A function body is built block by block; opening a new label while
+    the current block lacks a terminator inserts a fall-through branch.
+    Each function builder carries a default source file, so instructions
+    only need a [~line] to carry ground-truth coordinates:
+
+    {[
+      let f = Builder.func prog ~file:"bank.c" "deposit"
+        [ ("acct", Ty.Ptr (Ty.Named "account")) ]
+        (fun fb ->
+          Builder.store fb ~line:10 (Builder.fld "acct" "balance") (Builder.i 100);
+          Builder.persist fb ~line:11 (Builder.fld "acct" "balance");
+          Builder.ret fb ())
+    ]} *)
+
+type fb
+(** A function under construction. *)
+
+(** {1 Shorthands} *)
+
+val i : int -> Operand.t
+val b : bool -> Operand.t
+val v : string -> Operand.t
+val null : Operand.t
+val vr : string -> Place.t
+val fld : string -> string -> Place.t
+val idx : string -> Operand.t -> Place.t
+val fldi : string -> string -> Operand.t -> Place.t
+
+(** {1 Blocks} *)
+
+val label : fb -> string -> unit
+(** Open a new basic block, falling through from the current one if it
+    has no terminator yet. *)
+
+(** {1 Instructions} — all take an optional [?line] within the
+    function's file *)
+
+val store : fb -> ?line:int -> Place.t -> Operand.t -> unit
+val load : fb -> ?line:int -> string -> Place.t -> unit
+val assign : fb -> ?line:int -> string -> Operand.t -> unit
+val binop : fb -> ?line:int -> string -> Instr.binop -> Operand.t -> Operand.t -> unit
+val palloc : fb -> ?line:int -> string -> Ty.t -> unit
+val valloc : fb -> ?line:int -> string -> Ty.t -> unit
+val addr_of : fb -> ?line:int -> string -> Place.t -> unit
+val flush : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit
+val fence : fb -> ?line:int -> unit -> unit
+val persist : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit
+val tx_begin : fb -> ?line:int -> unit -> unit
+val tx_end : fb -> ?line:int -> unit -> unit
+val tx_add : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit
+val epoch_begin : fb -> ?line:int -> unit -> unit
+val epoch_end : fb -> ?line:int -> unit -> unit
+val strand_begin : fb -> ?line:int -> int -> unit
+val strand_end : fb -> ?line:int -> int -> unit
+val call : fb -> ?line:int -> ?dst:string -> string -> Operand.t list -> unit
+val comment : fb -> ?line:int -> string -> unit
+
+(** {1 Terminators} *)
+
+val ret : fb -> ?line:int -> ?value:Operand.t -> unit -> unit
+val br : fb -> ?line:int -> string -> unit
+val cond_br : fb -> ?line:int -> Operand.t -> string -> string -> unit
+
+(** {1 Top level} *)
+
+val func :
+  Prog.t ->
+  ?file:string ->
+  ?line:int ->
+  ?ret:Ty.t ->
+  string ->
+  (string * Ty.t) list ->
+  (fb -> unit) ->
+  Func.t
+(** Build a function and add it to the program. The body callback starts
+    at the entry block; a missing final terminator becomes [ret]. *)
+
+val struct_ : Prog.t -> string -> (string * Ty.t) list -> unit

@@ -1,0 +1,184 @@
+(* IR instructions.
+
+   The instruction set is the persistency-relevant slice of LLVM IR that
+   DeepMC consumes, plus enough scalar computation to express the corpus
+   programs: stores/loads through places, persistent and volatile
+   allocation, cacheline flushes, persist barriers (fences), combined
+   persist operations (flush + fence, like PMDK's pmemobj_persist or
+   NVM-Direct's nvm_persist1), transactional markers with undo-logging
+   (TX_ADD), epoch and strand boundaries, and calls. *)
+
+type space = Persistent | Volatile
+
+(* How much memory a flush/persist/log covers, relative to its place:
+   - [Exact]: precisely the denoted field/element (e.g. a flush of
+     [&lk->state]);
+   - [Object]: the whole object the place's base points to, as in
+     [pmemobj_persist(pop, t, sizeof t)] applied to the full struct;
+   - [Bytes n]: an explicit byte count (buffer flushes such as
+     [pmfs_flush_buffer(blockp, len + 1, false)]). *)
+type extent = Exact | Object | Bytes of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type kind =
+  | Store of { dst : Place.t; src : Operand.t }
+  | Load of { dst : string; src : Place.t }
+  | Assign of { dst : string; src : Operand.t }
+  | Binop of { dst : string; op : binop; lhs : Operand.t; rhs : Operand.t }
+  | Alloc of { dst : string; ty : Ty.t; space : space }
+  | Addr_of of { dst : string; src : Place.t }
+      (* take the address of a place, e.g. [&iter->timer] *)
+  | Flush of { target : Place.t; extent : extent }
+  | Fence
+  | Persist of { target : Place.t; extent : extent } (* flush + fence *)
+  | Tx_begin
+  | Tx_end
+  | Tx_add of { target : Place.t; extent : extent } (* undo-log snapshot *)
+  | Epoch_begin
+  | Epoch_end
+  | Strand_begin of int
+  | Strand_end of int
+  | Call of { dst : string option; callee : string; args : Operand.t list }
+  | Comment of string
+
+type t = { kind : kind; loc : Loc.t }
+
+let make ?(loc = Loc.none) kind = { kind; loc }
+
+let pp_space ppf = function
+  | Persistent -> Fmt.string ppf "pmem"
+  | Volatile -> Fmt.string ppf "vmem"
+
+let pp_extent ppf = function
+  | Exact -> Fmt.string ppf "exact"
+  | Object -> Fmt.string ppf "object"
+  | Bytes n -> Fmt.pf ppf "bytes(%d)" n
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let binop_of_string = function
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "*" -> Some Mul
+  | "/" -> Some Div
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "&&" -> Some And
+  | "||" -> Some Or
+  | _ -> None
+
+let pp_kind ppf = function
+  | Store { dst; src } -> Fmt.pf ppf "store %a, %a" Place.pp dst Operand.pp src
+  | Load { dst; src } -> Fmt.pf ppf "%s = load %a" dst Place.pp src
+  | Assign { dst; src } -> Fmt.pf ppf "%s = %a" dst Operand.pp src
+  | Binop { dst; op; lhs; rhs } ->
+    Fmt.pf ppf "%s = %a %s %a" dst Operand.pp lhs (string_of_binop op)
+      Operand.pp rhs
+  | Alloc { dst; ty; space } ->
+    Fmt.pf ppf "%s = alloc %a %a" dst pp_space space Ty.pp ty
+  | Addr_of { dst; src } -> Fmt.pf ppf "%s = addr %a" dst Place.pp src
+  | Flush { target; extent } ->
+    Fmt.pf ppf "flush %a %a" pp_extent extent Place.pp target
+  | Fence -> Fmt.string ppf "fence"
+  | Persist { target; extent } ->
+    Fmt.pf ppf "persist %a %a" pp_extent extent Place.pp target
+  | Tx_begin -> Fmt.string ppf "tx_begin"
+  | Tx_end -> Fmt.string ppf "tx_end"
+  | Tx_add { target; extent } ->
+    Fmt.pf ppf "tx_add %a %a" pp_extent extent Place.pp target
+  | Epoch_begin -> Fmt.string ppf "epoch_begin"
+  | Epoch_end -> Fmt.string ppf "epoch_end"
+  | Strand_begin n -> Fmt.pf ppf "strand_begin %d" n
+  | Strand_end n -> Fmt.pf ppf "strand_end %d" n
+  | Call { dst; callee; args } ->
+    let pp_dst ppf = function
+      | None -> ()
+      | Some d -> Fmt.pf ppf "%s = " d
+    in
+    Fmt.pf ppf "%acall %s(%a)" pp_dst dst callee
+      Fmt.(list ~sep:(any ", ") Operand.pp)
+      args
+  | Comment s -> Fmt.pf ppf "; %s" s
+
+let pp ppf { kind; loc } =
+  if Loc.is_none loc then pp_kind ppf kind
+  else Fmt.pf ppf "%a  @@ %a" pp_kind kind Loc.pp loc
+
+(* Variables defined by an instruction. *)
+let defs i =
+  match i.kind with
+  | Load { dst; _ }
+  | Assign { dst; _ }
+  | Binop { dst; _ }
+  | Alloc { dst; _ }
+  | Addr_of { dst; _ } -> [ dst ]
+  | Call { dst = Some d; _ } -> [ d ]
+  | Call { dst = None; _ }
+  | Store _ | Flush _ | Fence | Persist _ | Tx_begin | Tx_end | Tx_add _
+  | Epoch_begin | Epoch_end | Strand_begin _ | Strand_end _ | Comment _ -> []
+
+let uses_of_operand = Operand.var_opt
+
+let uses_of_place (p : Place.t) =
+  let idx_vars =
+    List.filter_map
+      (function
+        | Place.Index op -> uses_of_operand op
+        | Place.Field _ -> None)
+      (Place.path p)
+  in
+  Place.base p :: idx_vars
+
+(* Variables read by an instruction. *)
+let uses i =
+  let of_op op = Option.to_list (uses_of_operand op) in
+  match i.kind with
+  | Store { dst; src } -> uses_of_place dst @ of_op src
+  | Load { src; _ } -> uses_of_place src
+  | Assign { src; _ } -> of_op src
+  | Binop { lhs; rhs; _ } -> of_op lhs @ of_op rhs
+  | Alloc _ -> []
+  | Addr_of { src; _ } -> uses_of_place src
+  | Flush { target; _ } | Persist { target; _ } | Tx_add { target; _ } ->
+    uses_of_place target
+  | Call { args; _ } -> List.concat_map of_op args
+  | Fence | Tx_begin | Tx_end | Epoch_begin | Epoch_end | Strand_begin _
+  | Strand_end _ | Comment _ -> []
+
+(* Does this instruction touch persistent state in a way the checker
+   cares about? Used by trace collection to prioritize paths. *)
+let is_persistency_relevant i =
+  match i.kind with
+  | Flush _ | Fence | Persist _ | Tx_begin | Tx_end | Tx_add _ | Epoch_begin
+  | Epoch_end | Strand_begin _ | Strand_end _ -> true
+  | Store _ | Load _ | Assign _ | Binop _ | Alloc _ | Addr_of _ | Call _
+  | Comment _ -> false

@@ -1,0 +1,66 @@
+(** IR instructions: the persistency-relevant slice of a compiler IR
+    (stores, loads, flushes, persist barriers, combined persists,
+    transactional logging, epoch/strand annotations, calls) plus enough
+    scalar computation to express realistic NVM programs. *)
+
+type space = Persistent | Volatile
+
+(** How much memory a flush/persist/log covers, relative to its place:
+    [Exact] the denoted field/element, [Object] the whole object the
+    place's base points to, [Bytes n] an explicit byte count. *)
+type extent = Exact | Object | Bytes of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type kind =
+  | Store of { dst : Place.t; src : Operand.t }
+  | Load of { dst : string; src : Place.t }
+  | Assign of { dst : string; src : Operand.t }
+  | Binop of { dst : string; op : binop; lhs : Operand.t; rhs : Operand.t }
+  | Alloc of { dst : string; ty : Ty.t; space : space }
+  | Addr_of of { dst : string; src : Place.t }
+      (** take the address of a place, e.g. [&iter->timer] *)
+  | Flush of { target : Place.t; extent : extent }  (** clwb *)
+  | Fence  (** sfence / persist barrier *)
+  | Persist of { target : Place.t; extent : extent }  (** flush + fence *)
+  | Tx_begin
+  | Tx_end
+  | Tx_add of { target : Place.t; extent : extent }
+      (** undo-log snapshot (PMDK's TX_ADD) *)
+  | Epoch_begin
+  | Epoch_end
+  | Strand_begin of int
+  | Strand_end of int
+  | Call of { dst : string option; callee : string; args : Operand.t list }
+  | Comment of string
+
+type t = { kind : kind; loc : Loc.t }
+
+val make : ?loc:Loc.t -> kind -> t
+val pp_space : space Fmt.t
+val pp_extent : extent Fmt.t
+val string_of_binop : binop -> string
+val binop_of_string : string -> binop option
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t
+
+val defs : t -> string list
+(** Variables defined by the instruction. *)
+
+val uses : t -> string list
+(** Variables read by the instruction. *)
+
+val is_persistency_relevant : t -> bool
+(** Does the instruction affect persistent state ordering/durability? *)

@@ -1,0 +1,33 @@
+(* Source locations attached to IR instructions.
+
+   Corpus programs carry the file/line coordinates reported in the paper
+   (e.g. [btree_map.c:201]) so that checker warnings can be compared with
+   the paper's ground truth verbatim. *)
+
+type t = { file : string; line : int }
+
+let make ~file ~line = { file; line }
+let none = { file = "<unknown>"; line = 0 }
+let is_none t = t.line = 0 && String.equal t.file "<unknown>"
+let file t = t.file
+let line t = t.line
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Fmt.pf ppf "%s:%d" t.file t.line
+let to_string t = Fmt.str "%a" pp t
+
+(* Parse "file:line"; raises [Invalid_argument] on malformed input. *)
+let of_string s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg ("Loc.of_string: missing ':' in " ^ s)
+  | Some i -> (
+    let file = String.sub s 0 i in
+    let num = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt num with
+    | Some line when line >= 0 -> { file; line }
+    | Some _ | None -> invalid_arg ("Loc.of_string: bad line in " ^ s))

@@ -1,0 +1,23 @@
+(** Source locations for IR instructions.
+
+    Every instruction in the IR carries a location. Corpus programs use the
+    file/line coordinates reported in the paper so checker warnings can be
+    matched against the paper's bug tables. *)
+
+type t = { file : string; line : int }
+
+val make : file:string -> line:int -> t
+
+val none : t
+(** Placeholder location for synthesized instructions. *)
+
+val is_none : t -> bool
+val file : t -> string
+val line : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parse ["file:line"]. @raise Invalid_argument on malformed input. *)

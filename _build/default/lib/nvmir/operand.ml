@@ -1,0 +1,24 @@
+(* Operands: immediate constants, named variables (SSA-ish locals or
+   parameters), and the null pointer. *)
+
+type t =
+  | Const of int
+  | Bool_const of bool
+  | Var of string
+  | Null
+
+let pp ppf = function
+  | Const n -> Fmt.int ppf n
+  | Bool_const b -> Fmt.bool ppf b
+  | Var v -> Fmt.string ppf v
+  | Null -> Fmt.string ppf "null"
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Bool_const x, Bool_const y -> Bool.equal x y
+  | Var x, Var y -> String.equal x y
+  | Null, Null -> true
+  | (Const _ | Bool_const _ | Var _ | Null), _ -> false
+
+let var_opt = function Var v -> Some v | Const _ | Bool_const _ | Null -> None

@@ -1,0 +1,14 @@
+(** Operands: immediate constants, named variables, and the null
+    pointer. *)
+
+type t =
+  | Const of int
+  | Bool_const of bool
+  | Var of string
+  | Null
+
+val pp : t Fmt.t
+val equal : t -> t -> bool
+
+val var_opt : t -> string option
+(** The variable name, when the operand is one. *)

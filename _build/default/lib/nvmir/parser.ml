@@ -1,0 +1,349 @@
+(* Recursive-descent parser for the textual .nvmir format.
+
+   Grammar sketch (comments with '#' or '//'; ';' also starts a comment
+   to end of line so pretty-printed comments re-parse):
+
+     program   := (struct | func)*
+     struct    := "struct" ID "{" field ("," field)* "}"
+     field     := ID ":" ty
+     ty        := ("int" | "bool" | "ptr" ty | ID) ("[" INT "]")*
+     func      := "func" ID "(" params ")" ("->" ty)? "{" block+ "}"
+     block     := ID ":" instr* term
+     instr     := ... (see [parse_instr]) ... ("@" FILE:LINE)?
+     term      := "ret" operand? | "br" ID | "br" operand "," ID "," ID
+
+   Instruction mnemonics match the pretty-printer so that
+   [parse (Fmt.str "%a" Prog.pp prog)] round-trips. *)
+
+exception Parse_error of string * int
+
+let fail line fmt = Fmt.kstr (fun m -> raise (Parse_error (m, line))) fmt
+
+type st = { lx : Lexer.t; default_file : string }
+
+let next st = Lexer.next st.lx
+let peek st = Lexer.peek st.lx
+
+let expect st tok what =
+  let got, line = next st in
+  if got <> tok then
+    fail line "expected %s, got %a" what Lexer.pp_token got
+
+let expect_ident st what =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | got, line -> fail line "expected %s, got %a" what Lexer.pp_token got
+
+let expect_int st what =
+  match next st with
+  | Lexer.INT n, _ -> n
+  | got, line -> fail line "expected %s, got %a" what Lexer.pp_token got
+
+let keywords =
+  [
+    "store"; "load"; "alloc"; "addr"; "flush"; "fence"; "persist"; "tx_begin";
+    "tx_end"; "tx_add"; "epoch_begin"; "epoch_end"; "strand_begin";
+    "strand_end"; "call"; "ret"; "br"; "func"; "struct"; "ptr"; "int"; "bool";
+    "pmem"; "vmem"; "exact"; "object"; "bytes"; "null"; "true"; "false";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let rec parse_ty st : Ty.t =
+  let base =
+    match next st with
+    | Lexer.IDENT "int", _ -> Ty.Int
+    | Lexer.IDENT "bool", _ -> Ty.Bool
+    | Lexer.IDENT "ptr", _ -> Ty.Ptr (parse_ty st)
+    | Lexer.IDENT name, line ->
+      if is_keyword name then fail line "keyword %s is not a type name" name;
+      Ty.Named name
+    | got, line -> fail line "expected a type, got %a" Lexer.pp_token got
+  in
+  parse_array_suffix st base
+
+and parse_array_suffix st base =
+  match peek st with
+  | Lexer.LBRACK ->
+    ignore (next st);
+    let n = expect_int st "array length" in
+    expect st Lexer.RBRACK "']'";
+    parse_array_suffix st (Ty.Array (base, n))
+  | _ -> base
+
+let parse_operand st : Operand.t =
+  match next st with
+  | Lexer.INT n, _ -> Operand.Const n
+  | Lexer.IDENT "null", _ -> Operand.Null
+  | Lexer.IDENT "true", _ -> Operand.Bool_const true
+  | Lexer.IDENT "false", _ -> Operand.Bool_const false
+  | Lexer.IDENT name, _ -> Operand.Var name
+  | got, line -> fail line "expected an operand, got %a" Lexer.pp_token got
+
+(* A place: base variable followed by ->field and [index] accesses. *)
+let parse_place_from st base =
+  let rec accesses acc =
+    match peek st with
+    | Lexer.ARROW ->
+      ignore (next st);
+      let f = expect_ident st "field name" in
+      accesses (Place.Field f :: acc)
+    | Lexer.LBRACK ->
+      ignore (next st);
+      let op = parse_operand st in
+      expect st Lexer.RBRACK "']'";
+      accesses (Place.Index op :: acc)
+    | _ -> List.rev acc
+  in
+  Place.make base (accesses [])
+
+let parse_place st =
+  let base = expect_ident st "place base variable" in
+  parse_place_from st base
+
+let parse_extent st : Instr.extent =
+  match next st with
+  | Lexer.IDENT "exact", _ -> Instr.Exact
+  | Lexer.IDENT "object", _ -> Instr.Object
+  | Lexer.IDENT "bytes", _ ->
+    expect st Lexer.LPAREN "'('";
+    let n = expect_int st "byte count" in
+    expect st Lexer.RPAREN "')'";
+    Instr.Bytes n
+  | got, line ->
+    fail line "expected extent (exact|object|bytes), got %a" Lexer.pp_token got
+
+(* Optional trailing "@ file:line" annotation. *)
+let parse_loc st : Loc.t =
+  match peek st with
+  | Lexer.AT_LOC s -> (
+    ignore (next st);
+    try Loc.of_string s
+    with Invalid_argument m -> raise (Parse_error (m, 0)))
+  | _ -> Loc.none
+
+let parse_call_args st =
+  expect st Lexer.LPAREN "'('";
+  if peek st = Lexer.RPAREN then (
+    ignore (next st);
+    [])
+  else
+    let rec more acc =
+      let op = parse_operand st in
+      match next st with
+      | Lexer.COMMA, _ -> more (op :: acc)
+      | Lexer.RPAREN, _ -> List.rev (op :: acc)
+      | got, line -> fail line "expected ',' or ')', got %a" Lexer.pp_token got
+    in
+    more []
+
+(* What follows "x = ...". *)
+let parse_rhs st dst : Instr.kind =
+  match peek st with
+  | Lexer.IDENT "load" ->
+    ignore (next st);
+    Instr.Load { dst; src = parse_place st }
+  | Lexer.IDENT "alloc" ->
+    ignore (next st);
+    let space =
+      match next st with
+      | Lexer.IDENT "pmem", _ -> Instr.Persistent
+      | Lexer.IDENT "vmem", _ -> Instr.Volatile
+      | got, line -> fail line "expected pmem|vmem, got %a" Lexer.pp_token got
+    in
+    Instr.Alloc { dst; ty = parse_ty st; space }
+  | Lexer.IDENT "addr" ->
+    ignore (next st);
+    Instr.Addr_of { dst; src = parse_place st }
+  | Lexer.IDENT "call" ->
+    ignore (next st);
+    let callee = expect_ident st "callee name" in
+    Instr.Call { dst = Some dst; callee; args = parse_call_args st }
+  | _ -> (
+    let lhs = parse_operand st in
+    match peek st with
+    | Lexer.OP sym -> (
+      ignore (next st);
+      match Instr.binop_of_string sym with
+      | Some op -> Instr.Binop { dst; op; lhs; rhs = parse_operand st }
+      | None -> fail 0 "unknown binary operator %s" sym)
+    | _ -> Instr.Assign { dst; src = lhs })
+
+(* One instruction or terminator. Returns [`Instr] for ordinary
+   instructions, [`Term] when a block terminator was parsed. *)
+type item = Instr_item of Instr.t | Term_item of Func.terminator * Loc.t
+
+let parse_item st : item =
+  let kind_to_item kind =
+    let loc = parse_loc st in
+    Instr_item (Instr.make ~loc kind)
+  in
+  match next st with
+  | Lexer.IDENT "store", _ ->
+    let dst = parse_place st in
+    expect st Lexer.COMMA "','";
+    let src = parse_operand st in
+    kind_to_item (Instr.Store { dst; src })
+  | Lexer.IDENT "flush", _ ->
+    let extent = parse_extent st in
+    kind_to_item (Instr.Flush { target = parse_place st; extent })
+  | Lexer.IDENT "persist", _ ->
+    let extent = parse_extent st in
+    kind_to_item (Instr.Persist { target = parse_place st; extent })
+  | Lexer.IDENT "tx_add", _ ->
+    let extent = parse_extent st in
+    kind_to_item (Instr.Tx_add { target = parse_place st; extent })
+  | Lexer.IDENT "fence", _ -> kind_to_item Instr.Fence
+  | Lexer.IDENT "tx_begin", _ -> kind_to_item Instr.Tx_begin
+  | Lexer.IDENT "tx_end", _ -> kind_to_item Instr.Tx_end
+  | Lexer.IDENT "epoch_begin", _ -> kind_to_item Instr.Epoch_begin
+  | Lexer.IDENT "epoch_end", _ -> kind_to_item Instr.Epoch_end
+  | Lexer.IDENT "strand_begin", _ ->
+    kind_to_item (Instr.Strand_begin (expect_int st "strand id"))
+  | Lexer.IDENT "strand_end", _ ->
+    kind_to_item (Instr.Strand_end (expect_int st "strand id"))
+  | Lexer.IDENT "call", _ ->
+    let callee = expect_ident st "callee name" in
+    kind_to_item (Instr.Call { dst = None; callee; args = parse_call_args st })
+  | Lexer.IDENT "ret", _ -> (
+    match peek st with
+    | Lexer.INT _ | Lexer.IDENT "null" | Lexer.IDENT "true"
+    | Lexer.IDENT "false" ->
+      let v = parse_operand st in
+      Term_item (Func.Ret (Some v), parse_loc st)
+    | Lexer.IDENT name when not (is_keyword name) ->
+      (* "ret x" returns x — unless "x :" starts the next block. Try
+         consuming the identifier; if ':' follows, rewind. *)
+      let snap = Lexer.save st.lx in
+      ignore (next st);
+      if peek st = Lexer.COLON then (
+        Lexer.restore st.lx snap;
+        Term_item (Func.Ret None, Loc.none))
+      else Term_item (Func.Ret (Some (Operand.Var name)), parse_loc st)
+    | _ -> Term_item (Func.Ret None, parse_loc st))
+  | Lexer.IDENT "br", _ -> (
+    let first, line = next st in
+    match (first, peek st) with
+    | Lexer.IDENT lbl, tok when tok <> Lexer.COMMA ->
+      Term_item (Func.Br lbl, parse_loc st)
+    | Lexer.IDENT _, Lexer.COMMA | Lexer.INT _, _ -> (
+      let cond =
+        match first with
+        | Lexer.IDENT v -> Operand.Var v
+        | Lexer.INT n -> Operand.Const n
+        | _ -> fail line "bad branch condition"
+      in
+      ignore (next st);
+      (* the comma *)
+      let then_lbl = expect_ident st "then label" in
+      expect st Lexer.COMMA "','";
+      let else_lbl = expect_ident st "else label" in
+      Term_item (Func.Cond_br { cond; then_lbl; else_lbl }, parse_loc st))
+    | got, _ -> fail line "expected branch target, got %a" Lexer.pp_token got)
+  | Lexer.IDENT dst, line ->
+    if is_keyword dst then fail line "unexpected keyword %s" dst;
+    expect st Lexer.EQUAL "'='";
+    kind_to_item (parse_rhs st dst)
+  | got, line -> fail line "expected an instruction, got %a" Lexer.pp_token got
+
+let parse_block st first_label : Func.block =
+  let rec items acc =
+    match parse_item st with
+    | Instr_item i -> items (i :: acc)
+    | Term_item (term, term_loc) ->
+      { Func.label = first_label; instrs = List.rev acc; term; term_loc }
+  in
+  items []
+
+let parse_func st : Func.t =
+  let fname = expect_ident st "function name" in
+  expect st Lexer.LPAREN "'('";
+  let params =
+    if peek st = Lexer.RPAREN then (
+      ignore (next st);
+      [])
+    else
+      let rec more acc =
+        let p = expect_ident st "parameter name" in
+        expect st Lexer.COLON "':'";
+        let ty = parse_ty st in
+        match next st with
+        | Lexer.COMMA, _ -> more ((p, ty) :: acc)
+        | Lexer.RPAREN, _ -> List.rev ((p, ty) :: acc)
+        | got, line ->
+          fail line "expected ',' or ')', got %a" Lexer.pp_token got
+      in
+      more []
+  in
+  let ret_ty =
+    match peek st with
+    | Lexer.ARROW ->
+      ignore (next st);
+      Some (parse_ty st)
+    | _ -> None
+  in
+  expect st Lexer.LBRACE "'{'";
+  let rec blocks acc =
+    match next st with
+    | Lexer.RBRACE, _ -> List.rev acc
+    | Lexer.IDENT label, _ ->
+      expect st Lexer.COLON "':' after block label";
+      blocks (parse_block st label :: acc)
+    | got, line ->
+      fail line "expected block label or '}', got %a" Lexer.pp_token got
+  in
+  let blocks = blocks [] in
+  {
+    Func.fname;
+    params;
+    ret_ty;
+    blocks;
+    floc = Loc.make ~file:st.default_file ~line:0;
+  }
+
+let parse_struct st : Ty.struct_def =
+  let sname = expect_ident st "struct name" in
+  expect st Lexer.LBRACE "'{'";
+  let rec fields acc =
+    match next st with
+    | Lexer.RBRACE, _ -> List.rev acc
+    | Lexer.IDENT f, _ -> (
+      expect st Lexer.COLON "':'";
+      let ty = parse_ty st in
+      match peek st with
+      | Lexer.COMMA ->
+        ignore (next st);
+        fields ((f, ty) :: acc)
+      | _ -> fields ((f, ty) :: acc))
+    | got, line ->
+      fail line "expected field name or '}', got %a" Lexer.pp_token got
+  in
+  { Ty.sname; fields = fields [] }
+
+(* Parse a whole program from a string. [file] is used for diagnostics
+   only; instruction locations come from their '@' annotations. *)
+let parse ?(file = "<string>") src : Prog.t =
+  let st = { lx = Lexer.create src; default_file = file } in
+  let prog = Prog.create () in
+  let rec toplevel () =
+    match next st with
+    | Lexer.EOF, _ -> ()
+    | Lexer.IDENT "struct", _ ->
+      Prog.add_struct prog (parse_struct st);
+      toplevel ()
+    | Lexer.IDENT "func", _ ->
+      Prog.add_func prog (parse_func st);
+      toplevel ()
+    | got, line ->
+      fail line "expected 'struct' or 'func', got %a" Lexer.pp_token got
+  in
+  (try toplevel ()
+   with Lexer.Error (m, line) -> raise (Parse_error (m, line)));
+  prog
+
+let parse_file path : Prog.t =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~file:path src

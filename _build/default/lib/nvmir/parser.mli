@@ -1,0 +1,18 @@
+(** Parser for the textual [.nvmir] format.
+
+    The format is what {!Prog.pp} prints: struct definitions and
+    functions of labeled blocks, with optional ["@ file:line"] source
+    annotations on instructions and ['#']/["//"]/[';'] comments. See
+    [examples/programs/] for complete inputs. *)
+
+exception Parse_error of string * int
+(** Message and (approximate) source line. *)
+
+val parse : ?file:string -> string -> Prog.t
+(** Parse a whole program from a string. [file] is used in diagnostics
+    only; instruction locations come from their ["@"] annotations.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Prog.t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error when the file cannot be read. *)

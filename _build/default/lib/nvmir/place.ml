@@ -1,0 +1,43 @@
+(* Memory places: an access path rooted at a variable.
+
+   A place denotes a memory location reachable from a pointer-valued
+   variable through a chain of field selections and array indexings,
+   mirroring C lvalues such as [lk->state] or [node->items[c-1]]. Places
+   are what stores, loads and flushes operate on; the DSA maps them to
+   abstract persistent objects and fields. *)
+
+type access =
+  | Field of string
+  | Index of Operand.t (* array subscript; may be symbolic *)
+
+type t = { base : string; path : access list }
+
+let var base = { base; path = [] }
+let field base f = { base; path = [ Field f ] }
+let index base i = { base; path = [ Index i ] }
+let field_index base f i = { base; path = [ Field f; Index i ] }
+let make base path = { base; path }
+let base t = t.base
+let path t = t.path
+
+(* The first field selected from the base pointer, if any. DSA field
+   sensitivity keys on this. *)
+let first_field t =
+  List.find_map (function Field f -> Some f | Index _ -> None) t.path
+
+let pp_access ppf = function
+  | Field f -> Fmt.pf ppf "->%s" f
+  | Index i -> Fmt.pf ppf "[%a]" Operand.pp i
+
+let pp ppf t = Fmt.pf ppf "%s%a" t.base Fmt.(list ~sep:nop pp_access) t.path
+
+let equal_access a b =
+  match (a, b) with
+  | Field x, Field y -> String.equal x y
+  | Index x, Index y -> Operand.equal x y
+  | (Field _ | Index _), _ -> false
+
+let equal a b =
+  String.equal a.base b.base
+  && List.length a.path = List.length b.path
+  && List.for_all2 equal_access a.path b.path

@@ -1,0 +1,32 @@
+(** Memory places: access paths rooted at a pointer-valued variable,
+    mirroring C lvalues such as [lk->state] or [node->items[c-1]].
+    Stores, loads and flushes operate on places; the DSA maps them to
+    abstract persistent objects and fields. *)
+
+type access =
+  | Field of string
+  | Index of Operand.t  (** array subscript; may be symbolic *)
+
+type t
+
+val var : string -> t
+(** The location the variable points to (no further accesses). *)
+
+val field : string -> string -> t
+(** [field p f] is [p->f]. *)
+
+val index : string -> Operand.t -> t
+(** [index p i] is [p[i]]. *)
+
+val field_index : string -> string -> Operand.t -> t
+(** [field_index p f i] is [p->f[i]]. *)
+
+val make : string -> access list -> t
+val base : t -> string
+val path : t -> access list
+
+val first_field : t -> string option
+(** The first field selected from the base pointer, if any. *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

@@ -1,0 +1,37 @@
+(** Whole programs: struct definitions plus functions, with the
+    well-formedness checks a front end would guarantee. *)
+
+type t
+
+val create : unit -> t
+val tenv : t -> Ty.env
+
+val add_struct : t -> Ty.struct_def -> unit
+(** @raise Invalid_argument on duplicate struct names. *)
+
+val structs : t -> Ty.struct_def list
+(** In declaration order. *)
+
+val add_func : t -> Func.t -> unit
+(** @raise Invalid_argument on duplicate function names. *)
+
+val find_func : t -> string -> Func.t option
+
+val funcs : t -> Func.t list
+(** In declaration order. *)
+
+val func_names : t -> string list
+
+type error = { in_func : string option; message : string }
+
+val pp_error : error Fmt.t
+
+val validate : t -> error list
+(** Well-formedness: unique labels, resolvable branch targets and struct
+    references, balanced transaction/epoch markers on every path. An
+    empty list means the program is analyzable and executable. *)
+
+val pp : t Fmt.t
+(** Prints the textual form accepted by {!Parser.parse}. *)
+
+val total_instrs : t -> int

@@ -1,0 +1,86 @@
+(* Types for the NVM IR.
+
+   The type language is deliberately small: integers, booleans, named
+   structs, pointers, and fixed-size arrays — enough to model every data
+   structure in the paper's corpus (B-tree nodes, hash buckets, inodes,
+   lock records, ...). Struct definitions live in a [Ty.env] so that
+   field lookups are shared by the DSA and the runtime. *)
+
+type t =
+  | Int
+  | Bool
+  | Named of string (* reference to a struct definition by name *)
+  | Ptr of t
+  | Array of t * int
+
+type struct_def = { sname : string; fields : (string * t) list }
+
+type env = (string, struct_def) Hashtbl.t
+
+let rec pp ppf = function
+  | Int -> Fmt.string ppf "int"
+  | Bool -> Fmt.string ppf "bool"
+  | Named n -> Fmt.string ppf n
+  | Ptr t -> Fmt.pf ppf "ptr %a" pp t
+  | Array (t, n) -> Fmt.pf ppf "%a[%d]" pp t n
+
+let pp_struct ppf { sname; fields } =
+  let pp_field ppf (f, t) = Fmt.pf ppf "%s: %a" f pp t in
+  Fmt.pf ppf "@[<hov 2>struct %s {@ %a@ }@]" sname
+    Fmt.(list ~sep:(any ",@ ") pp_field)
+    fields
+
+let rec equal a b =
+  match (a, b) with
+  | Int, Int | Bool, Bool -> true
+  | Named x, Named y -> String.equal x y
+  | Ptr x, Ptr y -> equal x y
+  | Array (x, n), Array (y, m) -> n = m && equal x y
+  | (Int | Bool | Named _ | Ptr _ | Array _), _ -> false
+
+let env_create () : env = Hashtbl.create 16
+
+let env_add (env : env) (sd : struct_def) =
+  if Hashtbl.mem env sd.sname then
+    invalid_arg ("Ty.env_add: duplicate struct " ^ sd.sname);
+  Hashtbl.replace env sd.sname sd
+
+let env_find (env : env) name = Hashtbl.find_opt env name
+
+let field_ty (env : env) ~struct_name ~field =
+  match env_find env struct_name with
+  | None -> None
+  | Some sd -> List.assoc_opt field sd.fields
+
+let field_names (env : env) ~struct_name =
+  match env_find env struct_name with
+  | None -> []
+  | Some sd -> List.map fst sd.fields
+
+(* Abstract size in "slots": an int/bool/pointer occupies one slot, an
+   array of n elements occupies n element-sizes, a struct the sum of its
+   fields. The runtime's cache-line model and the checker's extent
+   reasoning both use slots instead of bytes; this keeps arithmetic exact
+   while preserving the containment relations the rules need
+   (field-extent < object-extent, etc.). *)
+let rec size_slots (env : env) = function
+  | Int | Bool | Ptr _ -> 1
+  | Array (t, n) -> n * size_slots env t
+  | Named n -> (
+    match env_find env n with
+    | None -> 1
+    | Some sd ->
+      List.fold_left (fun acc (_, t) -> acc + size_slots env t) 0 sd.fields)
+
+(* Offset of [field] within [struct_name], in slots. *)
+let field_offset (env : env) ~struct_name ~field =
+  match env_find env struct_name with
+  | None -> None
+  | Some sd ->
+    let rec scan off = function
+      | [] -> None
+      | (f, t) :: rest ->
+        if String.equal f field then Some off
+        else scan (off + size_slots env t) rest
+    in
+    scan 0 sd.fields

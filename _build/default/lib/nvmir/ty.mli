@@ -1,0 +1,31 @@
+(** Types for the NVM IR: integers, booleans, named structs, pointers and
+    fixed-size arrays. Struct layouts are resolved through a shared [env]. *)
+
+type t =
+  | Int
+  | Bool
+  | Named of string  (** reference to a struct definition by name *)
+  | Ptr of t
+  | Array of t * int
+
+type struct_def = { sname : string; fields : (string * t) list }
+type env
+
+val pp : t Fmt.t
+val pp_struct : struct_def Fmt.t
+val equal : t -> t -> bool
+val env_create : unit -> env
+
+val env_add : env -> struct_def -> unit
+(** @raise Invalid_argument on duplicate struct names. *)
+
+val env_find : env -> string -> struct_def option
+val field_ty : env -> struct_name:string -> field:string -> t option
+val field_names : env -> struct_name:string -> string list
+
+val size_slots : env -> t -> int
+(** Abstract size: scalars and pointers are one slot, aggregates the sum of
+    their parts. Used by the cache-line model and extent reasoning. *)
+
+val field_offset : env -> struct_name:string -> field:string -> int option
+(** Offset of a field within a struct, in slots. *)

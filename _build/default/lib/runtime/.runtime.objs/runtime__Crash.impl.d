@@ -1,0 +1,1 @@
+lib/runtime/crash.ml: Array Fmt Hashtbl Interp List Pmem Value

@@ -1,0 +1,1 @@
+lib/runtime/dynamic.ml: Analysis Fmt Hashtbl List Nvmir Pmem Shadow

@@ -1,0 +1,1 @@
+lib/runtime/dynamic.mli: Analysis Fmt Pmem Shadow

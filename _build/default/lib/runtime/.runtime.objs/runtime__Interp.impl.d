@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Fmt Hashtbl List Nvmir Option Pmem Value

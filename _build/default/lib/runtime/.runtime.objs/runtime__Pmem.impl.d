@@ -1,0 +1,1 @@
+lib/runtime/pmem.ml: Array Config Fmt Fun Hashtbl Int List Nvmir Option Value

@@ -1,0 +1,1 @@
+lib/runtime/pmem.mli: Config Fmt Hashtbl Nvmir Value

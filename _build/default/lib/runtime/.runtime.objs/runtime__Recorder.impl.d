@@ -1,0 +1,1 @@
+lib/runtime/recorder.ml: Analysis Fmt List Nvmir Pmem

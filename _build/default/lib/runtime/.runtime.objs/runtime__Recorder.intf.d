@@ -1,0 +1,1 @@
+lib/runtime/recorder.mli: Analysis Fmt Nvmir Pmem

@@ -1,0 +1,1 @@
+lib/runtime/shadow.ml: Fmt Hashtbl List Nvmir

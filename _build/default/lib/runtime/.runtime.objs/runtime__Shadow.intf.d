@@ -1,0 +1,1 @@
+lib/runtime/shadow.mli: Fmt Nvmir

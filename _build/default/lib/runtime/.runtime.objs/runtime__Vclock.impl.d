@@ -1,0 +1,1 @@
+lib/runtime/vclock.ml: Fmt Int Map Option

@@ -1,0 +1,28 @@
+(** Simulator configuration — the stand-in for the paper's Table 7
+    testbed. Costs are abstract cycles; benchmarks report relative
+    numbers. *)
+
+type cost_model = {
+  store_cost : int;
+  load_cost : int;
+  flush_cost : int;  (** clwb issue + write-back *)
+  fence_cost : int;  (** sfence drain *)
+  tx_overhead : int;
+  log_cost : int;  (** undo-log copy *)
+}
+
+val default_cost_model : cost_model
+
+type t = {
+  cacheline_slots : int;  (** flushes are line-granular *)
+  cost : cost_model;
+  track_eviction : bool;  (** model spontaneous dirty-line eviction *)
+  eviction_seed : int;
+}
+
+val default : t
+
+val describe : t -> (string * string) list
+(** The Table 7 rows. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,181 @@
+(* Crash simulation: execute a program, injecting a crash after the k-th
+   persistent-memory event for every k, and evaluate a user-supplied
+   consistency invariant over the durable state that survives.
+
+   This is the oracle the test suite uses to demonstrate that the
+   model-violation bugs the checker reports are real: the buggy corpus
+   variants fail the invariant at some crash point, the fixed variants
+   never do. *)
+
+exception Crashed
+
+type outcome = {
+  crash_point : int; (* event index the crash was injected after *)
+  consistent : bool;
+  detail : string;
+}
+
+type report = {
+  outcomes : outcome list;
+  total_points : int;
+  violations : int;
+}
+
+(* Count every persistent-memory event (writes, flushes, fences, tx ops)
+   so crash points cover each interesting intermediate state. *)
+let counting_listener counter : Pmem.listener =
+  let bump _ = incr counter in
+  {
+    Pmem.null_listener with
+    Pmem.on_write = (fun _ loc -> bump loc);
+    on_flush = (fun ~obj_id:_ ~first_slot:_ ~nslots:_ ~dirty:_ loc -> bump loc);
+    on_fence = (fun loc -> bump loc);
+    on_tx_begin = (fun loc -> bump loc);
+    on_tx_end = (fun loc -> bump loc);
+  }
+
+let crashing_listener ~at counter : Pmem.listener =
+  let bump _ =
+    incr counter;
+    if !counter = at then raise Crashed
+  in
+  {
+    Pmem.null_listener with
+    Pmem.on_write = (fun _ loc -> bump loc);
+    on_flush = (fun ~obj_id:_ ~first_slot:_ ~nslots:_ ~dirty:_ loc -> bump loc);
+    on_fence = (fun loc -> bump loc);
+    on_tx_begin = (fun loc -> bump loc);
+    on_tx_end = (fun loc -> bump loc);
+  }
+
+(* Run to completion once to count events. *)
+let count_events ?config ?entry ?args prog =
+  let pmem = Pmem.create ?config () in
+  let counter = ref 0 in
+  Pmem.add_listener pmem (counting_listener counter);
+  let interp = Interp.create ~pmem prog in
+  ignore (Interp.run ?entry ?args interp);
+  !counter
+
+(* [invariant] receives the post-crash heap; reads through
+   [Pmem.durable_value] see exactly what survived. It returns [Ok ()] or
+   [Error detail]. *)
+let test ?config ?entry ?args ~invariant prog : report =
+  let total = count_events ?config ?entry ?args prog in
+  let outcomes = ref [] in
+  for k = 1 to total do
+    let pmem = Pmem.create ?config () in
+    let counter = ref 0 in
+    Pmem.add_listener pmem (crashing_listener ~at:k counter);
+    let interp = Interp.create ~pmem prog in
+    let crashed =
+      try
+        ignore (Interp.run ?entry ?args interp);
+        false
+      with Crashed -> true
+    in
+    if crashed then begin
+      let consistent, detail =
+        match invariant pmem with
+        | Ok () -> (true, "")
+        | Error d -> (false, d)
+      in
+      outcomes := { crash_point = k; consistent; detail } :: !outcomes
+    end
+  done;
+  let outcomes = List.rev !outcomes in
+  {
+    outcomes;
+    total_points = total;
+    violations = List.length (List.filter (fun o -> not o.consistent) outcomes);
+  }
+
+(* Invariant-free exploration: at every crash point, how many slots of
+   the durable state differ from the durable state of a completed run?
+   Non-zero exposure at the last crash point means data written by the
+   program never became durable at all (an unflushed write); exposure in
+   the middle is the normal in-flight window whose size the persistency
+   discipline controls. *)
+type exposure = {
+  point : int;
+  at_risk_slots : int; (* durable now vs durable after completion *)
+  volatile_slots : int; (* cached vs durable at the crash point *)
+}
+
+type exposure_report = {
+  points : exposure list;
+  final_at_risk : int;
+      (* slots still volatile when the program ends: writes that never
+         became durable at all (the Figure 9 class of bug) *)
+}
+
+let explore ?config ?entry ?args prog : exposure_report =
+  let final, final_volatile =
+    let pmem = Pmem.create ?config () in
+    let interp = Interp.create ~pmem prog in
+    ignore (Interp.run ?entry ?args interp);
+    (Pmem.durable_snapshot pmem, Pmem.volatile_slot_count pmem)
+  in
+  let total = count_events ?config ?entry ?args prog in
+  let points = ref [] in
+  for k = 1 to total do
+    let pmem = Pmem.create ?config () in
+    let counter = ref 0 in
+    Pmem.add_listener pmem (crashing_listener ~at:k counter);
+    let interp = Interp.create ~pmem prog in
+    let crashed =
+      try
+        ignore (Interp.run ?entry ?args interp);
+        false
+      with Crashed -> true
+    in
+    if crashed then begin
+      let snap = Pmem.durable_snapshot pmem in
+      let at_risk = ref 0 in
+      Hashtbl.iter
+        (fun obj_id values ->
+          Array.iteri
+            (fun slot v ->
+              match Hashtbl.find_opt final obj_id with
+              | Some fvalues when not (Value.equal v fvalues.(slot)) ->
+                incr at_risk
+              | Some _ -> ()
+              | None -> ())
+            values)
+        snap;
+      points :=
+        {
+          point = k;
+          at_risk_slots = !at_risk;
+          volatile_slots = Pmem.volatile_slot_count pmem;
+        }
+        :: !points
+    end
+  done;
+  { points = List.rev !points; final_at_risk = final_volatile }
+
+let pp_exposure_report ppf r =
+  let peak =
+    List.fold_left (fun a e -> max a e.at_risk_slots) 0 r.points
+  in
+  Fmt.pf ppf
+    "@[<v>crash points: %d; peak in-flight exposure: %d slot(s); data never \
+     made durable by program end: %d slot(s)@ %a@]"
+    (List.length r.points) peak r.final_at_risk
+    Fmt.(
+      list ~sep:(any "@ ") (fun ppf e ->
+          Fmt.pf ppf "  after event %3d: %2d at-risk, %2d volatile" e.point
+            e.at_risk_slots e.volatile_slots))
+    r.points
+
+let consistent report = report.violations = 0
+
+let first_violation report =
+  List.find_opt (fun o -> not o.consistent) report.outcomes
+
+let pp_report ppf r =
+  Fmt.pf ppf "crash points: %d, violations: %d%a" r.total_points r.violations
+    Fmt.(
+      option (fun ppf o ->
+          Fmt.pf ppf " (first at event %d: %s)" o.crash_point o.detail))
+    (first_violation r)

@@ -1,0 +1,298 @@
+(* The dynamic checker (§4.4): online analysis of epoch- and strand-
+   annotated NVM programs.
+
+   It attaches to a [Pmem.t] as a listener and
+
+   - tracks writes/reads to persistent slots inside annotated regions in
+     a shadow segment and reports WAW and RAW races between concurrent
+     strands (happens-before detection; persist barriers are the
+     synchronization points);
+   - reports flushes that wrote back no dirty data: never-written ranges
+     as writing back unmodified data, ranges re-flushed inside a
+     transaction as persisting the same object twice, and other clean
+     re-flushes as redundant write-backs;
+   - at each epoch boundary, reports writes of the closing epoch that
+     are still volatile (dirty, un-fenced) — the runtime complement of
+     the static unflushed-write rule.
+
+   Only accesses inside annotated regions are tracked (the paper's key
+   overhead reduction over vanilla ThreadSanitizer), so cost scales with
+   the persistent write/read ratio of the workload. *)
+
+type region = No_region | In_epoch | In_strand of int
+
+type thread_state = {
+  thread_id : int;
+  mutable region : region;
+  mutable begin_fence : int; (* barrier count when the region began *)
+  mutable epoch_writes : (Pmem.addr * Nvmir.Loc.t) list;
+      (* writes of the open epoch, with their source locations *)
+}
+
+type t = {
+  model : Analysis.Model.t;
+  shadow : Shadow.t;
+  max_warnings : int;
+  mutable warnings : Analysis.Warning.t list;
+  mutable dropped_warnings : int;
+  mutable races_waw : int;
+  mutable races_raw : int;
+  mutable unflushed_epoch_writes : int;
+  mutable redundant_flushes : int;
+  threads : (int, thread_state) Hashtbl.t;
+  mutable current : thread_state;
+  mutable fence_count : int; (* global persist-barrier counter *)
+  mutable pmem : Pmem.t option;
+  mutable tx_depth : int;
+  ever_written : (int, unit) Hashtbl.t;
+      (* in-region writes seen, keyed like [Shadow.key] *)
+}
+
+let fresh_thread id =
+  { thread_id = id; region = No_region; begin_fence = 0; epoch_writes = [] }
+
+let create ?(max_warnings = 10_000) ~model () =
+  let t0 = fresh_thread 0 in
+  let threads = Hashtbl.create 8 in
+  Hashtbl.replace threads 0 t0;
+  {
+    model;
+    shadow = Shadow.create ();
+    max_warnings;
+    warnings = [];
+    dropped_warnings = 0;
+    races_waw = 0;
+    races_raw = 0;
+    unflushed_epoch_writes = 0;
+    redundant_flushes = 0;
+    threads;
+    current = t0;
+    fence_count = 0;
+    pmem = None;
+    tx_depth = 0;
+    ever_written = Hashtbl.create 256;
+  }
+
+let thread t id =
+  match Hashtbl.find_opt t.threads id with
+  | Some ts -> ts
+  | None ->
+    let ts = fresh_thread id in
+    Hashtbl.replace t.threads id ts;
+    ts
+
+(* Multi-client workloads switch the active thread before each
+   operation; single-threaded IR programs never call this. *)
+let set_thread t id =
+  if t.current.thread_id <> id then t.current <- thread t id
+
+let warnings t = List.rev t.warnings
+let shadow t = t.shadow
+
+let add_warning t ~rule ~loc ~fname message =
+  if List.length t.warnings >= t.max_warnings then
+    t.dropped_warnings <- t.dropped_warnings + 1
+  else
+    t.warnings <-
+      Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ~rule
+        ~model:t.model ~loc ~fname message
+      :: t.warnings
+
+let strand_of_region ts =
+  match ts.region with
+  | In_strand n -> Some n
+  | In_epoch -> Some (-1 - ts.thread_id) (* epochs race only across threads *)
+  | No_region -> None
+
+let on_write t addr loc =
+  let ts = t.current in
+  match strand_of_region ts with
+  | None -> ()
+  | Some strand ->
+    (* epoch-boundary volatility reporting only applies to epochs;
+       strand regions defer barriers by design *)
+    if ts.region = In_epoch then
+      ts.epoch_writes <- (addr, loc) :: ts.epoch_writes;
+    Hashtbl.replace t.ever_written (Shadow.key ~obj_id:addr.Pmem.obj_id ~slot:addr.Pmem.slot) ();
+    let access = { Shadow.strand; fence_at = t.fence_count; loc } in
+    let conflicts =
+      Shadow.record_write t.shadow ~obj_id:addr.Pmem.obj_id
+        ~slot:addr.Pmem.slot ~begin_fence:ts.begin_fence access
+    in
+    List.iter
+      (fun c ->
+        match c with
+        | `Waw (w : Shadow.access) ->
+          t.races_waw <- t.races_waw + 1;
+          add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+            ~fname:"<runtime>"
+            (Fmt.str
+               "WAW race: strands %d and %d both write obj%d[%d] without an \
+                ordering barrier (previous write at %a)"
+               w.Shadow.strand strand addr.Pmem.obj_id addr.Pmem.slot
+               Nvmir.Loc.pp w.Shadow.loc)
+        | `Raw (r : Shadow.access) ->
+          t.races_raw <- t.races_raw + 1;
+          add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+            ~fname:"<runtime>"
+            (Fmt.str
+               "RAW race: strand %d reads obj%d[%d] concurrently with strand \
+                %d's write (read at %a)"
+               r.Shadow.strand addr.Pmem.obj_id addr.Pmem.slot strand
+               Nvmir.Loc.pp r.Shadow.loc))
+      conflicts
+
+let on_read t addr loc =
+  let ts = t.current in
+  match strand_of_region ts with
+  | None -> ()
+  | Some strand -> (
+    let access = { Shadow.strand; fence_at = t.fence_count; loc } in
+    match
+      Shadow.record_read t.shadow ~obj_id:addr.Pmem.obj_id ~slot:addr.Pmem.slot
+        ~begin_fence:ts.begin_fence access
+    with
+    | Some (`Raw w) ->
+      t.races_raw <- t.races_raw + 1;
+      add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+        ~fname:"<runtime>"
+        (Fmt.str
+           "RAW race: read of obj%d[%d] is concurrent with strand %d's write \
+            at %a"
+           addr.Pmem.obj_id addr.Pmem.slot w.Shadow.strand Nvmir.Loc.pp
+           w.Shadow.loc)
+    | None -> ())
+
+(* A flush that found no dirty slot is redundant work: classify it by
+   whether the range was ever written inside a tracked region (multiple
+   flushes / persist-same-in-tx) or never written at all (writing back
+   unmodified data). *)
+let on_flush t ~obj_id ~first_slot ~nslots ~dirty loc =
+  let ts = t.current in
+  match strand_of_region ts with
+  | None -> ()
+  | Some _ ->
+    if not dirty then begin
+      t.redundant_flushes <- t.redundant_flushes + 1;
+      let rec ever i =
+        i < nslots
+        && (Hashtbl.mem t.ever_written (Shadow.key ~obj_id ~slot:(first_slot + i))
+           || ever (i + 1))
+      in
+      if not (ever 0) then
+        add_warning t ~rule:Analysis.Warning.Flush_unmodified ~loc
+          ~fname:"<runtime>"
+          (Fmt.str
+             "flush of obj%d[%d..%d] writes back data that was never modified"
+             obj_id first_slot
+             (first_slot + nslots - 1))
+      else if t.tx_depth > 0 then
+        add_warning t ~rule:Analysis.Warning.Persist_same_object_in_tx ~loc
+          ~fname:"<runtime>"
+          (Fmt.str
+             "obj%d[%d..%d] persisted again within the same transaction with \
+              no intervening modification"
+             obj_id first_slot
+             (first_slot + nslots - 1))
+      else
+        add_warning t ~rule:Analysis.Warning.Multiple_flushes ~loc
+          ~fname:"<runtime>"
+          (Fmt.str
+             "redundant write-back of obj%d[%d..%d]: already flushed and \
+              unmodified since"
+             obj_id first_slot
+             (first_slot + nslots - 1))
+    end
+
+let on_fence t _loc = t.fence_count <- t.fence_count + 1
+
+let on_strand_begin t n _loc =
+  let ts = t.current in
+  ts.region <- In_strand n;
+  ts.begin_fence <- t.fence_count
+
+let on_strand_end t n _loc =
+  ignore n;
+  t.current.region <- No_region
+
+let flush_epoch_report t ts _loc =
+  match t.pmem with
+  | None -> ts.epoch_writes <- []
+  | Some pm ->
+    (* epochs are short (a handful of writes), so iterate directly *)
+    let still_volatile =
+      List.filter (fun (addr, _) -> Pmem.slot_state pm addr <> Pmem.Clean)
+        ts.epoch_writes
+    in
+    List.iter
+      (fun ((addr : Pmem.addr), wloc) ->
+        t.unflushed_epoch_writes <- t.unflushed_epoch_writes + 1;
+        add_warning t ~rule:Analysis.Warning.Unflushed_write ~loc:wloc
+          ~fname:"<runtime>"
+          (Fmt.str
+             "epoch ends while the write to obj%d[%d] is still volatile; a \
+              crash here loses it"
+             addr.Pmem.obj_id addr.Pmem.slot))
+      still_volatile;
+    ts.epoch_writes <- []
+
+let on_epoch_begin t _loc =
+  let ts = t.current in
+  ts.region <- In_epoch;
+  ts.epoch_writes <- [];
+  ts.begin_fence <- t.fence_count
+
+let on_epoch_end t loc =
+  let ts = t.current in
+  flush_epoch_report t ts loc;
+  ts.region <- No_region
+
+let listener t : Pmem.listener =
+  {
+    Pmem.null_listener with
+    Pmem.on_write = (fun addr loc -> on_write t addr loc);
+    on_read = (fun addr loc -> on_read t addr loc);
+    on_flush =
+      (fun ~obj_id ~first_slot ~nslots ~dirty loc ->
+        on_flush t ~obj_id ~first_slot ~nslots ~dirty loc);
+    on_fence = (fun loc -> on_fence t loc);
+    on_tx_begin = (fun _ -> t.tx_depth <- t.tx_depth + 1);
+    on_tx_end = (fun _ -> t.tx_depth <- max 0 (t.tx_depth - 1));
+    on_strand_begin = (fun n loc -> on_strand_begin t n loc);
+    on_strand_end = (fun n loc -> on_strand_end t n loc);
+    on_epoch_begin = (fun loc -> on_epoch_begin t loc);
+    on_epoch_end = (fun loc -> on_epoch_end t loc);
+  }
+
+(* Attach the checker to a heap; subsequent operations are monitored. *)
+let attach t pm =
+  t.pmem <- Some pm;
+  Pmem.add_listener pm (listener t)
+
+type summary = {
+  waw : int;
+  raw : int;
+  unflushed : int;
+  redundant : int;
+  tracked_cells : int;
+  warning_count : int;
+  dropped : int;
+}
+
+let summary t =
+  {
+    waw = t.races_waw;
+    raw = t.races_raw;
+    unflushed = t.unflushed_epoch_writes;
+    redundant = t.redundant_flushes;
+    tracked_cells = Shadow.tracked_cells t.shadow;
+    warning_count = List.length t.warnings + t.dropped_warnings;
+    dropped = t.dropped_warnings;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "WAW=%d RAW=%d unflushed-at-epoch-end=%d redundant-flushes=%d cells=%d \
+     warnings=%d%s"
+    s.waw s.raw s.unflushed s.redundant s.tracked_cells s.warning_count
+    (if s.dropped > 0 then Fmt.str " (%d dropped)" s.dropped else "")

@@ -1,0 +1,36 @@
+(** The dynamic checker (§4.4): online analysis of epoch- and strand-
+    annotated NVM programs. Attach it to a heap and run the program (via
+    {!Interp} or native code using {!Pmem} directly); it tracks accesses
+    inside annotated regions in a shadow segment, detects WAW/RAW races
+    between strands, reports writes still volatile at epoch boundaries,
+    and classifies redundant write-backs. *)
+
+type t
+
+val create : ?max_warnings:int -> model:Analysis.Model.t -> unit -> t
+(** [max_warnings] caps stored warnings (default 10000); occurrences
+    beyond the cap are still counted in the summary. *)
+
+val attach : t -> Pmem.t -> unit
+(** Register the checker as a listener; subsequent operations are
+    monitored. *)
+
+val set_thread : t -> int -> unit
+(** Multi-client workloads switch the active thread before each
+    operation. *)
+
+val warnings : t -> Analysis.Warning.t list
+val shadow : t -> Shadow.t
+
+type summary = {
+  waw : int;
+  raw : int;
+  unflushed : int;  (** writes still volatile at an epoch boundary *)
+  redundant : int;  (** flushes that wrote back nothing dirty *)
+  tracked_cells : int;
+  warning_count : int;
+  dropped : int;
+}
+
+val summary : t -> summary
+val pp_summary : summary Fmt.t

@@ -1,0 +1,21 @@
+(** IR interpreter over the NVM simulator. All persistent operations go
+    through {!Pmem}, so attached listeners — in particular the dynamic
+    checker — observe exactly the events an instrumented binary would
+    produce (steps 5–6 of Figure 8). *)
+
+exception Runtime_error of string * Nvmir.Loc.t
+exception Out_of_fuel
+
+type t
+
+val create : ?fuel:int -> pmem:Pmem.t -> Nvmir.Prog.t -> t
+(** [fuel] bounds executed steps (default 5M). *)
+
+val pmem : t -> Pmem.t
+val steps : t -> int
+
+val run : ?entry:string -> ?args:int list -> t -> Value.t
+(** Execute [entry] (default ["main"]) with integer arguments.
+    @raise Runtime_error on ill-formed executions.
+    @raise Out_of_fuel when the step budget is exhausted.
+    @raise Invalid_argument when [entry] is undefined. *)

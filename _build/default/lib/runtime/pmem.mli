@@ -1,0 +1,135 @@
+(** The NVM runtime simulator: a persistent heap with an explicit
+    cache-line write-back state machine
+    ([Clean -> Dirty -> Flushed -> Clean]), undo-log transactions,
+    epoch/strand annotations, a cost model, and listener hooks through
+    which the dynamic checker observes execution (§4.4).
+
+    The durable view ({!durable_value}) reflects only fenced data, with
+    open transactions rolled back — exactly what survives the crash
+    simulation in {!Crash}. *)
+
+type slot_state = Clean | Dirty | Flushed
+
+type addr = { obj_id : int; slot : int }
+(** Concrete slot address. *)
+
+(** Hooks invoked on persistent-memory events. Build with
+    [{ null_listener with on_write = ... }]. *)
+type listener = {
+  on_alloc : obj_id:int -> persistent:bool -> size:int -> unit;
+  on_write : addr -> Nvmir.Loc.t -> unit;
+  on_read : addr -> Nvmir.Loc.t -> unit;
+  on_flush :
+    obj_id:int -> first_slot:int -> nslots:int -> dirty:bool ->
+    Nvmir.Loc.t -> unit;
+  on_fence : Nvmir.Loc.t -> unit;
+  on_tx_begin : Nvmir.Loc.t -> unit;
+  on_tx_end : Nvmir.Loc.t -> unit;
+  on_epoch_begin : Nvmir.Loc.t -> unit;
+  on_epoch_end : Nvmir.Loc.t -> unit;
+  on_strand_begin : int -> Nvmir.Loc.t -> unit;
+  on_strand_end : int -> Nvmir.Loc.t -> unit;
+}
+
+val null_listener : listener
+
+type stats = {
+  mutable stores : int;
+  mutable loads : int;
+  mutable flushes : int;
+  mutable flushed_lines : int;
+  mutable redundant_flushes : int;  (** flushes that found no dirty slot *)
+  mutable fences : int;
+  mutable txs : int;
+  mutable log_copies : int;
+  mutable cycles : int;  (** cost-model time *)
+  mutable nvm_writes : int;  (** slots actually written back *)
+}
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+val stats : t -> stats
+val config : t -> Config.t
+val add_listener : t -> listener -> unit
+val remove_listeners : t -> unit
+
+(** {1 Objects} *)
+
+val alloc :
+  t -> ?name:string -> tenv:Nvmir.Ty.env -> persistent:bool -> Nvmir.Ty.t -> int
+(** Returns the object id; size in slots comes from the type. *)
+
+val obj_size : t -> int -> int
+val is_persistent : t -> int -> bool
+val obj_ty : t -> int -> Nvmir.Ty.t
+val obj_name : t -> int -> string option
+val object_count : t -> int
+val live_objects : t -> int list
+
+(** {1 Memory operations} *)
+
+val write : t -> ?loc:Nvmir.Loc.t -> addr -> Value.t -> unit
+(** Marks the slot dirty; inside a transaction, auto-logs its durable
+    value on first touch. @raise Invalid_argument out of bounds. *)
+
+val read : t -> ?loc:Nvmir.Loc.t -> addr -> Value.t
+
+val flush_range :
+  t -> ?loc:Nvmir.Loc.t -> obj_id:int -> first_slot:int -> nslots:int ->
+  unit -> unit
+(** Line-granular clwb: dirty slots of every touched line become
+    Flushed. Flushing clean data still costs a write-back command. *)
+
+val flush_obj : t -> ?loc:Nvmir.Loc.t -> int -> unit
+
+val fence : t -> ?loc:Nvmir.Loc.t -> unit -> unit
+(** Drain: every Flushed slot becomes durable. *)
+
+val persist_range :
+  t -> ?loc:Nvmir.Loc.t -> obj_id:int -> first_slot:int -> nslots:int ->
+  unit -> unit
+
+val persist_obj : t -> ?loc:Nvmir.Loc.t -> int -> unit
+
+(** {1 Transactions} *)
+
+val tx_begin : t -> ?loc:Nvmir.Loc.t -> unit -> unit
+
+val tx_add :
+  t -> ?loc:Nvmir.Loc.t -> obj_id:int -> first_slot:int -> nslots:int ->
+  unit -> unit
+(** Explicit undo-log registration (TX_ADD).
+    @raise Invalid_argument outside a transaction. *)
+
+val tx_end : t -> ?loc:Nvmir.Loc.t -> unit -> unit
+(** Commit: flush + fence everything the transaction touched, then fold
+    the log into the parent transaction (if nested).
+    @raise Invalid_argument outside a transaction. *)
+
+val in_tx : t -> bool
+
+(** {1 Annotations} — visible to listeners, no memory effect *)
+
+val epoch_begin : t -> ?loc:Nvmir.Loc.t -> unit -> unit
+val epoch_end : t -> ?loc:Nvmir.Loc.t -> unit -> unit
+val strand_begin : t -> ?loc:Nvmir.Loc.t -> int -> unit
+val strand_end : t -> ?loc:Nvmir.Loc.t -> int -> unit
+
+(** {1 Crash semantics} *)
+
+val durable_value : t -> addr -> Value.t
+(** The value a slot holds after a crash right now: fenced data with
+    open transactions rolled back. *)
+
+val cached_value : t -> addr -> Value.t
+val slot_state : t -> addr -> slot_state
+
+val durable_snapshot : t -> (int, Value.t array) Hashtbl.t
+(** Durable view of every persistent object. *)
+
+val volatile_slot_count : t -> int
+(** Slots whose cached value differs from the durable view; zero means a
+    crash loses nothing. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,144 @@
+(* Runtime event recorder: captures the persistent-event stream of an
+   execution in the same vocabulary as the static analyzer's traces.
+
+   Its purpose is differential testing of the two pipelines: every
+   executed event sequence must be *explained* by some statically
+   collected trace — same persistency-relevant operations in the same
+   order, modulo the abstraction gap (static addresses are abstract DSG
+   nodes, runtime addresses concrete slots; static traces cover all
+   paths, an execution takes one). The test suite runs this check over
+   the whole corpus and over generated programs. *)
+
+type event =
+  | R_write of Pmem.addr * Nvmir.Loc.t
+  | R_flush of Pmem.addr * Nvmir.Loc.t
+  | R_fence
+  | R_tx_begin
+  | R_tx_end
+  | R_epoch_begin
+  | R_epoch_end
+  | R_strand_begin of int
+  | R_strand_end of int
+
+type t = { mutable events : event list (* reversed *) }
+
+let create () = { events = [] }
+let events t = List.rev t.events
+let push t e = t.events <- e :: t.events
+
+let listener t : Pmem.listener =
+  {
+    Pmem.null_listener with
+    Pmem.on_write = (fun addr loc -> push t (R_write (addr, loc)));
+    on_flush =
+      (fun ~obj_id ~first_slot ~nslots:_ ~dirty:_ loc ->
+        push t (R_flush ({ Pmem.obj_id; slot = first_slot }, loc)));
+    on_fence = (fun _ -> push t R_fence);
+    on_tx_begin = (fun _ -> push t R_tx_begin);
+    on_tx_end = (fun _ -> push t R_tx_end);
+    on_epoch_begin = (fun _ -> push t R_epoch_begin);
+    on_epoch_end = (fun _ -> push t R_epoch_end);
+    on_strand_begin = (fun n _ -> push t (R_strand_begin n));
+    on_strand_end = (fun n _ -> push t (R_strand_end n));
+  }
+
+let attach t pm = Pmem.add_listener pm (listener t)
+
+let pp_event ppf = function
+  | R_write (a, loc) ->
+    Fmt.pf ppf "W obj%d[%d] @@%a" a.Pmem.obj_id a.Pmem.slot Nvmir.Loc.pp loc
+  | R_flush (a, loc) ->
+    Fmt.pf ppf "F obj%d[%d..] @@%a" a.Pmem.obj_id a.Pmem.slot Nvmir.Loc.pp loc
+  | R_fence -> Fmt.string ppf "FENCE"
+  | R_tx_begin -> Fmt.string ppf "TX{"
+  | R_tx_end -> Fmt.string ppf "}TX"
+  | R_epoch_begin -> Fmt.string ppf "EPOCH{"
+  | R_epoch_end -> Fmt.string ppf "}EPOCH"
+  | R_strand_begin n -> Fmt.pf ppf "STRAND%d{" n
+  | R_strand_end n -> Fmt.pf ppf "}STRAND%d" n
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@ ") pp_event) (events t)
+
+(* The comparable skeleton of a runtime stream: per-event markers with
+   source locations for writes/flushes (locations are the common
+   currency between the static and dynamic views). Commit-internal
+   flushes are not delivered to listeners, and the static side lowers
+   [persist] to flush+fence at the same location, so skeletons line up
+   exactly. *)
+type skeleton_item =
+  | S_write of Nvmir.Loc.t
+  | S_flush of Nvmir.Loc.t
+  | S_fence
+  | S_tx_begin
+  | S_tx_end
+  | S_epoch_begin
+  | S_epoch_end
+  | S_strand of int * bool (* id, is_begin *)
+
+let skeleton t : skeleton_item list =
+  List.map
+    (function
+      | R_write (_, loc) -> S_write loc
+      | R_flush (_, loc) -> S_flush loc
+      | R_fence -> S_fence
+      | R_tx_begin -> S_tx_begin
+      | R_tx_end -> S_tx_end
+      | R_epoch_begin -> S_epoch_begin
+      | R_epoch_end -> S_epoch_end
+      | R_strand_begin n -> S_strand (n, true)
+      | R_strand_end n -> S_strand (n, false))
+    (events t)
+
+(* The skeleton of a static trace, for comparison. Static traces may
+   contain events an execution skips (volatile ops are already filtered
+   on both sides) and fences from the tx_end lowering; runtime tx_end
+   emits an extra fence the static side models inside Tx_end, so fences
+   adjacent to transaction commits are normalized away on both sides. *)
+let static_skeleton (trace : Analysis.Trace.t) : skeleton_item list =
+  List.filter_map
+    (fun (e : Analysis.Event.t) ->
+      match e.Analysis.Event.kind with
+      | Analysis.Event.Write _ -> Some (S_write e.Analysis.Event.loc)
+      | Analysis.Event.Flush (_, _) -> Some (S_flush e.Analysis.Event.loc)
+      | Analysis.Event.Fence -> Some S_fence
+      | Analysis.Event.Tx_begin -> Some S_tx_begin
+      | Analysis.Event.Tx_end -> Some S_tx_end
+      | Analysis.Event.Epoch_begin -> Some S_epoch_begin
+      | Analysis.Event.Epoch_end -> Some S_epoch_end
+      | Analysis.Event.Strand_begin n -> Some (S_strand (n, true))
+      | Analysis.Event.Strand_end n -> Some (S_strand (n, false))
+      | Analysis.Event.Log _ | Analysis.Event.Call_mark _
+      | Analysis.Event.Ret_mark _ -> None)
+    trace
+
+let normalize items =
+  (* drop the commit-time fence difference: the runtime's tx_end drains
+     with a fence the listener sees just before the commit notification,
+     which the static side models inside Tx_end itself *)
+  let rec go = function
+    | S_fence :: S_tx_end :: rest -> S_tx_end :: go rest
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go items
+
+(* The static analysis may legitimately MISS operations — accesses
+   through pointers it cannot resolve are dropped from traces (the §5.4
+   limitation the corpus models with pointer arithmetic) — but it never
+   invents events on an executed path. The agreement relation is
+   therefore: some static trace is an order-preserving subsequence of
+   the recorded execution. *)
+let rec subsequence smaller larger =
+  match (smaller, larger) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | s :: srest, l :: lrest ->
+    if s = l then subsequence srest lrest else subsequence smaller lrest
+
+(* Does some static trace explain the recorded execution? *)
+let explained_by t (static_traces : Analysis.Trace.t list) : bool =
+  let dynamic = normalize (skeleton t) in
+  List.exists
+    (fun st -> subsequence (normalize (static_skeleton st)) dynamic)
+    static_traces

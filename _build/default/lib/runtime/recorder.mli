@@ -1,0 +1,51 @@
+(** Runtime event recorder for differential testing: captures an
+    execution's persistent-event stream and checks that some statically
+    collected trace explains it (same persistency-relevant operations in
+    the same order; static addresses are abstract, so comparison is by
+    source location and event kind).
+
+    Caveat: the check assumes the executed path is within the static
+    path bounds (loop/path caps), which holds for the corpus and the
+    generated programs the tests use. *)
+
+type event =
+  | R_write of Pmem.addr * Nvmir.Loc.t
+  | R_flush of Pmem.addr * Nvmir.Loc.t
+  | R_fence
+  | R_tx_begin
+  | R_tx_end
+  | R_epoch_begin
+  | R_epoch_end
+  | R_strand_begin of int
+  | R_strand_end of int
+
+type t
+
+val create : unit -> t
+val attach : t -> Pmem.t -> unit
+val events : t -> event list
+val pp_event : event Fmt.t
+val pp : t Fmt.t
+
+type skeleton_item =
+  | S_write of Nvmir.Loc.t
+  | S_flush of Nvmir.Loc.t
+  | S_fence
+  | S_tx_begin
+  | S_tx_end
+  | S_epoch_begin
+  | S_epoch_end
+  | S_strand of int * bool  (** id, is_begin *)
+
+val skeleton : t -> skeleton_item list
+val static_skeleton : Analysis.Trace.t -> skeleton_item list
+val normalize : skeleton_item list -> skeleton_item list
+
+val subsequence : skeleton_item list -> skeleton_item list -> bool
+(** Order-preserving subsequence test. *)
+
+val explained_by : t -> Analysis.Trace.t list -> bool
+(** Does some static trace explain the recorded execution? The static
+    side may drop accesses through statically-opaque pointers (§5.4)
+    but never invents events, so the relation is: some static trace is
+    a subsequence of the execution's event stream. *)

@@ -1,0 +1,100 @@
+(* The shadow segment (§4.4): mirrors the persistent address space and
+   records, per slot, the history of strand accesses — which strand last
+   wrote it and which strands have read it since. DeepMC customizes
+   ThreadSanitizer with exactly this structure; here it is a hash table
+   keyed by concrete slot address, populated only for addresses touched
+   inside annotated regions, which is what keeps the tracking cheap.
+
+   Ordering representation: persist barriers in the runtime are global
+   synchronization points, so happens-before admits a scalar fast path
+   (in the spirit of FastTrack's epochs): every access is stamped with
+   the global barrier count at the time it executed, every region with
+   the barrier count at which it began. An earlier access (s, f)
+   happens-before a later access by a region begun at barrier count b
+   iff they are by the same strand or b > f (a barrier intervened). The
+   general vector-clock machinery lives in [Vclock] and is exercised by
+   the test suite; the checker uses the scalar form for speed. *)
+
+type access = {
+  strand : int;
+  fence_at : int; (* global barrier count when the access executed *)
+  loc : Nvmir.Loc.t;
+}
+
+(* Is previous access [a] ordered before an access of [strand] whose
+   region began at barrier count [begin_fence]? *)
+let ordered_before (a : access) ~strand ~begin_fence =
+  a.strand = strand || begin_fence > a.fence_at
+
+type cell = {
+  mutable last_write : access option;
+  mutable reads : access list; (* reads since the last write *)
+}
+
+(* Cells are keyed by an int encoding of (obj, slot) — [obj lsl 24 lor
+   slot] — so lookups avoid polymorphic hashing of tuples. Objects and
+   slots are both well below 2^24 in practice. *)
+let key ~obj_id ~slot = (obj_id lsl 24) lor slot
+
+type t = {
+  cells : (int, cell) Hashtbl.t;
+  mutable tracked_writes : int;
+  mutable tracked_reads : int;
+}
+
+let create () =
+  { cells = Hashtbl.create 1024; tracked_writes = 0; tracked_reads = 0 }
+
+let clear t =
+  Hashtbl.reset t.cells;
+  t.tracked_writes <- 0;
+  t.tracked_reads <- 0
+
+let cell t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c = { last_write = None; reads = [] } in
+    Hashtbl.replace t.cells key c;
+    c
+
+(* Record a write; returns the conflicting accesses, if any: a WAW race
+   with the previous writer and RAW races with readers not ordered
+   before this write. [begin_fence] is the barrier count at which the
+   writing region began. *)
+let record_write t ~obj_id ~slot ~begin_fence (a : access) :
+    [ `Waw of access | `Raw of access ] list =
+  let c = cell t (key ~obj_id ~slot) in
+  t.tracked_writes <- t.tracked_writes + 1;
+  let conflicts = ref [] in
+  (match c.last_write with
+  | Some w when not (ordered_before w ~strand:a.strand ~begin_fence) ->
+    conflicts := `Waw w :: !conflicts
+  | Some _ | None -> ());
+  List.iter
+    (fun r ->
+      if not (ordered_before r ~strand:a.strand ~begin_fence) then
+        conflicts := `Raw r :: !conflicts)
+    c.reads;
+  c.last_write <- Some a;
+  c.reads <- [];
+  List.rev !conflicts
+
+(* Record a read; returns a RAW conflict when the read races with the
+   previous write (the reader cannot know whether it observes pre- or
+   post-persist data). *)
+let record_read t ~obj_id ~slot ~begin_fence (a : access) :
+    [ `Raw of access ] option =
+  let c = cell t (key ~obj_id ~slot) in
+  t.tracked_reads <- t.tracked_reads + 1;
+  c.reads <- a :: c.reads;
+  match c.last_write with
+  | Some w when not (ordered_before w ~strand:a.strand ~begin_fence) ->
+    Some (`Raw w)
+  | Some _ | None -> None
+
+let tracked_cells t = Hashtbl.length t.cells
+
+let pp ppf t =
+  Fmt.pf ppf "shadow: %d cells, %d writes, %d reads tracked"
+    (tracked_cells t) t.tracked_writes t.tracked_reads

@@ -1,0 +1,44 @@
+(** The shadow segment (§4.4): mirrors the persistent address space,
+    recording per-slot access history for happens-before WAW/RAW race
+    detection. Ordering uses a scalar barrier-count fast path (persist
+    barriers in the runtime are global synchronization points); see
+    DESIGN.md. *)
+
+type access = {
+  strand : int;
+  fence_at : int;  (** global barrier count when the access executed *)
+  loc : Nvmir.Loc.t;
+}
+
+val ordered_before : access -> strand:int -> begin_fence:int -> bool
+(** Is the previous access ordered before an access by [strand] whose
+    region began at barrier count [begin_fence]? *)
+
+val key : obj_id:int -> slot:int -> int
+(** Int encoding of a slot address (avoids tuple hashing). *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record_write :
+  t ->
+  obj_id:int ->
+  slot:int ->
+  begin_fence:int ->
+  access ->
+  [ `Waw of access | `Raw of access ] list
+(** Record a write; returns the races it completes (WAW with the
+    previous writer, RAW with unordered readers). *)
+
+val record_read :
+  t ->
+  obj_id:int ->
+  slot:int ->
+  begin_fence:int ->
+  access ->
+  [ `Raw of access ] option
+
+val tracked_cells : t -> int
+val pp : t Fmt.t

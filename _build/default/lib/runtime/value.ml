@@ -1,0 +1,39 @@
+(* Runtime values for the interpreter and the persistent heap. A
+   reference carries a slot offset so that interior pointers (address-of
+   a field, buffer cursors) are first-class. *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vref of { obj : int; off : int } (* object id + slot offset *)
+  | Vnull
+
+let vref ?(off = 0) obj = Vref { obj; off }
+
+let pp ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vbool b -> Fmt.bool ppf b
+  | Vref { obj; off } ->
+    if off = 0 then Fmt.pf ppf "&obj%d" obj else Fmt.pf ppf "&obj%d+%d" obj off
+  | Vnull -> Fmt.string ppf "null"
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vref x, Vref y -> x.obj = y.obj && x.off = y.off
+  | Vnull, Vnull -> true
+  | (Vint _ | Vbool _ | Vref _ | Vnull), _ -> false
+
+let truthy = function
+  | Vint n -> n <> 0
+  | Vbool b -> b
+  | Vref _ -> true
+  | Vnull -> false
+
+let to_int = function
+  | Vint n -> n
+  | Vbool true -> 1
+  | Vbool false -> 0
+  | Vref { obj; _ } -> obj
+  | Vnull -> 0

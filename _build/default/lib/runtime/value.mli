@@ -1,0 +1,14 @@
+(** Runtime values. References carry a slot offset so interior pointers
+    (address-of-field, buffer cursors) are first-class. *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vref of { obj : int; off : int }
+  | Vnull
+
+val vref : ?off:int -> int -> t
+val pp : t Fmt.t
+val equal : t -> t -> bool
+val truthy : t -> bool
+val to_int : t -> int

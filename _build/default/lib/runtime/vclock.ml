@@ -1,0 +1,30 @@
+(* Vector clocks for happens-before race detection between strands
+   (§4.4). Clock indices are strand/thread ids; missing entries are 0. *)
+
+module IM = Map.Make (Int)
+
+type t = int IM.t
+
+let empty : t = IM.empty
+let get t i = Option.value ~default:0 (IM.find_opt i t)
+let set t i v = IM.add i v t
+let tick t i = set t i (get t i + 1)
+
+(* Pointwise maximum: the join used when one strand synchronizes with
+   another (e.g. at a persist barrier merging strand histories). *)
+let join a b =
+  IM.union (fun _ x y -> Some (max x y)) a b
+
+let le a b = IM.for_all (fun i v -> v <= get b i) a
+
+(* a happens-before b: pointwise <= and strictly smaller somewhere. *)
+let hb a b = le a b && not (le b a)
+
+(* Concurrent: neither ordered before the other. *)
+let concurrent a b = (not (le a b)) && not (le b a)
+
+let pp ppf t =
+  let bindings = IM.bindings t in
+  Fmt.pf ppf "<%a>"
+    Fmt.(list ~sep:(any ",") (fun ppf (i, v) -> Fmt.pf ppf "%d:%d" i v))
+    bindings

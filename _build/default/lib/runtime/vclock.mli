@@ -1,0 +1,23 @@
+(** Vector clocks for happens-before reasoning between strands (§4.4).
+    The dynamic checker's hot path uses the scalar barrier-count
+    representation in {!Shadow}; this module is the general mechanism
+    (used directly by tests and available for schedulers without global
+    barriers). *)
+
+type t
+
+val empty : t
+val get : t -> int -> int
+val set : t -> int -> int -> t
+val tick : t -> int -> t
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val le : t -> t -> bool
+
+val hb : t -> t -> bool
+(** Strict happens-before. *)
+
+val concurrent : t -> t -> bool
+val pp : t Fmt.t

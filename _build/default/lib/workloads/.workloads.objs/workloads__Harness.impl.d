@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Analysis Fmt Gen List Option Runtime Unix

@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Analysis Fmt Gen Runtime

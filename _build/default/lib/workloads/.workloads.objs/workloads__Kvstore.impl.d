@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Nvmir Runtime

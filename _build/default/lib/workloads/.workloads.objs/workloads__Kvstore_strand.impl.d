@@ -1,0 +1,1 @@
+lib/workloads/kvstore_strand.ml: Nvmir Runtime

@@ -1,0 +1,1 @@
+lib/workloads/logstore.ml: Hashtbl Nvmir Option Runtime

@@ -1,0 +1,1 @@
+lib/workloads/logstore.mli: Runtime

@@ -1,0 +1,1 @@
+lib/workloads/memslap.ml: Gen Harness Kvstore

@@ -1,0 +1,1 @@
+lib/workloads/memslap.mli: Gen Harness Kvstore Runtime

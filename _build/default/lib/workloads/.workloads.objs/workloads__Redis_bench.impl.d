@@ -1,0 +1,1 @@
+lib/workloads/redis_bench.ml: Gen Harness Logstore

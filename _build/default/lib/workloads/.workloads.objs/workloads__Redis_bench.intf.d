@@ -1,0 +1,1 @@
+lib/workloads/redis_bench.mli: Gen Harness Logstore Runtime

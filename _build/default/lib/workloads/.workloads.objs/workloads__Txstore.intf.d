@@ -1,0 +1,1 @@
+lib/workloads/txstore.mli: Runtime

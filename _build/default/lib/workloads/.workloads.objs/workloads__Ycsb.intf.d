@@ -1,0 +1,1 @@
+lib/workloads/ycsb.mli: Gen Harness Runtime Txstore

@@ -1,0 +1,64 @@
+(* Deterministic workload generation: a splitmix-style PRNG (so every
+   benchmark run is reproducible without touching the global [Random]
+   state) and the key distributions the generators use. *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+(* splitmix64 *)
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int r bound =
+  if bound <= 0 then invalid_arg "Gen.next_int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 r) Int64.max_int) (Int64.of_int bound))
+
+let next_float r =
+  Int64.to_float (Int64.logand (next_int64 r) 0xFFFFFFFFFFFFFL) /. 4503599627370496.0
+
+(* Uniform keys in [0, keyspace). *)
+let uniform r ~keyspace = next_int r keyspace
+
+(* A cheap Zipf-like skew: repeatedly halve the range with probability
+   [theta]; hot keys are small indices. Close enough to YCSB's scrambled
+   Zipfian for benchmark-shape purposes. *)
+let skewed r ~keyspace ~theta =
+  let rec go lo hi =
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if next_float r < theta then go lo mid else go mid hi
+  in
+  go 0 keyspace
+
+(* Simulated request-processing compute: stands in for the per-request
+   work a real server does around each persistent update (network
+   handling, protocol parsing, value copying). The amount calibrates the
+   compute-to-persistence ratio of the modeled application, which is
+   what the relative checking overhead of Figure 12 depends on. *)
+let simulate_work r ~amount =
+  (* plain int arithmetic: no allocation, so the simulated compute adds
+     stable latency instead of GC pressure *)
+  let acc = ref (Int64.to_int r.state land 0xFFFF) in
+  for _ = 1 to amount do
+    acc := ((!acc * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  Sys.opaque_identity !acc
+
+(* Operation mixes are weighted lists; [pick] draws one operation. *)
+type 'op mix = ('op * int) list
+
+let pick r (mix : 'op mix) =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 mix in
+  let n = next_int r total in
+  let rec go n = function
+    | [] -> invalid_arg "Gen.pick: empty mix"
+    | [ (op, _) ] -> op
+    | (op, w) :: rest -> if n < w then op else go (n - w) rest
+  in
+  go n mix

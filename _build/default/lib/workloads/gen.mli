@@ -1,0 +1,30 @@
+(** Deterministic workload generation: a splitmix-style PRNG, key
+    distributions, weighted operation mixes, and simulated per-request
+    compute. *)
+
+type rng
+
+val rng : int -> rng
+val next_int64 : rng -> int64
+
+val next_int : rng -> int -> int
+(** @raise Invalid_argument on non-positive bounds. *)
+
+val next_float : rng -> float
+(** In [0, 1). *)
+
+val uniform : rng -> keyspace:int -> int
+
+val skewed : rng -> keyspace:int -> theta:float -> int
+(** Zipf-like: hot keys are small indices; [theta] controls skew. *)
+
+val simulate_work : rng -> amount:int -> int
+(** Allocation-free integer compute standing in for per-request server
+    work; calibrates the compute-to-persistence ratio Figure 12's
+    relative overheads depend on. *)
+
+type 'op mix = ('op * int) list
+(** Weighted operations. *)
+
+val pick : rng -> 'op mix -> 'op
+(** @raise Invalid_argument on an empty mix. *)

@@ -1,0 +1,102 @@
+(* Measurement harness for the application benchmarks (Table 6 /
+   Figure 12): runs a fixed number of transactions from simulated
+   clients against a store built on the NVM runtime, with or without
+   the dynamic checker attached, and reports throughput. *)
+
+type result = {
+  label : string;
+  txs : int;
+  clients : int;
+  elapsed_s : float;
+  throughput : float; (* transactions per second *)
+  checked : bool;
+  dynamic : Runtime.Dynamic.summary option;
+  stores : int;
+  loads : int;
+  flushes : int;
+  fences : int;
+}
+
+(* [setup] builds the store on a fresh heap; [op] executes one client
+   transaction. The dynamic checker (epoch model: all three applications
+   use epoch-style persistence) is attached before the run when
+   [checked] is set, mirroring the instrumented binaries of §5.2. *)
+let run_once ~label ~model ~clients ~txs ~checked ~setup ~op =
+  let pmem = Runtime.Pmem.create () in
+  let checker =
+    if checked then begin
+      let c = Runtime.Dynamic.create ~model () in
+      Runtime.Dynamic.attach c pmem;
+      Some c
+    end
+    else None
+  in
+  let store = setup pmem in
+  let rng = Gen.rng 0xC0FFEE in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to txs - 1 do
+    let client = i mod clients in
+    (match checker with
+    | Some c -> Runtime.Dynamic.set_thread c client
+    | None -> ());
+    op store rng ~client
+  done;
+  let t1 = Unix.gettimeofday () in
+  let elapsed_s = t1 -. t0 in
+  let stats = Runtime.Pmem.stats pmem in
+  {
+    label;
+    txs;
+    clients;
+    elapsed_s;
+    throughput = float_of_int txs /. elapsed_s;
+    checked;
+    dynamic = Option.map Runtime.Dynamic.summary checker;
+    stores = stats.Runtime.Pmem.stores;
+    loads = stats.Runtime.Pmem.loads;
+    flushes = stats.Runtime.Pmem.flushes;
+    fences = stats.Runtime.Pmem.fences;
+  }
+
+(* Best of [repeats] runs: wall-clock noise (GC pauses, scheduler) only
+   ever slows a run down, so the fastest run is the cleanest signal. *)
+let measure ~label ?(model = Analysis.Model.Epoch) ?(repeats = 3) ~clients
+    ~txs ~checked ~setup ~op () =
+  let runs =
+    List.init (max 1 repeats) (fun _ ->
+        run_once ~label ~model ~clients ~txs ~checked ~setup ~op)
+  in
+  List.fold_left
+    (fun best r -> if r.elapsed_s < best.elapsed_s then r else best)
+    (List.hd runs) (List.tl runs)
+
+(* Figure 12 data point: the same workload with and without the dynamic
+   checker; overhead is the relative throughput loss. *)
+type comparison = {
+  baseline : result;
+  with_checker : result;
+  overhead_pct : float;
+}
+
+let compare_checked ~label ?model ?repeats ~clients ~txs ~setup ~op () =
+  let baseline =
+    measure ~label ?model ?repeats ~clients ~txs ~checked:false ~setup ~op ()
+  in
+  let with_checker =
+    measure ~label ?model ?repeats ~clients ~txs ~checked:true ~setup ~op ()
+  in
+  let overhead_pct =
+    100. *. (1. -. (with_checker.throughput /. baseline.throughput))
+  in
+  { baseline; with_checker; overhead_pct }
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-28s %8d tx %2d clients %s: %10.0f tx/s (%.3f s)" r.label r.txs
+    r.clients
+    (if r.checked then "checked " else "baseline")
+    r.throughput r.elapsed_s
+
+let pp_comparison ppf c =
+  Fmt.pf ppf "%-28s baseline %10.0f tx/s | DeepMC %10.0f tx/s | overhead %5.1f%%"
+    c.baseline.label c.baseline.throughput c.with_checker.throughput
+    c.overhead_pct

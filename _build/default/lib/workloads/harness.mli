@@ -1,0 +1,53 @@
+(** Measurement harness for the application benchmarks (Table 6 /
+    Figure 12): run a fixed number of client transactions against a
+    store on the NVM runtime, with or without the dynamic checker, and
+    report throughput. *)
+
+type result = {
+  label : string;
+  txs : int;
+  clients : int;
+  elapsed_s : float;
+  throughput : float;  (** transactions per second *)
+  checked : bool;
+  dynamic : Runtime.Dynamic.summary option;
+  stores : int;
+  loads : int;
+  flushes : int;
+  fences : int;
+}
+
+val measure :
+  label:string ->
+  ?model:Analysis.Model.t ->
+  ?repeats:int ->
+  clients:int ->
+  txs:int ->
+  checked:bool ->
+  setup:(Runtime.Pmem.t -> 'st) ->
+  op:('st -> Gen.rng -> client:int -> unit) ->
+  unit ->
+  result
+(** Best of [repeats] runs (default 3): wall-clock noise only slows runs
+    down, so the fastest run is the cleanest signal. *)
+
+type comparison = {
+  baseline : result;
+  with_checker : result;
+  overhead_pct : float;
+}
+
+val compare_checked :
+  label:string ->
+  ?model:Analysis.Model.t ->
+  ?repeats:int ->
+  clients:int ->
+  txs:int ->
+  setup:(Runtime.Pmem.t -> 'st) ->
+  op:('st -> Gen.rng -> client:int -> unit) ->
+  unit ->
+  comparison
+(** One Figure 12 data point. *)
+
+val pp_result : result Fmt.t
+val pp_comparison : comparison Fmt.t

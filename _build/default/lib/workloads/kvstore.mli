@@ -1,0 +1,17 @@
+(** A persistent key-value store in the style of persistent Memcached:
+    an open-addressing hash table in one NVM region, epoch-persistent
+    mutations (one epoch per mutation, closed by flush+fence of the
+    touched entry). Keys are positive ints; key 0 marks empty slots. *)
+
+type t
+
+val create : ?capacity:int -> Runtime.Pmem.t -> t
+
+val set : t -> int -> int -> bool
+(** False when the table is full. *)
+
+val get : t -> int -> int option
+val rmw : t -> int -> (int -> int) -> bool
+val delete : t -> int -> bool
+val size : t -> int
+val capacity : t -> int

@@ -1,0 +1,119 @@
+(* A strand-persistent key-value store — the §4.4 use case ("strand
+   persistency ... offers guidance for facilitating the development of
+   highly concurrent NVM programs, such as high-throughput transactional
+   databases and key-value stores").
+
+   Mutations run as strands instead of epochs: each update opens a
+   strand identified by its table partition and defers the persist
+   barrier — independent strands may persist concurrently, so barriers
+   are issued once per batch instead of once per operation.
+
+   The correct discipline assigns strand ids by partition, so strands
+   that could touch the same entry share an id (same-strand accesses are
+   ordered by definition). [sloppy_strands] gives every operation a
+   fresh strand id regardless of partition — the WAW/RAW dependence bug
+   the dynamic checker exists to catch. *)
+
+type t = {
+  pmem : Runtime.Pmem.t;
+  table : int;
+  capacity : int;
+  partitions : int;
+  sloppy_strands : bool;
+  mutable next_strand : int; (* for the sloppy variant *)
+  mutable pending : int; (* mutations since the last barrier *)
+  batch : int; (* barrier once per [batch] mutations *)
+}
+
+let entry_slots = 2
+
+let create ?(capacity = 4096) ?(partitions = 16) ?(batch = 8)
+    ?(sloppy_strands = false) pmem =
+  let tenv = Nvmir.Ty.env_create () in
+  let table =
+    Runtime.Pmem.alloc pmem ~name:"kv_strand_table" ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, capacity * entry_slots))
+  in
+  {
+    pmem;
+    table;
+    capacity;
+    partitions;
+    sloppy_strands;
+    next_strand = 1000;
+    pending = 0;
+    batch;
+  }
+
+let loc line = Nvmir.Loc.make ~file:"kvstore_strand.ml" ~line
+
+let key_addr t idx = { Runtime.Pmem.obj_id = t.table; slot = idx * entry_slots }
+let val_addr t idx =
+  { Runtime.Pmem.obj_id = t.table; slot = (idx * entry_slots) + 1 }
+
+let hash t k = (k * 2654435761) land max_int mod t.capacity
+let partition_of t idx = idx * t.partitions / t.capacity
+
+let probe t key =
+  let rec go i tries =
+    if tries >= t.capacity then None
+    else
+      let stored =
+        Runtime.Value.to_int (Runtime.Pmem.read t.pmem (key_addr t i))
+      in
+      if stored = key || stored = 0 then Some i
+      else go ((i + 1) mod t.capacity) (tries + 1)
+  in
+  go (hash t key) 0
+
+let strand_for t idx =
+  if t.sloppy_strands then begin
+    t.next_strand <- t.next_strand + 1;
+    t.next_strand
+  end
+  else partition_of t idx
+
+(* Persist barriers are deferred: one per [batch] mutations orders all
+   completed strands with everything after it. *)
+let maybe_barrier t =
+  t.pending <- t.pending + 1;
+  if t.pending >= t.batch then begin
+    Runtime.Pmem.fence t.pmem ~loc:(loc 86) ();
+    t.pending <- 0
+  end
+
+let set t key value =
+  match probe t key with
+  | None -> false
+  | Some i ->
+    let strand = strand_for t i in
+    Runtime.Pmem.strand_begin t.pmem ~loc:(loc 94) strand;
+    Runtime.Pmem.write t.pmem ~loc:(loc 95) (key_addr t i)
+      (Runtime.Value.Vint key);
+    Runtime.Pmem.write t.pmem ~loc:(loc 96) (val_addr t i)
+      (Runtime.Value.Vint value);
+    Runtime.Pmem.flush_range t.pmem ~loc:(loc 97) ~obj_id:t.table
+      ~first_slot:(i * entry_slots) ~nslots:entry_slots ();
+    Runtime.Pmem.strand_end t.pmem ~loc:(loc 98) strand;
+    maybe_barrier t;
+    true
+
+let get t key =
+  match probe t key with
+  | None -> None
+  | Some i ->
+    let stored =
+      Runtime.Value.to_int (Runtime.Pmem.read t.pmem (key_addr t i))
+    in
+    if stored = key then
+      Some (Runtime.Value.to_int (Runtime.Pmem.read t.pmem (val_addr t i)))
+    else None
+
+(* Force all outstanding strands durable (shutdown / checkpoint). *)
+let quiesce t =
+  if t.pending > 0 then begin
+    Runtime.Pmem.fence t.pmem ~loc:(loc 117) ();
+    t.pending <- 0
+  end
+
+let partitions t = t.partitions

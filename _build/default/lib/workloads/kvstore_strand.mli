@@ -1,0 +1,25 @@
+(** A strand-persistent key-value store (the §4.4 concurrency use case):
+    mutations run as partition-identified strands with deferred, batched
+    persist barriers, so independent updates may persist concurrently.
+
+    [sloppy_strands] gives every operation a fresh strand id regardless
+    of partition — introducing the WAW/RAW dependences between
+    concurrent strands that the dynamic checker detects. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?partitions:int ->
+  ?batch:int ->
+  ?sloppy_strands:bool ->
+  Runtime.Pmem.t ->
+  t
+
+val set : t -> int -> int -> bool
+val get : t -> int -> int option
+
+val quiesce : t -> unit
+(** Issue the final barrier for outstanding strands. *)
+
+val partitions : t -> int

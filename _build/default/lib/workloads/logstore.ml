@@ -1,0 +1,87 @@
+(* A persistent log-structured store in the style of NVM Redis: every
+   update appends (key, value) to an append-only log and then updates a
+   volatile index; persistence comes from flushing the log entry and
+   then persisting the tail pointer — two persist units per update, the
+   classic AOF shape. Reads go through the volatile index. *)
+
+type t = {
+  pmem : Runtime.Pmem.t;
+  log : int; (* object id: append-only (key, value) pairs *)
+  meta : int; (* object id: slot 0 = tail *)
+  log_capacity : int; (* entries *)
+  index : (int, int) Hashtbl.t; (* key -> value (volatile cache) *)
+  mutable tail : int;
+}
+
+let entry_slots = 2
+
+let create ?(log_capacity = 1 lsl 17) pmem =
+  let tenv = Nvmir.Ty.env_create () in
+  let log =
+    Runtime.Pmem.alloc pmem ~name:"redis_log" ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, log_capacity * entry_slots))
+  in
+  let meta =
+    Runtime.Pmem.alloc pmem ~name:"redis_meta" ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  { pmem; log; meta; log_capacity; index = Hashtbl.create 1024; tail = 0 }
+
+let loc line = Nvmir.Loc.make ~file:"logstore.ml" ~line
+
+let addr obj slot = { Runtime.Pmem.obj_id = obj; slot }
+
+(* SET: append to the log (epoch 1), persist the new tail (epoch 2). *)
+let set t key value =
+  if t.tail >= t.log_capacity then t.tail <- 0 (* wrap: treat as ring *);
+  let base = t.tail * entry_slots in
+  Runtime.Pmem.epoch_begin t.pmem ~loc:(loc 33) ();
+  Runtime.Pmem.write t.pmem ~loc:(loc 34) (addr t.log base)
+    (Runtime.Value.Vint key);
+  Runtime.Pmem.write t.pmem ~loc:(loc 35)
+    (addr t.log (base + 1))
+    (Runtime.Value.Vint value);
+  Runtime.Pmem.flush_range t.pmem ~loc:(loc 36) ~obj_id:t.log ~first_slot:base
+    ~nslots:entry_slots ();
+  Runtime.Pmem.fence t.pmem ~loc:(loc 37) ();
+  Runtime.Pmem.epoch_end t.pmem ~loc:(loc 38) ();
+  Runtime.Pmem.epoch_begin t.pmem ~loc:(loc 39) ();
+  t.tail <- t.tail + 1;
+  Runtime.Pmem.write t.pmem ~loc:(loc 41) (addr t.meta 0)
+    (Runtime.Value.Vint t.tail);
+  Runtime.Pmem.flush_range t.pmem ~loc:(loc 42) ~obj_id:t.meta ~first_slot:0
+    ~nslots:1 ();
+  Runtime.Pmem.fence t.pmem ~loc:(loc 43) ();
+  Runtime.Pmem.epoch_end t.pmem ~loc:(loc 44) ();
+  Hashtbl.replace t.index key value
+
+let get t key = Hashtbl.find_opt t.index key
+
+let incr t key =
+  let v = Option.value ~default:0 (get t key) in
+  set t key (v + 1);
+  v + 1
+
+(* Recovery: rebuild the volatile index from the durable log — used by
+   the crash-consistency tests to show the two-epoch protocol keeps the
+   log prefix consistent. *)
+let recover t =
+  Hashtbl.reset t.index;
+  let durable_tail =
+    Runtime.Value.to_int (Runtime.Pmem.durable_value t.pmem (addr t.meta 0))
+  in
+  for i = 0 to durable_tail - 1 do
+    let k =
+      Runtime.Value.to_int
+        (Runtime.Pmem.durable_value t.pmem (addr t.log (i * entry_slots)))
+    in
+    let v =
+      Runtime.Value.to_int
+        (Runtime.Pmem.durable_value t.pmem (addr t.log ((i * entry_slots) + 1)))
+    in
+    Hashtbl.replace t.index k v
+  done;
+  t.tail <- durable_tail;
+  durable_tail
+
+let entries t = t.tail

@@ -1,0 +1,17 @@
+(** A persistent log-structured store in the style of NVM Redis: updates
+    append to an AOF-style log (epoch 1) and persist the tail pointer
+    (epoch 2); reads go through a volatile index rebuilt by
+    {!recover}. *)
+
+type t
+
+val create : ?log_capacity:int -> Runtime.Pmem.t -> t
+val set : t -> int -> int -> unit
+val get : t -> int -> int option
+val incr : t -> int -> int
+
+val recover : t -> int
+(** Rebuild the volatile index from the durable log (the crash-recovery
+    path); returns the number of recovered entries. *)
+
+val entries : t -> int

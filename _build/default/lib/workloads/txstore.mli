@@ -1,0 +1,15 @@
+(** A transactional record store in the style of NStore: fixed-width
+    records updated under undo-log transactions, the substrate the YCSB
+    benchmarks run against. *)
+
+type t
+
+val create : ?nrecords:int -> Runtime.Pmem.t -> t
+val update : t -> int -> int -> unit
+val insert : t -> int -> int -> unit
+val read : t -> int -> int
+
+val scan : t -> int -> int -> int
+(** [scan t key len] folds over [len] consecutive records (YCSB E). *)
+
+val read_modify_write : t -> int -> (int -> int) -> unit

@@ -1,0 +1,1 @@
+test/test_autofix.ml: Alcotest Analysis Corpus Deepmc Fmt List Nvmir

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Analysis Corpus Deepmc Fmt List Nvmir Option Printexc Runtime

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Corpus List Nvmir Runtime

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Analysis Corpus Dsa Fmt List Nvmir Option QCheck QCheck_alcotest Runtime

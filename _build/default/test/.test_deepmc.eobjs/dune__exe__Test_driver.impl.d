@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Analysis Corpus Deepmc List Nvmir QCheck QCheck_alcotest String

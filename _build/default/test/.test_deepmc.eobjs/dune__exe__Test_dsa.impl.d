@@ -1,0 +1,1 @@
+test/test_dsa.ml: Alcotest Dsa Fmt List Nvmir QCheck QCheck_alcotest

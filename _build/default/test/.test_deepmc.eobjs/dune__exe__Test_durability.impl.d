@@ -1,0 +1,1 @@
+test/test_durability.ml: Alcotest Analysis Corpus Deepmc Fmt List Nvmir QCheck QCheck_alcotest Runtime Workloads

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Analysis Fmt List Nvmir Runtime

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Deepmc List Nvmir Option Runtime String

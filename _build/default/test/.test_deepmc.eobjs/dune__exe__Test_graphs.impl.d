@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Corpus Graphs Hashtbl List Nvmir Option QCheck QCheck_alcotest String

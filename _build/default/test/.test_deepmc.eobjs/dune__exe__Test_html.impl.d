@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Analysis Deepmc List Nvmir String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Corpus Nvmir QCheck QCheck_alcotest Runtime

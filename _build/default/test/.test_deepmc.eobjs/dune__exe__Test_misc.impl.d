@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Analysis Deepmc List Nvmir Option Runtime

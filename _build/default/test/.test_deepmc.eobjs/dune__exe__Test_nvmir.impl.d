@@ -1,0 +1,1 @@
+test/test_nvmir.ml: Alcotest Fmt Instr List Nvmir Operand Place String

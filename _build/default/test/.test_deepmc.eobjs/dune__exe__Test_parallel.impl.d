@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Analysis Corpus Deepmc Fun List

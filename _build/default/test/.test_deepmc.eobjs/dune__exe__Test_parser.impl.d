@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Corpus Fmt List Nvmir QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Fmt Hashtbl List Nvmir QCheck QCheck_alcotest Runtime String

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Analysis Fmt List Nvmir

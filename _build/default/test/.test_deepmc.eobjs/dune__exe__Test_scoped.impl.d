@@ -1,0 +1,1 @@
+test/test_scoped.ml: Alcotest Analysis Corpus Deepmc Dsa Fmt List Nvmir QCheck QCheck_alcotest Runtime String

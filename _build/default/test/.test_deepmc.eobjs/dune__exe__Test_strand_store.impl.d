@@ -1,0 +1,1 @@
+test/test_strand_store.ml: Alcotest Analysis Runtime Workloads

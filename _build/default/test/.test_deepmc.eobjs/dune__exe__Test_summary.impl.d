@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Analysis Corpus Deepmc List Nvmir

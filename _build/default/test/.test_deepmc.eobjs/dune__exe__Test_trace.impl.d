@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Analysis Corpus Dsa Fmt List Nvmir QCheck QCheck_alcotest String

@@ -1,0 +1,53 @@
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict --entry main 2>/dev/null | grep -A1 WARNING
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict >/dev/null 2>&1
+  $ deepmc check ../../examples/programs/hashmap.nvmir --strict 2>/dev/null | grep "WARNING"
+  $ deepmc check ../../examples/programs/hashmap.nvmir --strict --json 2>/dev/null | grep -o '"rule": "semantic-mismatch"'
+  $ deepmc dsg ../../examples/programs/nvm_lock.nvmir --function nvm_lock | head -2
+  $ deepmc rules | grep -c '^[a-z-]* \['
+  $ deepmc fix ../../examples/programs/nvm_lock.nvmir --strict 2>/dev/null | grep -A1 "store lk->new_level"
+  $ deepmc trace ../../examples/programs/hashmap.nvmir --root main | head -3
+  $ echo "func broken(" > broken.nvmir
+  $ deepmc check broken.nvmir --strict 2>&1 | head -1
+  $ deepmc corpus --name not_a_program
+  $ deepmc fmt ../../examples/programs/hashmap.nvmir > once.nvmir
+  $ deepmc fmt once.nvmir > twice.nvmir
+  $ diff once.nvmir twice.nvmir
+  $ deepmc check ../../examples/programs/wal.nvmir --epoch --entry main 2>/dev/null | grep -c WARNING
+  $ cat > wal.supp <<'DB'
+  > semantic-mismatch  wal.c:30  commit marker after data, crash-verified
+  > DB
+  $ deepmc check ../../examples/programs/wal.nvmir --epoch --suppressions wal.supp 2>/dev/null | grep suppressed
+  $ cat > map.txt <<'MAP'
+  > main epoch
+  > MAP
+  $ deepmc check-mixed ../../examples/programs/wal.nvmir --model-map map.txt 2>/dev/null | head -1
+  $ deepmc cfg ../../examples/programs/nvm_lock.nvmir --function nvm_lock | head -2
+  $ deepmc cfg ../../examples/programs/nvm_lock.nvmir --callgraph | grep doubleoctagon
+  $ deepmc check ../../examples/programs/pqueue.nvmir --strict --entry main 2>/dev/null | grep -c semantic-mismatch
+  $ cat > lossy.nvmir <<'IR'
+  > struct s { f: int, g: int }
+  > func main() {
+  > entry:
+  >   p = alloc pmem s
+  >   store p->f, 1
+  >   persist exact p->f
+  >   store p->g, 2
+  >   ret
+  > }
+  > IR
+  $ deepmc crash lossy.nvmir --summary
+  $ deepmc crash ../../examples/programs/wal.nvmir --summary
+  $ cat > lib_only.nvmir <<'IR'
+  > struct s { f: int, g: int }
+  > func update(p: ptr s) {
+  > entry:
+  >   store p->f, 1
+  >   ret
+  > }
+  > IR
+  $ deepmc check lib_only.nvmir --strict 2>/dev/null | grep -c WARNING
+  $ deepmc check lib_only.nvmir --strict --pmem-root update:p 2>/dev/null | grep WARNING
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict --html report.html >/dev/null 2>&1
+  $ grep -c "unflushed-write" report.html
+  $ grep -o "<title>[^<]*</title>" report.html
+  $ grep -c "class=\"hit\"" report.html

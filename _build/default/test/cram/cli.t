@@ -1,0 +1,154 @@
+End-to-end CLI checks. Timing lines are filtered out; everything else is
+deterministic.
+
+The Figure 9 bug is reported at the paper's coordinates:
+
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict --entry main 2>/dev/null | grep -A1 WARNING
+  WARNING [unflushed-write] nvm_locks.c:932 (model violation, strict model, static):
+    write to n1.new_level is never flushed or logged before it must be durable
+
+The exit code reflects the warning count:
+
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict >/dev/null 2>&1
+  [124]
+
+The Figure 1 hashmap bug:
+
+  $ deepmc check ../../examples/programs/hashmap.nvmir --strict 2>/dev/null | grep "WARNING"
+  WARNING [semantic-mismatch] hash_map.c:120 (model violation, strict model, static):
+
+JSON output carries the same warning:
+
+  $ deepmc check ../../examples/programs/hashmap.nvmir --strict --json 2>/dev/null | grep -o '"rule": "semantic-mismatch"'
+  "rule": "semantic-mismatch"
+
+The DSG dump shows the two persistent objects of Figure 10:
+
+  $ deepmc dsg ../../examples/programs/nvm_lock.nvmir --function nvm_lock | head -2
+  DSG of nvm_lock (2 persistent node(s))
+  n1 pmem heap [lk]
+
+The rule catalog lists all ten rules:
+
+  $ deepmc rules | grep -c '^[a-z-]* \['
+  10
+
+The fixer repairs the Figure 9 bug (the repaired program persists
+new_level):
+
+  $ deepmc fix ../../examples/programs/nvm_lock.nvmir --strict 2>/dev/null | grep -A1 "store lk->new_level"
+    store lk->new_level, 2  @ nvm_locks.c:932
+    persist exact lk->new_level  @ nvm_locks.c:932
+
+Trace dump from a chosen root:
+
+  $ deepmc trace ../../examples/programs/hashmap.nvmir --root main | head -3
+  root main: 1 trace(s)
+    trace (8 events)
+      >hashmap_create @<unknown>:0
+
+Malformed input is a parse error, not a crash:
+
+  $ echo "func broken(" > broken.nvmir
+  $ deepmc check broken.nvmir --strict 2>&1 | head -1
+  deepmc: broken.nvmir:2: expected parameter name, got end of input
+
+Unknown corpus names are rejected:
+
+  $ deepmc corpus --name not_a_program
+  deepmc: no such corpus program (try without --name for the list)
+  [124]
+
+Canonical formatting round-trips:
+
+  $ deepmc fmt ../../examples/programs/hashmap.nvmir > once.nvmir
+  $ deepmc fmt once.nvmir > twice.nvmir
+  $ diff once.nvmir twice.nvmir
+
+The WAL example under the epoch model: one conservative commit-marker
+warning (see docs/RULES.md), everything else clean:
+
+  $ deepmc check ../../examples/programs/wal.nvmir --epoch --entry main 2>/dev/null | grep -c WARNING
+  1
+
+A suppression database filters it:
+
+  $ cat > wal.supp <<'DB'
+  > semantic-mismatch  wal.c:30  commit marker after data, crash-verified
+  > DB
+  $ deepmc check ../../examples/programs/wal.nvmir --epoch --suppressions wal.supp 2>/dev/null | grep suppressed
+  suppressed wal.c:30 semantic-mismatch (commit marker after data, crash-verified)
+
+Mixed-model checking assigns per-root models:
+
+  $ cat > map.txt <<'MAP'
+  > main epoch
+  > MAP
+  $ deepmc check-mixed ../../examples/programs/wal.nvmir --model-map map.txt 2>/dev/null | head -1
+  main (epoch model): 1 warning(s)
+
+Graphviz export is well-formed dot:
+
+  $ deepmc cfg ../../examples/programs/nvm_lock.nvmir --function nvm_lock | head -2
+  digraph "nvm_lock" {
+    node [shape=box, fontname="monospace"];
+  $ deepmc cfg ../../examples/programs/nvm_lock.nvmir --callgraph | grep doubleoctagon
+    "main" [shape=doubleoctagon];
+
+The crash-consistent persistent queue: its three dependency-ordering
+warnings are the known conservative pattern:
+
+  $ deepmc check ../../examples/programs/pqueue.nvmir --strict --entry main 2>/dev/null | grep -c semantic-mismatch
+  3
+
+Crash-exposure exploration: a write that never becomes durable is
+reported (and fails the exit code), exercising the executed path:
+
+  $ cat > lossy.nvmir <<'IR'
+  > struct s { f: int, g: int }
+  > func main() {
+  > entry:
+  >   p = alloc pmem s
+  >   store p->f, 1
+  >   persist exact p->f
+  >   store p->g, 2
+  >   ret
+  > }
+  > IR
+  $ deepmc crash lossy.nvmir --summary
+  crash points: 4; peak in-flight exposure: 1 slot(s); never durable: 1 slot(s)
+  deepmc: 1 slot(s) never became durable
+  [124]
+
+The crash-safe WAL has in-flight exposure but loses nothing:
+
+  $ deepmc crash ../../examples/programs/wal.nvmir --summary
+  crash points: 30; peak in-flight exposure: 9 slot(s); never durable: 0 slot(s)
+
+Interface annotations (--pmem-root) mark externally-created objects as
+persistent, so library functions are checkable without a driver:
+
+  $ cat > lib_only.nvmir <<'IR'
+  > struct s { f: int, g: int }
+  > func update(p: ptr s) {
+  > entry:
+  >   store p->f, 1
+  >   ret
+  > }
+  > IR
+  $ deepmc check lib_only.nvmir --strict 2>/dev/null | grep -c WARNING
+  0
+  [1]
+  $ deepmc check lib_only.nvmir --strict --pmem-root update:p 2>/dev/null | grep WARNING
+  WARNING [unflushed-write] <unknown>:0 (model violation, strict model, static):
+
+HTML report generation (scan-build style):
+
+  $ deepmc check ../../examples/programs/nvm_lock.nvmir --strict --html report.html >/dev/null 2>&1
+  [124]
+  $ grep -c "unflushed-write" report.html
+  1
+  $ grep -o "<title>[^<]*</title>" report.html
+  <title>nvm_lock.nvmir</title>
+  $ grep -c "class=\"hit\"" report.html
+  1

@@ -1,0 +1,358 @@
+(* Tests for the automated fixer and the suppression database (the two
+   future-work directions §4.3 and §5.4 name). *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let check_warnings ?(model = Analysis.Model.Strict) ?roots prog =
+  (Analysis.Checker.check ~model ?roots prog).Analysis.Checker.warnings
+
+let fix_src ?(model = Analysis.Model.Strict) src =
+  let prog = Nvmir.Parser.parse src in
+  let before = check_warnings ~model prog in
+  let fixed_prog, outcomes, remaining =
+    Deepmc.Autofix.fix_until_clean ~model prog
+  in
+  (before, fixed_prog, outcomes, remaining)
+
+let header = "struct s { f: int, g: int, h: int }\n"
+
+let test_fix_unflushed_write () =
+  let before, fixed, _, remaining =
+    fix_src
+      (header
+     ^ {|
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  ret
+}
+|})
+  in
+  check Alcotest.int "one warning before" 1 (List.length before);
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  check Alcotest.int "program still valid" 0
+    (List.length (Nvmir.Prog.validate fixed))
+
+let test_fix_missing_barrier () =
+  let _, fixed, _, remaining =
+    fix_src
+      (header
+     ^ {|
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  flush exact p->f
+  tx_begin
+  tx_add exact p->g
+  store p->g, 2
+  tx_end
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  check Alcotest.int "valid" 0 (List.length (Nvmir.Prog.validate fixed))
+
+let test_fix_nested_tx_barrier () =
+  let _, fixed, _, remaining =
+    fix_src ~model:Analysis.Model.Epoch
+      (header
+     ^ {|
+func inner(p: ptr s) {
+entry:
+  tx_begin
+  store p->f, 1
+  flush exact p->f
+  tx_end
+  ret
+}
+func main() {
+entry:
+  p = alloc pmem s
+  tx_begin
+  call inner(p)
+  store p->g, 2
+  flush exact p->g
+  fence
+  tx_end
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  check Alcotest.int "valid" 0 (List.length (Nvmir.Prog.validate fixed))
+
+let test_fix_redundant_flush () =
+  let _, fixed, _, remaining =
+    fix_src
+      (header
+     ^ {|
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  persist exact p->f
+  persist exact p->f
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  (* the duplicate persist is gone *)
+  match Nvmir.Prog.find_func fixed "main" with
+  | None -> Alcotest.fail "main missing"
+  | Some f ->
+    let persists = ref 0 in
+    Nvmir.Func.iter_instrs
+      (fun _ i ->
+        match i.Nvmir.Instr.kind with
+        | Nvmir.Instr.Persist _ -> incr persists
+        | _ -> ())
+      f;
+    check Alcotest.int "one persist left" 1 !persists
+
+let test_fix_narrows_whole_object_flush () =
+  let _, fixed, _, remaining =
+    fix_src
+      (header
+     ^ {|
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  persist object p
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  match Nvmir.Prog.find_func fixed "main" with
+  | None -> Alcotest.fail "main missing"
+  | Some f ->
+    let narrowed = ref false in
+    Nvmir.Func.iter_instrs
+      (fun _ i ->
+        match i.Nvmir.Instr.kind with
+        | Nvmir.Instr.Persist { extent = Nvmir.Instr.Exact; _ } ->
+          narrowed := true
+        | _ -> ())
+      f;
+    check Alcotest.bool "extent narrowed to the written field" true !narrowed
+
+let test_fix_moves_persist_into_branch () =
+  (* the Figure 7 repair *)
+  let _, fixed, _, remaining =
+    fix_src
+      (header
+     ^ {|
+func main(n: int) {
+entry:
+  p = alloc pmem s
+  c = n > 0
+  br c, upd, fin
+upd:
+  store p->f, 1
+  store p->g, 2
+  store p->h, 3
+  br fin
+fin:
+  persist object p
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  match Nvmir.Prog.find_func fixed "main" with
+  | None -> Alcotest.fail "main missing"
+  | Some f -> (
+    match Nvmir.Func.find_block f "upd" with
+    | None -> Alcotest.fail "upd block missing"
+    | Some b ->
+      check Alcotest.bool "persist moved into the updating branch" true
+        (List.exists
+           (fun (i : Nvmir.Instr.t) ->
+             match i.Nvmir.Instr.kind with
+             | Nvmir.Instr.Persist _ -> true
+             | _ -> false)
+           b.Nvmir.Func.instrs))
+
+let test_fix_removes_empty_tx () =
+  let _, fixed, _, remaining =
+    fix_src (header ^ {|
+func main() {
+entry:
+  tx_begin
+  tx_end
+  ret
+}
+|})
+  in
+  check Alcotest.int "clean after" 0 (List.length remaining);
+  check Alcotest.int "valid (balanced tx markers)" 0
+    (List.length (Nvmir.Prog.validate fixed))
+
+let test_fix_refuses_semantic_mismatch () =
+  let prog =
+    Nvmir.Parser.parse
+      (header
+     ^ {|
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  persist exact p->f
+  store p->g, 2
+  persist exact p->g
+  ret
+}
+|})
+  in
+  let warnings = check_warnings prog in
+  let r = Deepmc.Autofix.apply prog warnings in
+  check Alcotest.int "mismatch skipped, not fixed" 0 (Deepmc.Autofix.fixed_count r);
+  check Alcotest.int "skip reported" 1 (Deepmc.Autofix.skipped_count r)
+
+let test_fix_corpus_programs () =
+  (* the fixer must eliminate all mechanically-fixable corpus warnings
+     and never produce an invalid program or a new warning class *)
+  List.iter
+    (fun (p : Corpus.Types.program) ->
+      let prog = Corpus.Types.parse p in
+      let model = Corpus.Types.model p in
+      let roots = p.Corpus.Types.roots in
+      let before = check_warnings ~model ~roots prog in
+      let fixed, _, remaining =
+        Deepmc.Autofix.fix_until_clean ~model ~roots prog
+      in
+      check Alcotest.int
+        (p.Corpus.Types.name ^ ": fixed program validates")
+        0
+        (List.length (Nvmir.Prog.validate fixed));
+      check Alcotest.bool
+        (p.Corpus.Types.name ^ ": warnings do not increase")
+        true
+        (List.length remaining <= List.length before);
+      (* everything except the developer-intent classes and the known
+         false positives (non-bugs cannot be "repaired") gets fixed *)
+      let is_benign (w : Analysis.Warning.t) =
+        List.exists
+          (fun ((e : Deepmc.Report.expectation), _) ->
+            (not e.Deepmc.Report.validated) && Deepmc.Report.matches e w)
+          p.Corpus.Types.expectations
+      in
+      List.iter
+        (fun (w : Analysis.Warning.t) ->
+          match w.Analysis.Warning.rule with
+          | Analysis.Warning.Semantic_mismatch
+          | Analysis.Warning.Multiple_writes_at_once
+          | Analysis.Warning.Strand_dependence -> ()
+          | _ when is_benign w -> ()
+          | r ->
+            Alcotest.fail
+              (Fmt.str "%s: %s at %a not repaired" p.Corpus.Types.name
+                 (Analysis.Warning.rule_name r)
+                 Nvmir.Loc.pp w.Analysis.Warning.loc))
+        remaining)
+    Corpus.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Suppression database *)
+
+let warning ?(rule = Analysis.Warning.Unflushed_write) ~file ~line () =
+  Analysis.Warning.make ~rule ~model:Analysis.Model.Strict
+    ~loc:(Nvmir.Loc.make ~file ~line) ~fname:"f" "msg"
+
+let test_suppress_matching () =
+  let db = Deepmc.Suppress.create () in
+  Deepmc.Suppress.add db
+    (Deepmc.Suppress.entry ~rule:Analysis.Warning.Unflushed_write ~line:10
+       ~file:"a.c" "reviewed");
+  Deepmc.Suppress.add db (Deepmc.Suppress.entry ~file:"legacy.c" "whole file");
+  let kept, suppressed =
+    Deepmc.Suppress.filter db
+      [
+        warning ~file:"a.c" ~line:10 ();
+        warning ~file:"a.c" ~line:11 ();
+        warning ~rule:Analysis.Warning.Multiple_flushes ~file:"a.c" ~line:10 ();
+        warning ~file:"legacy.c" ~line:99 ();
+      ]
+  in
+  check Alcotest.int "two kept" 2 (List.length kept);
+  check Alcotest.int "two suppressed" 2 (List.length suppressed)
+
+let test_suppress_roundtrip () =
+  let db = Deepmc.Suppress.create () in
+  Deepmc.Suppress.add db
+    (Deepmc.Suppress.entry ~rule:Analysis.Warning.Flush_unmodified ~line:584
+       ~file:"super.c" "repair path modifies through shim");
+  Deepmc.Suppress.add db (Deepmc.Suppress.entry ~file:"vendor.c" "third party");
+  let db' = Deepmc.Suppress.of_string (Deepmc.Suppress.to_string db) in
+  check Alcotest.int "entries survive" 2
+    (List.length (Deepmc.Suppress.entries db'));
+  let kept, suppressed =
+    Deepmc.Suppress.filter db'
+      [ warning ~rule:Analysis.Warning.Flush_unmodified ~file:"super.c" ~line:584 () ]
+  in
+  check Alcotest.int "suppression survives roundtrip" 0 (List.length kept);
+  check Alcotest.int "one suppressed" 1 (List.length suppressed)
+
+let test_suppress_learn_loop () =
+  (* the 5.4 workflow: validate the 7 corpus false positives once, learn
+     them, and the corpus reports exactly the 43 real bugs *)
+  let db = Deepmc.Suppress.create () in
+  List.iter
+    (fun (_, (e : Deepmc.Report.expectation), _) ->
+      Deepmc.Suppress.learn db
+        (warning ~rule:e.Deepmc.Report.rule ~file:e.Deepmc.Report.file
+           ~line:e.Deepmc.Report.line ())
+        ~reason:"validated benign")
+    (Corpus.Registry.benign_patterns ());
+  let total_kept = ref 0 and total_suppressed = ref 0 in
+  List.iter
+    (fun (p : Corpus.Types.program) ->
+      let _, score = Corpus.Registry.analyze p in
+      let kept, suppressed =
+        Deepmc.Suppress.filter db score.Deepmc.Report.warnings
+      in
+      total_kept := !total_kept + List.length kept;
+      total_suppressed := !total_suppressed + List.length suppressed)
+    Corpus.Registry.all;
+  check Alcotest.int "43 real bugs kept" 43 !total_kept;
+  check Alcotest.int "7 false positives suppressed" 7 !total_suppressed
+
+let test_suppress_parse_errors () =
+  (match Deepmc.Suppress.of_string "not-a-rule a.c:1 reason" with
+  | exception Deepmc.Suppress.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown rule accepted");
+  match Deepmc.Suppress.of_string "only-one-token" with
+  | exception Deepmc.Suppress.Parse_error _ -> ()
+  | _ -> Alcotest.fail "short line accepted"
+
+let test_suppress_comments_and_blanks () =
+  let db =
+    Deepmc.Suppress.of_string "# header\n\n*  a.c  reviewed whole file\n"
+  in
+  check Alcotest.int "one entry" 1 (List.length (Deepmc.Suppress.entries db))
+
+let suite =
+  [
+    tc "fix: unflushed write" `Quick test_fix_unflushed_write;
+    tc "fix: missing barrier" `Quick test_fix_missing_barrier;
+    tc "fix: nested-tx barrier" `Quick test_fix_nested_tx_barrier;
+    tc "fix: redundant flush removed" `Quick test_fix_redundant_flush;
+    tc "fix: whole-object flush narrowed" `Quick
+      test_fix_narrows_whole_object_flush;
+    tc "fix: persist moved into branch (Fig. 7)" `Quick
+      test_fix_moves_persist_into_branch;
+    tc "fix: empty transaction removed" `Quick test_fix_removes_empty_tx;
+    tc "fix: refuses semantic repairs" `Quick test_fix_refuses_semantic_mismatch;
+    tc "fix: whole corpus" `Quick test_fix_corpus_programs;
+    tc "suppress: matching" `Quick test_suppress_matching;
+    tc "suppress: save/load roundtrip" `Quick test_suppress_roundtrip;
+    tc "suppress: learn loop over corpus FPs" `Quick test_suppress_learn_loop;
+    tc "suppress: parse errors" `Quick test_suppress_parse_errors;
+    tc "suppress: comments and blanks" `Quick test_suppress_comments_and_blanks;
+  ]

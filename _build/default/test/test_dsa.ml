@@ -1,0 +1,290 @@
+(* Tests for the DSA: arena/union-find, abstract addresses, and the
+   three-phase DSG construction with its alias and persistence
+   queries. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Arena *)
+
+let test_arena_unify_merges_flags () =
+  let a = Dsa.Arena.create () in
+  let n1 = Dsa.Arena.fresh a ~persistent:true () in
+  let n2 = Dsa.Arena.fresh a () in
+  check Alcotest.bool "n2 volatile before" false (Dsa.Arena.is_persistent a n2);
+  Dsa.Arena.unify a n1 n2;
+  check Alcotest.bool "same root" true (Dsa.Arena.find a n1 = Dsa.Arena.find a n2);
+  check Alcotest.bool "persistence propagates" true (Dsa.Arena.is_persistent a n2)
+
+let test_arena_unify_merges_edges_recursively () =
+  let a = Dsa.Arena.create () in
+  let p1 = Dsa.Arena.fresh a () and p2 = Dsa.Arena.fresh a () in
+  let t1 = Dsa.Arena.ensure_edge a p1 (Some "next") in
+  let t2 = Dsa.Arena.ensure_edge a p2 (Some "next") in
+  Dsa.Arena.set_persistent a t1;
+  Dsa.Arena.unify a p1 p2;
+  (* merging the parents must unify the "next" targets too *)
+  check Alcotest.bool "edge targets unified" true
+    (Dsa.Arena.find a t1 = Dsa.Arena.find a t2);
+  check Alcotest.bool "target flags merged" true (Dsa.Arena.is_persistent a t2)
+
+let test_arena_unify_idempotent () =
+  let a = Dsa.Arena.create () in
+  let n1 = Dsa.Arena.fresh a () and n2 = Dsa.Arena.fresh a () in
+  Dsa.Arena.unify a n1 n2;
+  Dsa.Arena.unify a n2 n1;
+  Dsa.Arena.unify a n1 n1;
+  check Alcotest.int "two nodes allocated" 2 (Dsa.Arena.size a);
+  check Alcotest.int "one canonical node" 1
+    (List.length
+       (List.filter
+          (fun id -> id < 2)
+          (Dsa.Arena.canonical_ids a)))
+
+let test_arena_modref () =
+  let a = Dsa.Arena.create () in
+  let n = Dsa.Arena.fresh a () in
+  Dsa.Arena.add_mod a n (Some "f");
+  Dsa.Arena.add_mod a n (Some "f");
+  Dsa.Arena.add_ref a n (Some "g");
+  let node = Dsa.Arena.canonical a n in
+  check Alcotest.int "mod recorded once" 1 (List.length node.Dsa.Arena.mod_fields);
+  check Alcotest.int "ref recorded" 1 (List.length node.Dsa.Arena.ref_fields)
+
+(* ------------------------------------------------------------------ *)
+(* Aaddr relations *)
+
+let addr ?(field = None) ?(index = Dsa.Aaddr.No_index) node =
+  { Dsa.Aaddr.node; field; index }
+
+let test_aaddr_overlap () =
+  let open Dsa.Aaddr in
+  let whole = addr 1 in
+  let f = addr ~field:(Some "f") 1 in
+  let g = addr ~field:(Some "g") 1 in
+  let other = addr ~field:(Some "f") 2 in
+  check Alcotest.bool "whole overlaps field" true (may_overlap whole f);
+  check Alcotest.bool "distinct fields disjoint" false (may_overlap f g);
+  check Alcotest.bool "distinct objects disjoint" false (may_overlap f other)
+
+let test_aaddr_indexes () =
+  let open Dsa.Aaddr in
+  let i0 = addr ~field:(Some "a") ~index:(Const_index 0) 1 in
+  let i1 = addr ~field:(Some "a") ~index:(Const_index 1) 1 in
+  let sym = addr ~field:(Some "a") ~index:(Sym_index "c") 1 in
+  check Alcotest.bool "distinct constants disjoint" false (may_overlap i0 i1);
+  check Alcotest.bool "symbolic may equal constant" true (may_overlap sym i0);
+  check Alcotest.bool "symbolic contained only if equal" false
+    (contained_in i0 sym);
+  check Alcotest.bool "same symbol contained" true (contained_in sym sym)
+
+let test_aaddr_containment () =
+  let open Dsa.Aaddr in
+  let whole = addr 1 in
+  let f = addr ~field:(Some "f") 1 in
+  check Alcotest.bool "field in whole" true (contained_in f whole);
+  check Alcotest.bool "whole not in field" false (contained_in whole f);
+  check Alcotest.bool "whole in whole" true (contained_in whole whole)
+
+(* containment implies overlap — checked over random addresses *)
+let aaddr_gen =
+  QCheck.Gen.(
+    let* node = int_range 0 2 in
+    let* field = oneofl [ None; Some "f"; Some "g" ] in
+    let* index =
+      oneofl
+        [ Dsa.Aaddr.No_index; Dsa.Aaddr.Const_index 0; Dsa.Aaddr.Const_index 1;
+          Dsa.Aaddr.Sym_index "i"; Dsa.Aaddr.Sym_index "j" ]
+    in
+    return { Dsa.Aaddr.node; field; index })
+
+let aaddr_arb = QCheck.make ~print:(Fmt.str "%a" Dsa.Aaddr.pp) aaddr_gen
+
+let prop_containment_implies_overlap =
+  QCheck.Test.make ~name:"contained_in implies may_overlap" ~count:500
+    (QCheck.pair aaddr_arb aaddr_arb)
+    (fun (a, b) ->
+      (not (Dsa.Aaddr.contained_in a b)) || Dsa.Aaddr.may_overlap a b)
+
+let prop_equal_implies_contained =
+  QCheck.Test.make ~name:"equal implies contained both ways" ~count:500
+    (QCheck.pair aaddr_arb aaddr_arb)
+    (fun (a, b) ->
+      (not (Dsa.Aaddr.equal a b))
+      || (Dsa.Aaddr.contained_in a b && Dsa.Aaddr.contained_in b a))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"may_overlap is symmetric" ~count:500
+    (QCheck.pair aaddr_arb aaddr_arb)
+    (fun (a, b) -> Dsa.Aaddr.may_overlap a b = Dsa.Aaddr.may_overlap b a)
+
+(* ------------------------------------------------------------------ *)
+(* DSG construction: the Figure 9 / Figure 10 example *)
+
+let nvm_lock_prog () =
+  Nvmir.Parser.parse
+    {|
+struct lkrec { state: int, new_level: int }
+struct amutex { owners: int, level: int }
+func nvm_lock(omutex: ptr amutex) {
+entry:
+  mutex = omutex
+  lk = alloc pmem lkrec
+  store lk->state, 1
+  persist exact lk->state
+  store mutex->owners, 0
+  persist exact mutex->owners
+  ret
+}
+func driver() {
+entry:
+  m = alloc pmem amutex
+  call nvm_lock(m)
+  ret
+}
+|}
+
+let test_dsg_alloc_is_persistent () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  check Alcotest.bool "lk persistent" true
+    (Dsa.Dsg.is_persistent_place dsg ~fname:"nvm_lock" (Nvmir.Place.var "lk"))
+
+let test_dsg_param_persistence_flows_from_caller () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  (* omutex's persistence is only known from the caller's allocation
+     (the top-down information of §4.2) *)
+  check Alcotest.bool "omutex persistent via caller" true
+    (Dsa.Dsg.is_persistent_place dsg ~fname:"nvm_lock"
+       (Nvmir.Place.var "omutex"))
+
+let test_dsg_assignment_aliases () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  let n1 = Dsa.Dsg.node_of_var dsg ~fname:"nvm_lock" "omutex" in
+  let n2 = Dsa.Dsg.node_of_var dsg ~fname:"nvm_lock" "mutex" in
+  check Alcotest.bool "mutex = omutex alias" true (n1 = n2 && n1 <> None);
+  check Alcotest.bool "distinct from lk" true
+    (n1 <> Dsa.Dsg.node_of_var dsg ~fname:"nvm_lock" "lk")
+
+let test_dsg_caller_callee_same_node () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  let caller = Dsa.Dsg.node_of_var dsg ~fname:"driver" "m" in
+  let callee = Dsa.Dsg.node_of_var dsg ~fname:"nvm_lock" "omutex" in
+  check Alcotest.bool "argument and parameter unified" true
+    (caller = callee && caller <> None)
+
+let test_dsg_modref () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  match Dsa.Dsg.node_of_var dsg ~fname:"nvm_lock" "lk" with
+  | None -> Alcotest.fail "lk unbound"
+  | Some n ->
+    check Alcotest.bool "state modified" true
+      (List.mem (Some "state") (Dsa.Dsg.modified_fields dsg n))
+
+let test_dsg_field_sensitivity_switch () =
+  let prog = nvm_lock_prog () in
+  let fs = Dsa.Dsg.build ~field_sensitive:true prog in
+  let fi = Dsa.Dsg.build ~field_sensitive:false prog in
+  let a_state =
+    Dsa.Dsg.resolve fs ~fname:"nvm_lock" (Nvmir.Place.field "lk" "state")
+  in
+  let a_level =
+    Dsa.Dsg.resolve fs ~fname:"nvm_lock" (Nvmir.Place.field "lk" "new_level")
+  in
+  check Alcotest.bool "fields distinct when sensitive" false
+    (Dsa.Aaddr.may_overlap a_state a_level);
+  let b_state =
+    Dsa.Dsg.resolve fi ~fname:"nvm_lock" (Nvmir.Place.field "lk" "state")
+  in
+  let b_level =
+    Dsa.Dsg.resolve fi ~fname:"nvm_lock" (Nvmir.Place.field "lk" "new_level")
+  in
+  check Alcotest.bool "fields collapse when insensitive" true
+    (Dsa.Aaddr.may_overlap b_state b_level)
+
+let test_dsg_addr_of_cell () =
+  let prog =
+    Nvmir.Parser.parse
+      {|
+struct s { f: int, g: int }
+func f() {
+entry:
+  p = alloc pmem s
+  a = addr p->f
+  store a, 1
+  ret
+}
+|}
+  in
+  let dsg = Dsa.Dsg.build prog in
+  let through_cell = Dsa.Dsg.resolve dsg ~fname:"f" (Nvmir.Place.var "a") in
+  let direct = Dsa.Dsg.resolve dsg ~fname:"f" (Nvmir.Place.field "p" "f") in
+  check Alcotest.bool "store through &p->f writes p.f" true
+    (Dsa.Aaddr.equal through_cell direct);
+  check Alcotest.bool "cell is persistent" true
+    (Dsa.Dsg.is_persistent_addr dsg through_cell)
+
+let test_dsg_pointer_arith_is_opaque () =
+  let prog =
+    Nvmir.Parser.parse
+      {|
+struct s { f: int, g: int }
+func f() {
+entry:
+  p = alloc pmem s
+  q = p + 0
+  store q->f, 1
+  ret
+}
+|}
+  in
+  let dsg = Dsa.Dsg.build prog in
+  (* the write through q is invisible to the static analysis: q's node
+     is unknown and volatile (the Section 5.4 limitation) *)
+  check Alcotest.bool "laundered pointer not persistent" false
+    (Dsa.Dsg.is_persistent_place dsg ~fname:"f" (Nvmir.Place.field "q" "f"))
+
+let test_dsg_may_alias () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  check Alcotest.bool "same field aliases" true
+    (Dsa.Dsg.may_alias dsg ~fname:"nvm_lock"
+       (Nvmir.Place.field "mutex" "owners")
+       (Nvmir.Place.field "omutex" "owners"));
+  check Alcotest.bool "different objects do not" false
+    (Dsa.Dsg.may_alias dsg ~fname:"nvm_lock"
+       (Nvmir.Place.field "mutex" "owners")
+       (Nvmir.Place.field "lk" "state"))
+
+let test_dsg_function_view () =
+  let dsg = Dsa.Dsg.build (nvm_lock_prog ()) in
+  (* nvm_lock reaches exactly two persistent objects: lk and the mutex *)
+  check Alcotest.int "two persistent nodes" 2
+    (List.length (Dsa.Dsg.function_view dsg ~fname:"nvm_lock"))
+
+let suite =
+  [
+    tc "arena: unify merges flags" `Quick test_arena_unify_merges_flags;
+    tc "arena: unify merges edges recursively" `Quick
+      test_arena_unify_merges_edges_recursively;
+    tc "arena: unify is idempotent" `Quick test_arena_unify_idempotent;
+    tc "arena: mod/ref dedup" `Quick test_arena_modref;
+    tc "aaddr: overlap" `Quick test_aaddr_overlap;
+    tc "aaddr: index sensitivity" `Quick test_aaddr_indexes;
+    tc "aaddr: containment" `Quick test_aaddr_containment;
+    QCheck_alcotest.to_alcotest prop_containment_implies_overlap;
+    QCheck_alcotest.to_alcotest prop_equal_implies_contained;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    tc "dsg: allocation persistence" `Quick test_dsg_alloc_is_persistent;
+    tc "dsg: top-down persistence" `Quick
+      test_dsg_param_persistence_flows_from_caller;
+    tc "dsg: assignment aliasing" `Quick test_dsg_assignment_aliases;
+    tc "dsg: bottom-up arg/param unification" `Quick
+      test_dsg_caller_callee_same_node;
+    tc "dsg: mod/ref summaries" `Quick test_dsg_modref;
+    tc "dsg: field-sensitivity switch" `Quick test_dsg_field_sensitivity_switch;
+    tc "dsg: address-of field cells" `Quick test_dsg_addr_of_cell;
+    tc "dsg: pointer arithmetic is opaque" `Quick
+      test_dsg_pointer_arith_is_opaque;
+    tc "dsg: may_alias" `Quick test_dsg_may_alias;
+    tc "dsg: per-function view" `Quick test_dsg_function_view;
+  ]

@@ -1,0 +1,265 @@
+(* Tests for the dynamic checker: vector clocks, the shadow segment's
+   happens-before logic, race detection between strands, epoch-end
+   volatility reporting, and redundant-flush classification. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Vclock *)
+
+let test_vclock_basics () =
+  let open Runtime.Vclock in
+  let a = tick empty 1 in
+  let b = tick a 1 in
+  check Alcotest.int "get" 2 (get b 1);
+  check Alcotest.bool "a hb b" true (hb a b);
+  check Alcotest.bool "b not hb a" false (hb b a);
+  check Alcotest.bool "not concurrent" false (concurrent a b)
+
+let test_vclock_concurrency () =
+  let open Runtime.Vclock in
+  let a = tick empty 1 and b = tick empty 2 in
+  check Alcotest.bool "independent ticks concurrent" true (concurrent a b);
+  let j = join a b in
+  check Alcotest.bool "join after both" true (le a j && le b j);
+  check Alcotest.bool "join not concurrent with parts" false (concurrent a j)
+
+let test_vclock_join_pointwise_max () =
+  let open Runtime.Vclock in
+  let a = set (set empty 1 5) 2 1 in
+  let b = set (set empty 1 2) 2 7 in
+  let j = join a b in
+  check Alcotest.int "max of 1" 5 (get j 1);
+  check Alcotest.int "max of 2" 7 (get j 2)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow ordering *)
+
+let test_shadow_ordering () =
+  let open Runtime.Shadow in
+  let w = { strand = 1; fence_at = 3; loc = Nvmir.Loc.none } in
+  check Alcotest.bool "same strand ordered" true
+    (ordered_before w ~strand:1 ~begin_fence:0);
+  check Alcotest.bool "barrier orders" true
+    (ordered_before w ~strand:2 ~begin_fence:4);
+  check Alcotest.bool "no barrier: concurrent" false
+    (ordered_before w ~strand:2 ~begin_fence:3)
+
+let test_shadow_waw_detection () =
+  let sh = Runtime.Shadow.create () in
+  let a1 = { Runtime.Shadow.strand = 1; fence_at = 0; loc = Nvmir.Loc.none } in
+  let a2 = { Runtime.Shadow.strand = 2; fence_at = 0; loc = Nvmir.Loc.none } in
+  check Alcotest.int "first write clean" 0
+    (List.length (Runtime.Shadow.record_write sh ~obj_id:0 ~slot:1 ~begin_fence:0 a1));
+  let conflicts = Runtime.Shadow.record_write sh ~obj_id:0 ~slot:1 ~begin_fence:0 a2 in
+  check Alcotest.int "WAW detected" 1 (List.length conflicts);
+  (* after a barrier, the next strand is ordered *)
+  let a3 = { Runtime.Shadow.strand = 3; fence_at = 1; loc = Nvmir.Loc.none } in
+  check Alcotest.int "ordered after barrier" 0
+    (List.length (Runtime.Shadow.record_write sh ~obj_id:0 ~slot:1 ~begin_fence:1 a3))
+
+let test_shadow_raw_detection () =
+  let sh = Runtime.Shadow.create () in
+  let w = { Runtime.Shadow.strand = 1; fence_at = 0; loc = Nvmir.Loc.none } in
+  ignore (Runtime.Shadow.record_write sh ~obj_id:0 ~slot:0 ~begin_fence:0 w);
+  let r = { Runtime.Shadow.strand = 2; fence_at = 0; loc = Nvmir.Loc.none } in
+  (match Runtime.Shadow.record_read sh ~obj_id:0 ~slot:0 ~begin_fence:0 r with
+  | Some (`Raw _) -> ()
+  | None -> Alcotest.fail "expected RAW race");
+  check Alcotest.int "cells tracked" 1 (Runtime.Shadow.tracked_cells sh)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end dynamic checking through the interpreter *)
+
+let run_dynamic ?(model = Analysis.Model.Strand) src =
+  let prog = Nvmir.Parser.parse src in
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~model () in
+  Runtime.Dynamic.attach checker pmem;
+  let interp = Runtime.Interp.create ~pmem prog in
+  ignore (Runtime.Interp.run ~entry:"main" interp);
+  Runtime.Dynamic.summary checker
+
+let strand_prog ~with_fence ~same_field =
+  Fmt.str
+    {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  strand_begin 1
+  store p->f, 1
+  flush exact p->f
+  strand_end 1
+%s
+  strand_begin 2
+  store p->%s, 2
+  flush exact p->%s
+  strand_end 2
+  fence
+  ret
+}
+|}
+    (if with_fence then "  fence" else "")
+    (if same_field then "f" else "g")
+    (if same_field then "f" else "g")
+
+let test_dynamic_waw_race () =
+  let s = run_dynamic (strand_prog ~with_fence:false ~same_field:true) in
+  check Alcotest.int "one WAW race" 1 s.Runtime.Dynamic.waw
+
+let test_dynamic_fence_orders_strands () =
+  let s = run_dynamic (strand_prog ~with_fence:true ~same_field:true) in
+  check Alcotest.int "no race with barrier" 0 s.Runtime.Dynamic.waw
+
+let test_dynamic_disjoint_strands () =
+  let s = run_dynamic (strand_prog ~with_fence:false ~same_field:false) in
+  check Alcotest.int "no race on disjoint fields" 0 s.Runtime.Dynamic.waw
+
+let test_dynamic_raw_race () =
+  let s =
+    run_dynamic
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  strand_begin 1
+  store p->f, 1
+  flush exact p->f
+  strand_end 1
+  strand_begin 2
+  x = load p->f
+  strand_end 2
+  fence
+  ret
+}
+|}
+  in
+  check Alcotest.int "one RAW race" 1 s.Runtime.Dynamic.raw
+
+let test_dynamic_epoch_end_unflushed () =
+  let s =
+    run_dynamic ~model:Analysis.Model.Epoch
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  epoch_begin
+  store p->f, 1
+  epoch_end
+  ret
+}
+|}
+  in
+  check Alcotest.int "unflushed at epoch end" 1 s.Runtime.Dynamic.unflushed
+
+let test_dynamic_epoch_end_clean () =
+  let s =
+    run_dynamic ~model:Analysis.Model.Epoch
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  epoch_begin
+  store p->f, 1
+  flush exact p->f
+  fence
+  epoch_end
+  ret
+}
+|}
+  in
+  check Alcotest.int "clean epoch" 0 s.Runtime.Dynamic.unflushed
+
+let test_dynamic_redundant_flush_classes () =
+  let s =
+    run_dynamic ~model:Analysis.Model.Epoch
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  epoch_begin
+  store p->f, 1
+  flush exact p->f
+  fence
+  flush exact p->f
+  fence
+  epoch_end
+  ret
+}
+|}
+  in
+  check Alcotest.int "redundant flush counted" 1 s.Runtime.Dynamic.redundant
+
+let test_dynamic_untracked_outside_regions () =
+  (* the same redundant flush outside any annotated region is not
+     tracked — the overhead-reduction property of 4.4 *)
+  let s =
+    run_dynamic ~model:Analysis.Model.Epoch
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  flush exact p->f
+  fence
+  flush exact p->f
+  fence
+  ret
+}
+|}
+  in
+  check Alcotest.int "not tracked outside regions" 0 s.Runtime.Dynamic.redundant;
+  check Alcotest.int "no cells" 0 s.Runtime.Dynamic.tracked_cells
+
+let test_dynamic_warning_cap () =
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~max_warnings:5 ~model:Analysis.Model.Epoch () in
+  Runtime.Dynamic.attach checker pmem;
+  let tenv = Nvmir.Ty.env_create () in
+  let o =
+    Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  Runtime.Pmem.epoch_begin pmem ();
+  Runtime.Pmem.write pmem { Runtime.Pmem.obj_id = o; slot = 0 } (Runtime.Value.Vint 1);
+  Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+  Runtime.Pmem.fence pmem ();
+  for _ = 1 to 20 do
+    Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+    Runtime.Pmem.fence pmem ()
+  done;
+  Runtime.Pmem.epoch_end pmem ();
+  let s = Runtime.Dynamic.summary checker in
+  check Alcotest.int "stored warnings capped" 5
+    (List.length (Runtime.Dynamic.warnings checker));
+  check Alcotest.int "all occurrences counted" 20 s.Runtime.Dynamic.warning_count
+
+let suite =
+  [
+    tc "vclock: basics" `Quick test_vclock_basics;
+    tc "vclock: concurrency and join" `Quick test_vclock_concurrency;
+    tc "vclock: pointwise max" `Quick test_vclock_join_pointwise_max;
+    tc "shadow: scalar ordering" `Quick test_shadow_ordering;
+    tc "shadow: WAW detection" `Quick test_shadow_waw_detection;
+    tc "shadow: RAW detection" `Quick test_shadow_raw_detection;
+    tc "dynamic: WAW race between strands" `Quick test_dynamic_waw_race;
+    tc "dynamic: barrier orders strands" `Quick
+      test_dynamic_fence_orders_strands;
+    tc "dynamic: disjoint strands clean" `Quick test_dynamic_disjoint_strands;
+    tc "dynamic: RAW race" `Quick test_dynamic_raw_race;
+    tc "dynamic: unflushed at epoch end" `Quick
+      test_dynamic_epoch_end_unflushed;
+    tc "dynamic: clean epoch" `Quick test_dynamic_epoch_end_clean;
+    tc "dynamic: redundant flush tracking" `Quick
+      test_dynamic_redundant_flush_classes;
+    tc "dynamic: untracked outside regions" `Quick
+      test_dynamic_untracked_outside_regions;
+    tc "dynamic: warning cap" `Quick test_dynamic_warning_cap;
+  ]

@@ -1,0 +1,234 @@
+(* Tests for the extensions beyond the paper's core: mixed-model
+   checking (lifting the §4.5 limitation), JSON report output, and the
+   eviction modeling of the runtime. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-model checking *)
+
+(* Two subsystems in one program: the allocator implements strict
+   persistency correctly but violates epoch rules (no epoch markers are
+   not required under strict); the log implements epoch persistency with
+   a deferred flush that strict checking would also flag differently. *)
+let mixed_src =
+  {|
+struct alloc_meta { free: int, top: int }
+struct log_t { tail: int, commit: int }
+
+func allocator_update(m: ptr alloc_meta) {
+entry:
+  store m->free, 1
+  persist exact m->free
+  ret
+}
+
+func log_append(l: ptr log_t) {
+entry:
+  epoch_begin
+  store l->tail, 1
+  epoch_end
+  epoch_begin
+  store l->commit, 1
+  flush object l
+  fence
+  epoch_end
+  ret
+}
+
+func alloc_root() {
+entry:
+  m = alloc pmem alloc_meta
+  call allocator_update(m)
+  ret
+}
+
+func log_root() {
+entry:
+  l = alloc pmem log_t
+  call log_append(l)
+  ret
+}
+|}
+
+let test_mixed_models_per_root () =
+  let prog = Nvmir.Parser.parse mixed_src in
+  let model_of = function
+    | "alloc_root" -> Analysis.Model.Strict
+    | _ -> Analysis.Model.Epoch
+  in
+  let r =
+    Analysis.Checker.check_mixed ~model_of ~roots:[ "alloc_root"; "log_root" ]
+      prog
+  in
+  (* the strict allocator is clean under strict rules *)
+  let alloc_ws =
+    List.find_map
+      (fun (root, _, ws) -> if root = "alloc_root" then Some ws else None)
+      r.Analysis.Checker.per_root
+  in
+  check Alcotest.(option (list string)) "allocator clean" (Some [])
+    (Option.map (List.map (fun (w : Analysis.Warning.t) -> Analysis.Warning.rule_name w.Analysis.Warning.rule)) alloc_ws);
+  (* the log's deferred durability is an epoch violation *)
+  let log_ws =
+    List.find_map
+      (fun (root, _, ws) -> if root = "log_root" then Some ws else None)
+      r.Analysis.Checker.per_root
+  in
+  check
+    Alcotest.(option (list string))
+    "log flagged under epoch rules"
+    (Some [ "multiple-writes-at-once" ])
+    (Option.map (List.map (fun (w : Analysis.Warning.t) -> Analysis.Warning.rule_name w.Analysis.Warning.rule)) log_ws)
+
+let test_mixed_vs_single_model () =
+  (* checking everything under one model gets the log wrong: under
+     strict, the epoch-deferral rule does not exist and different
+     warnings appear — the motivation for mixed checking *)
+  let prog = Nvmir.Parser.parse mixed_src in
+  let single =
+    Analysis.Checker.check ~model:Analysis.Model.Strict
+      ~roots:[ "alloc_root"; "log_root" ] prog
+  in
+  let has_epoch_deferral =
+    List.exists
+      (fun (w : Analysis.Warning.t) ->
+        w.Analysis.Warning.rule = Analysis.Warning.Multiple_writes_at_once)
+      single.Analysis.Checker.warnings
+  in
+  check Alcotest.bool "single strict model misses the epoch deferral" false
+    has_epoch_deferral
+
+let test_mixed_union_deduplicates () =
+  let prog = Nvmir.Parser.parse mixed_src in
+  let r =
+    Analysis.Checker.check_mixed
+      ~model_of:(fun _ -> Analysis.Model.Epoch)
+      ~roots:[ "log_root"; "log_root" ] prog
+  in
+  check Alcotest.int "duplicate roots deduplicated" 1
+    (List.length r.Analysis.Checker.mixed_warnings)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output *)
+
+let test_json_escaping () =
+  let j =
+    Deepmc.Json_report.String "quote\" backslash\\ newline\n tab\t ctrl\x01"
+  in
+  check Alcotest.string "escaped"
+    "\"quote\\\" backslash\\\\ newline\\n tab\\t ctrl\\u0001\""
+    (Deepmc.Json_report.to_string j)
+
+let test_json_shapes () =
+  let open Deepmc.Json_report in
+  check Alcotest.string "null" "null" (to_string Null);
+  check Alcotest.string "bool" "true" (to_string (Bool true));
+  check Alcotest.string "int" "42" (to_string (Int 42));
+  check Alcotest.string "empty list" "[]" (to_string (List []));
+  check Alcotest.string "empty obj" "{}" (to_string (Obj []));
+  check Alcotest.string "small obj" "{\"a\": 1}"
+    (to_string (Obj [ ("a", Int 1) ]))
+
+let test_json_report_well_formed () =
+  (* a cheap well-formedness check: balanced braces/brackets and every
+     warning field present *)
+  let prog =
+    Nvmir.Parser.parse
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  ret
+}
+|}
+  in
+  let d = Deepmc.Driver.make Analysis.Model.Strict in
+  let report = Deepmc.Driver.analyze d ~entry:"main" prog in
+  let s = Deepmc.Json_report.to_string (Deepmc.Json_report.of_report report) in
+  let count c = String.fold_left (fun n x -> if x = c then n + 1 else n) 0 s in
+  check Alcotest.int "balanced braces" (count '{') (count '}');
+  check Alcotest.int "balanced brackets" (count '[') (count ']');
+  List.iter
+    (fun needle ->
+      let contains =
+        let nh = String.length s and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub s i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      if not contains then Alcotest.fail ("missing field " ^ needle))
+    [ "\"rule\""; "\"file\""; "\"line\""; "\"message\""; "\"summary\"" ]
+
+(* ------------------------------------------------------------------ *)
+(* Eviction modeling *)
+
+let test_eviction_can_persist_unfenced_data () =
+  (* with eviction modeling on, dirty lines may become durable without
+     any flush — the §2.1 "unpredictable cache evictions" *)
+  let config = { Runtime.Config.default with Runtime.Config.track_eviction = true } in
+  let pmem = Runtime.Pmem.create ~config () in
+  let tenv = Nvmir.Ty.env_create () in
+  let o =
+    Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  (* hammer writes; the deterministic LCG guarantees some evictions *)
+  for i = 1 to 1000 do
+    Runtime.Pmem.write pmem { Runtime.Pmem.obj_id = o; slot = i land 7 }
+      (Runtime.Value.Vint i)
+  done;
+  check Alcotest.bool "spontaneous write-backs happened" true
+    ((Runtime.Pmem.stats pmem).Runtime.Pmem.nvm_writes > 0)
+
+let test_no_eviction_by_default () =
+  let pmem = Runtime.Pmem.create () in
+  let tenv = Nvmir.Ty.env_create () in
+  let o =
+    Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  for i = 1 to 1000 do
+    Runtime.Pmem.write pmem { Runtime.Pmem.obj_id = o; slot = i land 7 }
+      (Runtime.Value.Vint i)
+  done;
+  check Alcotest.int "no spontaneous write-backs" 0
+    (Runtime.Pmem.stats pmem).Runtime.Pmem.nvm_writes
+
+let test_eviction_is_deterministic () =
+  let run () =
+    let config =
+      { Runtime.Config.default with Runtime.Config.track_eviction = true }
+    in
+    let pmem = Runtime.Pmem.create ~config () in
+    let tenv = Nvmir.Ty.env_create () in
+    let o =
+      Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+        (Nvmir.Ty.Array (Nvmir.Ty.Int, 16))
+    in
+    for i = 1 to 500 do
+      Runtime.Pmem.write pmem { Runtime.Pmem.obj_id = o; slot = i land 15 }
+        (Runtime.Value.Vint i)
+    done;
+    (Runtime.Pmem.stats pmem).Runtime.Pmem.nvm_writes
+  in
+  check Alcotest.int "same seed, same evictions" (run ()) (run ())
+
+let suite =
+  [
+    tc "mixed: per-root models" `Quick test_mixed_models_per_root;
+    tc "mixed: single model misses epoch bugs" `Quick
+      test_mixed_vs_single_model;
+    tc "mixed: union deduplicates" `Quick test_mixed_union_deduplicates;
+    tc "json: string escaping" `Quick test_json_escaping;
+    tc "json: value shapes" `Quick test_json_shapes;
+    tc "json: report well-formed" `Quick test_json_report_well_formed;
+    tc "eviction: persists unfenced data" `Quick
+      test_eviction_can_persist_unfenced_data;
+    tc "eviction: off by default" `Quick test_no_eviction_by_default;
+    tc "eviction: deterministic" `Quick test_eviction_is_deterministic;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for CFGs, dominators, natural loops and call graphs. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* A diamond with a loop on one arm:
+
+     entry -> a -> b -> join
+           \-> c -/
+     b -> b (self loop via latch)            *)
+let diamond_with_loop () =
+  Nvmir.Parser.parse
+    {|
+func f(n: int) {
+entry:
+  c = n > 0
+  br c, a, cc
+a:
+  i = 0
+  br b
+b:
+  i = i + 1
+  d = i < 10
+  br d, b, join
+cc:
+  x = 1
+  br join
+join:
+  ret
+}
+|}
+
+let cfg_of prog name =
+  match Nvmir.Prog.find_func prog name with
+  | Some f -> Graphs.Cfg.of_func f
+  | None -> Alcotest.fail ("no function " ^ name)
+
+let test_cfg_edges () =
+  let cfg = cfg_of (diamond_with_loop ()) "f" in
+  check Alcotest.(slist string compare) "entry succs" [ "a"; "cc" ]
+    (Graphs.Cfg.successors cfg "entry");
+  check Alcotest.(slist string compare) "join preds" [ "b"; "cc" ]
+    (Graphs.Cfg.predecessors cfg "join");
+  check Alcotest.int "blocks" 5 (Graphs.Cfg.block_count cfg)
+
+let test_cfg_orders () =
+  let cfg = cfg_of (diamond_with_loop ()) "f" in
+  let pre = Graphs.Cfg.dfs_preorder cfg in
+  check Alcotest.string "starts at entry" "entry" (List.hd pre);
+  check Alcotest.int "visits all blocks" 5 (List.length pre);
+  let rpo = Graphs.Cfg.reverse_postorder cfg in
+  check Alcotest.string "rpo starts at entry" "entry" (List.hd rpo);
+  (* in RPO a block precedes its (non-back-edge) successors *)
+  let idx l = Option.get (List.find_index (String.equal l) rpo) in
+  Alcotest.(check bool) "a before b" true (idx "a" < idx "b");
+  Alcotest.(check bool) "b before join" true (idx "b" < idx "join")
+
+let test_dominators () =
+  let cfg = cfg_of (diamond_with_loop ()) "f" in
+  let doms = Graphs.Dominators.compute cfg in
+  check Alcotest.(option string) "idom of a" (Some "entry")
+    (Graphs.Dominators.idom doms "a");
+  check Alcotest.(option string) "idom of join" (Some "entry")
+    (Graphs.Dominators.idom doms "join");
+  check Alcotest.bool "entry dominates all" true
+    (Graphs.Dominators.dominates doms "entry" "join");
+  check Alcotest.bool "a does not dominate join" false
+    (Graphs.Dominators.dominates doms "a" "join");
+  check Alcotest.bool "b dominates b" true
+    (Graphs.Dominators.dominates doms "b" "b")
+
+let test_loops () =
+  let cfg = cfg_of (diamond_with_loop ()) "f" in
+  let loops = Graphs.Loops.compute cfg in
+  check Alcotest.(list string) "one loop header" [ "b" ]
+    (Graphs.Loops.headers loops);
+  check Alcotest.bool "b->b is a back edge" true
+    (Graphs.Loops.is_back_edge loops ~source:"b" ~target:"b");
+  check Alcotest.bool "entry->a is not" false
+    (Graphs.Loops.is_back_edge loops ~source:"entry" ~target:"a");
+  check Alcotest.bool "b in loop" true (Graphs.Loops.in_loop loops "b");
+  check Alcotest.bool "join not in loop" false (Graphs.Loops.in_loop loops "join")
+
+let call_prog () =
+  Nvmir.Parser.parse
+    {|
+func leaf() { entry: ret }
+func mid() { entry: call leaf() ret }
+func top() { entry: call mid() call leaf() ret }
+func rec_a() { entry: call rec_b() ret }
+func rec_b() { entry: call rec_a() ret }
+|}
+
+let test_callgraph_edges () =
+  let cg = Graphs.Callgraph.of_prog (call_prog ()) in
+  check Alcotest.(slist string compare) "top callees" [ "leaf"; "mid" ]
+    (Graphs.Callgraph.callees cg "top");
+  check Alcotest.(slist string compare) "leaf callers" [ "mid"; "top" ]
+    (Graphs.Callgraph.callers cg "leaf");
+  check Alcotest.(slist string compare) "roots" [ "top" ]
+    (Graphs.Callgraph.roots cg)
+
+let test_callgraph_postorder () =
+  let cg = Graphs.Callgraph.of_prog (call_prog ()) in
+  let po = Graphs.Callgraph.postorder cg in
+  let idx n = Option.get (List.find_index (String.equal n) po) in
+  Alcotest.(check bool) "leaf before mid" true (idx "leaf" < idx "mid");
+  Alcotest.(check bool) "mid before top" true (idx "mid" < idx "top");
+  check Alcotest.int "covers all functions" 5 (List.length po)
+
+let test_callgraph_sccs () =
+  let cg = Graphs.Callgraph.of_prog (call_prog ()) in
+  let sccs = Graphs.Callgraph.sccs cg in
+  let cyclic = List.filter (fun s -> List.length s > 1) sccs in
+  check Alcotest.int "one cyclic component" 1 (List.length cyclic);
+  check
+    Alcotest.(slist string compare)
+    "the recursive pair" [ "rec_a"; "rec_b" ] (List.hd cyclic);
+  check Alcotest.bool "rec_a recursive" true
+    (Graphs.Callgraph.is_recursive cg "rec_a");
+  check Alcotest.bool "leaf not recursive" false
+    (Graphs.Callgraph.is_recursive cg "leaf")
+
+(* properties over generated programs *)
+let prop_rpo_covers_reachable =
+  QCheck.Test.make ~name:"RPO covers exactly the reachable blocks" ~count:25
+    QCheck.(map abs int)
+    (fun seed ->
+      let cfg_s = { Corpus.Synth.default_config with seed; nfuncs = 6 } in
+      let prog, _ = Corpus.Synth.generate cfg_s in
+      List.for_all
+        (fun f ->
+          let cfg = Graphs.Cfg.of_func f in
+          let rpo = Graphs.Cfg.reverse_postorder cfg in
+          let pre = Graphs.Cfg.dfs_preorder cfg in
+          List.sort compare rpo = List.sort compare pre)
+        (Nvmir.Prog.funcs prog))
+
+let ( ==> ) a b = (not a) || b
+
+let prop_postorder_callees_first =
+  QCheck.Test.make ~name:"call-graph postorder puts callees first" ~count:25
+    QCheck.(map abs int)
+    (fun seed ->
+      let cfg_s = { Corpus.Synth.default_config with seed; nfuncs = 12 } in
+      let prog, _ = Corpus.Synth.generate cfg_s in
+      let cg = Graphs.Callgraph.of_prog prog in
+      let po = Graphs.Callgraph.postorder cg in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i n -> Hashtbl.replace pos n i) po;
+      List.for_all
+        (fun f ->
+          let name = Nvmir.Func.name f in
+          (not (Graphs.Callgraph.is_recursive cg name))
+          ==> List.for_all
+                (fun callee ->
+                  match
+                    (Hashtbl.find_opt pos callee, Hashtbl.find_opt pos name)
+                  with
+                  | Some ci, Some ni -> ci < ni
+                  | _ -> true)
+                (Graphs.Callgraph.callees cg name))
+        (Nvmir.Prog.funcs prog))
+
+let suite =
+  [
+    tc "cfg: edges" `Quick test_cfg_edges;
+    tc "cfg: traversal orders" `Quick test_cfg_orders;
+    tc "dominators" `Quick test_dominators;
+    tc "natural loops" `Quick test_loops;
+    tc "callgraph: edges and roots" `Quick test_callgraph_edges;
+    tc "callgraph: postorder" `Quick test_callgraph_postorder;
+    tc "callgraph: SCCs and recursion" `Quick test_callgraph_sccs;
+    QCheck_alcotest.to_alcotest prop_rpo_covers_reachable;
+    QCheck_alcotest.to_alcotest prop_postorder_callees_first;
+  ]

@@ -1,0 +1,84 @@
+(* Tests for the HTML report renderer. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let report_of src =
+  let prog = Nvmir.Parser.parse src in
+  let d = Deepmc.Driver.make Analysis.Model.Strict in
+  (prog, Deepmc.Driver.analyze d ~entry:"main" prog)
+
+let buggy_src = {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1   @ bank.c:10
+  ret
+}
+|}
+
+let clean_src = {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  store p->f, 1
+  persist exact p->f
+  ret
+}
+|}
+
+let test_escape () =
+  check Alcotest.string "entities" "&lt;a&gt; &amp; &quot;b&quot;"
+    (Deepmc.Html_report.escape "<a> & \"b\"")
+
+let test_buggy_report_content () =
+  let prog, report = report_of buggy_src in
+  let html = Deepmc.Html_report.render ~title:"t" prog report in
+  List.iter
+    (fun needle ->
+      if not (contains html needle) then Alcotest.fail ("missing " ^ needle))
+    [
+      "<!DOCTYPE html>"; "unflushed-write"; "bank.c:10"; "class=\"hit\"";
+      "model violations"; "</html>";
+    ]
+
+let test_clean_report_content () =
+  let prog, report = report_of clean_src in
+  let html = Deepmc.Html_report.render prog report in
+  check Alcotest.bool "no-warnings message" true
+    (contains html "No warnings");
+  check Alcotest.bool "no highlighted lines" false (contains html "class=\"hit\"")
+
+let test_balanced_tags () =
+  let prog, report = report_of buggy_src in
+  let html = Deepmc.Html_report.render prog report in
+  let count needle =
+    let nh = String.length html and nn = String.length needle in
+    let rec go i acc =
+      if i + nn > nh then acc
+      else if String.sub html i nn = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  List.iter
+    (fun tag ->
+      check Alcotest.int (tag ^ " balanced")
+        (count ("<" ^ tag))
+        (count ("</" ^ tag ^ ">")))
+    [ "table"; "tr"; "td"; "th"; "pre"; "h2"; "footer"; "html"; "body" ]
+
+let suite =
+  [
+    tc "escape" `Quick test_escape;
+    tc "buggy report content" `Quick test_buggy_report_content;
+    tc "clean report content" `Quick test_clean_report_content;
+    tc "balanced tags" `Quick test_balanced_tags;
+  ]

@@ -1,0 +1,284 @@
+(* Tests for the IR substrate: locations, types, operands, places,
+   instructions, functions, programs and the builder. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Loc *)
+
+let test_loc_roundtrip () =
+  let l = Nvmir.Loc.make ~file:"btree_map.c" ~line:201 in
+  check Alcotest.string "to_string" "btree_map.c:201" (Nvmir.Loc.to_string l);
+  let l' = Nvmir.Loc.of_string "btree_map.c:201" in
+  check Alcotest.bool "roundtrip equal" true (Nvmir.Loc.equal l l')
+
+let test_loc_with_colons () =
+  let l = Nvmir.Loc.of_string "dir/sub:file.c:42" in
+  check Alcotest.string "file keeps inner colons" "dir/sub:file.c"
+    (Nvmir.Loc.file l);
+  check Alcotest.int "line" 42 (Nvmir.Loc.line l)
+
+let test_loc_invalid () =
+  Alcotest.check_raises "no colon" (Invalid_argument "Loc.of_string: missing ':' in nope")
+    (fun () -> ignore (Nvmir.Loc.of_string "nope"));
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Loc.of_string: bad line in f.c:x") (fun () ->
+      ignore (Nvmir.Loc.of_string "f.c:x"))
+
+let test_loc_none () =
+  check Alcotest.bool "none is none" true (Nvmir.Loc.is_none Nvmir.Loc.none);
+  check Alcotest.bool "real loc is not none" false
+    (Nvmir.Loc.is_none (Nvmir.Loc.make ~file:"a.c" ~line:1))
+
+let test_loc_compare () =
+  let a = Nvmir.Loc.make ~file:"a.c" ~line:5
+  and b = Nvmir.Loc.make ~file:"a.c" ~line:9
+  and c = Nvmir.Loc.make ~file:"b.c" ~line:1 in
+  check Alcotest.bool "line order" true (Nvmir.Loc.compare a b < 0);
+  check Alcotest.bool "file order dominates" true (Nvmir.Loc.compare b c < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ty *)
+
+let tenv_with_node () =
+  let env = Nvmir.Ty.env_create () in
+  Nvmir.Ty.env_add env
+    {
+      Nvmir.Ty.sname = "node";
+      fields =
+        [
+          ("n", Nvmir.Ty.Int);
+          ("items", Nvmir.Ty.Array (Nvmir.Ty.Int, 8));
+          ("next", Nvmir.Ty.Ptr (Nvmir.Ty.Named "node"));
+        ];
+    };
+  env
+
+let test_ty_sizes () =
+  let env = tenv_with_node () in
+  check Alcotest.int "int" 1 (Nvmir.Ty.size_slots env Nvmir.Ty.Int);
+  check Alcotest.int "ptr" 1 (Nvmir.Ty.size_slots env (Nvmir.Ty.Ptr Nvmir.Ty.Int));
+  check Alcotest.int "array" 8
+    (Nvmir.Ty.size_slots env (Nvmir.Ty.Array (Nvmir.Ty.Int, 8)));
+  check Alcotest.int "struct" 10 (Nvmir.Ty.size_slots env (Nvmir.Ty.Named "node"))
+
+let test_ty_field_offsets () =
+  let env = tenv_with_node () in
+  check
+    Alcotest.(option int)
+    "first field" (Some 0)
+    (Nvmir.Ty.field_offset env ~struct_name:"node" ~field:"n");
+  check
+    Alcotest.(option int)
+    "after array" (Some 9)
+    (Nvmir.Ty.field_offset env ~struct_name:"node" ~field:"next");
+  check
+    Alcotest.(option int)
+    "unknown field" None
+    (Nvmir.Ty.field_offset env ~struct_name:"node" ~field:"ghost")
+
+let test_ty_duplicate_struct () =
+  let env = tenv_with_node () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Ty.env_add: duplicate struct node") (fun () ->
+      Nvmir.Ty.env_add env { Nvmir.Ty.sname = "node"; fields = [] })
+
+let test_ty_field_lookup () =
+  let env = tenv_with_node () in
+  (match Nvmir.Ty.field_ty env ~struct_name:"node" ~field:"items" with
+  | Some (Nvmir.Ty.Array (Nvmir.Ty.Int, 8)) -> ()
+  | _ -> Alcotest.fail "wrong field type");
+  check
+    Alcotest.(list string)
+    "field names" [ "n"; "items"; "next" ]
+    (Nvmir.Ty.field_names env ~struct_name:"node")
+
+(* ------------------------------------------------------------------ *)
+(* Operand / Place *)
+
+let test_operand_equal () =
+  let open Nvmir.Operand in
+  check Alcotest.bool "const eq" true (equal (Const 3) (Const 3));
+  check Alcotest.bool "const ne" false (equal (Const 3) (Const 4));
+  check Alcotest.bool "var vs const" false (equal (Var "x") (Const 3));
+  check Alcotest.bool "null" true (equal Null Null)
+
+let test_place_accessors () =
+  let p = Nvmir.Place.field_index "node" "items" (Nvmir.Operand.Var "c") in
+  check Alcotest.string "base" "node" (Nvmir.Place.base p);
+  check
+    Alcotest.(option string)
+    "first field" (Some "items") (Nvmir.Place.first_field p);
+  check Alcotest.string "printed" "node->items[c]"
+    (Fmt.str "%a" Nvmir.Place.pp p)
+
+let test_place_equal () =
+  let open Nvmir.Place in
+  check Alcotest.bool "same" true (equal (field "a" "f") (field "a" "f"));
+  check Alcotest.bool "different field" false
+    (equal (field "a" "f") (field "a" "g"));
+  check Alcotest.bool "different path length" false
+    (equal (var "a") (field "a" "f"))
+
+(* ------------------------------------------------------------------ *)
+(* Instr defs/uses *)
+
+let test_instr_defs_uses () =
+  let open Nvmir in
+  let store =
+    Instr.make
+      (Instr.Store
+         {
+           dst = Place.field_index "p" "items" (Operand.Var "i");
+           src = Operand.Var "x";
+         })
+  in
+  check Alcotest.(list string) "store defs" [] (Instr.defs store);
+  check
+    Alcotest.(slist string compare)
+    "store uses" [ "p"; "i"; "x" ] (Instr.uses store);
+  let load = Instr.make (Instr.Load { dst = "y"; src = Place.field "p" "n" }) in
+  check Alcotest.(list string) "load defs" [ "y" ] (Instr.defs load);
+  check Alcotest.(list string) "load uses" [ "p" ] (Instr.uses load)
+
+let test_instr_persistency_relevant () =
+  let open Nvmir in
+  check Alcotest.bool "fence relevant" true
+    (Instr.is_persistency_relevant (Instr.make Instr.Fence));
+  check Alcotest.bool "assign not relevant" false
+    (Instr.is_persistency_relevant
+       (Instr.make (Instr.Assign { dst = "x"; src = Operand.Const 1 })))
+
+(* ------------------------------------------------------------------ *)
+(* Builder and program structure *)
+
+let small_prog () =
+  let prog = Nvmir.Prog.create () in
+  Nvmir.Builder.struct_ prog "pair" [ ("a", Nvmir.Ty.Int); ("b", Nvmir.Ty.Int) ];
+  let _ =
+    Nvmir.Builder.func prog ~file:"t.c" "init"
+      [ ("p", Nvmir.Ty.Ptr (Nvmir.Ty.Named "pair")) ]
+      (fun fb ->
+        let open Nvmir.Builder in
+        store fb ~line:1 (fld "p" "a") (i 1);
+        persist fb ~line:2 (fld "p" "a");
+        ret fb ())
+  in
+  let _ =
+    Nvmir.Builder.func prog ~file:"t.c" "main" [] (fun fb ->
+        let open Nvmir.Builder in
+        palloc fb "p" (Nvmir.Ty.Named "pair");
+        call fb "init" [ v "p" ];
+        ret fb ())
+  in
+  prog
+
+let test_builder_produces_valid_program () =
+  let prog = small_prog () in
+  check Alcotest.int "no validation errors" 0
+    (List.length (Nvmir.Prog.validate prog));
+  check
+    Alcotest.(list string)
+    "function order" [ "init"; "main" ] (Nvmir.Prog.func_names prog)
+
+let test_builder_fallthrough_label () =
+  let prog = Nvmir.Prog.create () in
+  let f =
+    Nvmir.Builder.func prog "two_blocks" [] (fun fb ->
+        let open Nvmir.Builder in
+        assign fb "x" (i 1);
+        label fb "second";
+        assign fb "y" (i 2);
+        ret fb ())
+  in
+  check Alcotest.int "two blocks" 2 (List.length f.Nvmir.Func.blocks);
+  match (List.hd f.Nvmir.Func.blocks).Nvmir.Func.term with
+  | Nvmir.Func.Br "second" -> ()
+  | _ -> Alcotest.fail "expected fall-through branch"
+
+let test_builder_rejects_double_terminator () =
+  let prog = Nvmir.Prog.create () in
+  Alcotest.check_raises "double ret"
+    (Invalid_argument "Builder: duplicate terminator in bad/entry") (fun () ->
+      ignore
+        (Nvmir.Builder.func prog "bad" [] (fun fb ->
+             Nvmir.Builder.ret fb ();
+             Nvmir.Builder.ret fb ())))
+
+(* substring containment, for matching error messages *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_validate_catches_unknown_label () =
+  let prog = Nvmir.Prog.create () in
+  let _ =
+    Nvmir.Builder.func prog "jumpy" [] (fun fb -> Nvmir.Builder.br fb "nowhere")
+  in
+  let errs = Nvmir.Prog.validate prog in
+  check Alcotest.bool "reports unknown label" true
+    (List.exists
+       (fun (e : Nvmir.Prog.error) -> contains e.Nvmir.Prog.message "nowhere")
+       errs)
+
+let test_validate_unbalanced_tx () =
+  let prog = Nvmir.Prog.create () in
+  let _ =
+    Nvmir.Builder.func prog "leaky" [] (fun fb ->
+        Nvmir.Builder.tx_begin fb ();
+        Nvmir.Builder.ret fb ())
+  in
+  check Alcotest.bool "open transaction reported" true
+    (Nvmir.Prog.validate prog <> [])
+
+let test_validate_unknown_struct () =
+  let prog = Nvmir.Prog.create () in
+  let _ =
+    Nvmir.Builder.func prog "ghosty" [] (fun fb ->
+        Nvmir.Builder.palloc fb "g" (Nvmir.Ty.Named "ghost");
+        Nvmir.Builder.ret fb ())
+  in
+  check Alcotest.bool "unknown struct reported" true
+    (Nvmir.Prog.validate prog <> [])
+
+let test_prog_duplicate_function () =
+  let prog = Nvmir.Prog.create () in
+  let _ = Nvmir.Builder.func prog "f" [] (fun fb -> Nvmir.Builder.ret fb ()) in
+  Alcotest.check_raises "duplicate function"
+    (Invalid_argument "Prog.add_func: duplicate function f") (fun () ->
+      ignore (Nvmir.Builder.func prog "f" [] (fun fb -> Nvmir.Builder.ret fb ())))
+
+let test_func_callees () =
+  let prog = small_prog () in
+  match Nvmir.Prog.find_func prog "main" with
+  | Some f -> check Alcotest.(list string) "callees" [ "init" ] (Nvmir.Func.callees f)
+  | None -> Alcotest.fail "main missing"
+
+let suite =
+  [
+    tc "loc: roundtrip" `Quick test_loc_roundtrip;
+    tc "loc: colons in file names" `Quick test_loc_with_colons;
+    tc "loc: invalid inputs" `Quick test_loc_invalid;
+    tc "loc: none" `Quick test_loc_none;
+    tc "loc: ordering" `Quick test_loc_compare;
+    tc "ty: slot sizes" `Quick test_ty_sizes;
+    tc "ty: field offsets" `Quick test_ty_field_offsets;
+    tc "ty: duplicate struct rejected" `Quick test_ty_duplicate_struct;
+    tc "ty: field lookup" `Quick test_ty_field_lookup;
+    tc "operand: equality" `Quick test_operand_equal;
+    tc "place: accessors and printing" `Quick test_place_accessors;
+    tc "place: equality" `Quick test_place_equal;
+    tc "instr: defs and uses" `Quick test_instr_defs_uses;
+    tc "instr: persistency relevance" `Quick test_instr_persistency_relevant;
+    tc "builder: valid program" `Quick test_builder_produces_valid_program;
+    tc "builder: fall-through labels" `Quick test_builder_fallthrough_label;
+    tc "builder: double terminator rejected" `Quick
+      test_builder_rejects_double_terminator;
+    tc "validate: unknown label" `Quick test_validate_catches_unknown_label;
+    tc "validate: unbalanced transaction" `Quick test_validate_unbalanced_tx;
+    tc "validate: unknown struct" `Quick test_validate_unknown_struct;
+    tc "prog: duplicate function rejected" `Quick test_prog_duplicate_function;
+    tc "func: callees" `Quick test_func_callees;
+  ]

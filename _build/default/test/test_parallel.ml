@@ -1,0 +1,73 @@
+(* Tests for the multicore analysis driver. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let test_map_preserves_order () =
+  let items = List.init 100 Fun.id in
+  check
+    Alcotest.(list int)
+    "order kept"
+    (List.map (fun x -> x * x) items)
+    (Deepmc.Parallel.map ~domains:4 (fun x -> x * x) items)
+
+let test_map_edge_cases () =
+  check Alcotest.(list int) "empty" [] (Deepmc.Parallel.map (fun x -> x) []);
+  check Alcotest.(list int) "single" [ 7 ]
+    (Deepmc.Parallel.map ~domains:8 (fun x -> x) [ 7 ]);
+  check Alcotest.(list int) "one domain" [ 1; 2; 3 ]
+    (Deepmc.Parallel.map ~domains:1 Fun.id [ 1; 2; 3 ])
+
+let test_map_more_domains_than_items () =
+  check Alcotest.(list int) "domains capped to items" [ 2; 4 ]
+    (Deepmc.Parallel.map ~domains:16 (fun x -> x * 2) [ 1; 2 ])
+
+let corpus_jobs () =
+  List.map
+    (fun (p : Corpus.Types.program) ->
+      ( p.Corpus.Types.name,
+        Corpus.Types.model p,
+        Corpus.Types.parse p,
+        p.Corpus.Types.roots ))
+    Corpus.Registry.all
+
+let test_check_many_matches_sequential () =
+  let jobs = corpus_jobs () in
+  let parallel = Deepmc.Parallel.check_many ~domains:4 jobs in
+  let sequential =
+    List.map
+      (fun (name, model, prog, roots) ->
+        let r = Analysis.Checker.check ~roots ~model prog in
+        (name, List.length r.Analysis.Checker.warnings))
+      jobs
+  in
+  let got =
+    List.map
+      (fun (r : Deepmc.Parallel.corpus_result) ->
+        (r.Deepmc.Parallel.program, List.length r.Deepmc.Parallel.warnings))
+      parallel
+  in
+  check Alcotest.(list (pair string int)) "same results" sequential got
+
+let test_check_many_total_static_warnings () =
+  (* the static side of Table 1: 44 warnings (the other 6 need the
+     dynamic checker) *)
+  let results = Deepmc.Parallel.check_many ~domains:4 (corpus_jobs ()) in
+  let total =
+    List.fold_left
+      (fun a (r : Deepmc.Parallel.corpus_result) ->
+        a + List.length r.Deepmc.Parallel.warnings)
+      0 results
+  in
+  check Alcotest.int "44 static warnings" 44 total
+
+let suite =
+  [
+    tc "map: preserves order" `Quick test_map_preserves_order;
+    tc "map: edge cases" `Quick test_map_edge_cases;
+    tc "map: domains capped" `Quick test_map_more_domains_than_items;
+    tc "check_many: matches sequential" `Quick
+      test_check_many_matches_sequential;
+    tc "check_many: static warning total" `Quick
+      test_check_many_total_static_warnings;
+  ]

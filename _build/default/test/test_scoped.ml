@@ -1,0 +1,235 @@
+(* Unit tests for trace scoping (transaction nesting, epoch ordinals,
+   persist units, strand ids) and metamorphic properties of the checker
+   (determinism, fix idempotence, durability-removal monotonicity). *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let scoped_of src =
+  let prog = Nvmir.Parser.parse src in
+  let dsg = Dsa.Dsg.build prog in
+  match Analysis.Trace.collect dsg prog with
+  | (_, t :: _) :: _ -> Analysis.Rules.scope_trace t
+  | _ -> Alcotest.fail "no trace"
+
+let test_scope_tx_nesting () =
+  let scoped =
+    scoped_of
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  tx_begin
+  store p->f, 1
+  tx_begin
+  store p->g, 2
+  tx_end
+  tx_end
+  ret
+}
+|}
+  in
+  let depth_of_write field =
+    List.find_map
+      (fun (s : Analysis.Rules.scoped) ->
+        match s.Analysis.Rules.ev.Analysis.Event.kind with
+        | Analysis.Event.Write a when a.Dsa.Aaddr.field = Some field ->
+          Some s.Analysis.Rules.tx_depth
+        | _ -> None)
+      scoped
+  in
+  check Alcotest.(option int) "outer write depth" (Some 1) (depth_of_write "f");
+  check Alcotest.(option int) "inner write depth" (Some 2) (depth_of_write "g");
+  (* distinct transaction ids *)
+  let ids =
+    List.filter_map
+      (fun (s : Analysis.Rules.scoped) ->
+        match s.Analysis.Rules.ev.Analysis.Event.kind with
+        | Analysis.Event.Write _ -> Some s.Analysis.Rules.tx_id
+        | _ -> None)
+      scoped
+  in
+  check Alcotest.int "two distinct txs" 2 (List.length (List.sort_uniq compare ids))
+
+let test_scope_units_and_epochs () =
+  let scoped =
+    scoped_of
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  epoch_begin
+  store p->f, 1
+  flush exact p->f
+  fence
+  epoch_end
+  epoch_begin
+  store p->g, 2
+  flush exact p->g
+  fence
+  epoch_end
+  ret
+}
+|}
+  in
+  let epochs_and_units =
+    List.filter_map
+      (fun (s : Analysis.Rules.scoped) ->
+        match s.Analysis.Rules.ev.Analysis.Event.kind with
+        | Analysis.Event.Write _ ->
+          Some (s.Analysis.Rules.epoch, s.Analysis.Rules.unit_)
+        | _ -> None)
+      scoped
+  in
+  check
+    Alcotest.(list (pair int int))
+    "writes in epochs 0 and 1, units 0 and 1"
+    [ (0, 0); (1, 1) ]
+    epochs_and_units
+
+let test_scope_strands () =
+  let scoped =
+    scoped_of
+      {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  strand_begin 7
+  store p->f, 1
+  flush exact p->f
+  strand_end 7
+  fence
+  ret
+}
+|}
+  in
+  let strand_of_write =
+    List.find_map
+      (fun (s : Analysis.Rules.scoped) ->
+        match s.Analysis.Rules.ev.Analysis.Event.kind with
+        | Analysis.Event.Write _ -> Some s.Analysis.Rules.strand
+        | _ -> None)
+      scoped
+  in
+  check Alcotest.(option int) "write inside strand 7" (Some 7) strand_of_write
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic properties *)
+
+let abs_seed = QCheck.map abs QCheck.int
+
+let warnings_of prog roots =
+  (Analysis.Checker.check ~roots ~model:Analysis.Model.Strict prog)
+    .Analysis.Checker.warnings
+
+let prop_checker_deterministic =
+  QCheck.Test.make ~name:"checking is deterministic" ~count:15 abs_seed
+    (fun seed ->
+      let cfg =
+        { Corpus.Synth.default_config with seed; nfuncs = 15;
+          buggy_fraction_pct = 20 }
+      in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let roots = Corpus.Synth.roots cfg in
+      let pp_all ws =
+        String.concat "|" (List.map (Fmt.str "%a" Analysis.Warning.pp) ws)
+      in
+      pp_all (warnings_of prog roots) = pp_all (warnings_of prog roots))
+
+let prop_fix_clean_is_identity =
+  QCheck.Test.make ~name:"fixing a clean program changes nothing" ~count:15
+    abs_seed (fun seed ->
+      let cfg = { Corpus.Synth.default_config with seed; nfuncs = 12 } in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let roots = Corpus.Synth.roots cfg in
+      let fixed, outcomes, remaining =
+        Deepmc.Autofix.fix_until_clean ~model:Analysis.Model.Strict ~roots prog
+      in
+      outcomes = [] && remaining = []
+      && Fmt.str "%a" Nvmir.Prog.pp fixed = Fmt.str "%a" Nvmir.Prog.pp prog)
+
+let prop_fixing_buggy_reduces_warnings =
+  QCheck.Test.make ~name:"fixing seeded programs reaches zero warnings"
+    ~count:10 abs_seed (fun seed ->
+      let cfg =
+        { Corpus.Synth.default_config with seed; nfuncs = 15;
+          buggy_fraction_pct = 40 }
+      in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let roots = Corpus.Synth.roots cfg in
+      let fixed, _, remaining =
+        Deepmc.Autofix.fix_until_clean ~model:Analysis.Model.Strict ~roots prog
+      in
+      (* the seeded defect kinds are all mechanically fixable, and the
+         repaired program is still well-formed and executable *)
+      remaining = []
+      && Nvmir.Prog.validate fixed = []
+      &&
+      let pmem = Runtime.Pmem.create () in
+      let interp = Runtime.Interp.create ~pmem fixed in
+      match Runtime.Interp.run ~entry:"main" interp with
+      | _ -> true
+      | exception _ -> false)
+
+(* Stripping every flush/fence/persist from a program can only lose
+   durability: warning count must not decrease. *)
+let strip_durability prog =
+  Deepmc.Rewrite.map_funcs prog (fun f ->
+      {
+        f with
+        Nvmir.Func.blocks =
+          List.map
+            (fun (b : Nvmir.Func.block) ->
+              {
+                b with
+                Nvmir.Func.instrs =
+                  List.filter
+                    (fun (i : Nvmir.Instr.t) ->
+                      match i.Nvmir.Instr.kind with
+                      | Nvmir.Instr.Flush _ | Nvmir.Instr.Fence
+                      | Nvmir.Instr.Persist _ -> false
+                      | _ -> true)
+                    b.Nvmir.Func.instrs;
+              })
+            f.Nvmir.Func.blocks;
+      })
+
+let prop_removing_durability_monotone =
+  QCheck.Test.make ~name:"removing flushes/fences never hides bugs" ~count:15
+    abs_seed (fun seed ->
+      let cfg =
+        { Corpus.Synth.default_config with seed; nfuncs = 12;
+          buggy_fraction_pct = 20 }
+      in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let roots = Corpus.Synth.roots cfg in
+      let before = List.length (warnings_of prog roots) in
+      let after = List.length (warnings_of (strip_durability prog) roots) in
+      after >= before)
+
+let prop_dedup_idempotent =
+  QCheck.Test.make ~name:"warning dedup is idempotent" ~count:15 abs_seed
+    (fun seed ->
+      let cfg =
+        { Corpus.Synth.default_config with seed; nfuncs = 12;
+          buggy_fraction_pct = 30 }
+      in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let ws = warnings_of prog (Corpus.Synth.roots cfg) in
+      Analysis.Warning.dedup ws = ws
+      && Analysis.Warning.dedup (ws @ ws) = ws)
+
+let suite =
+  [
+    tc "scope: transaction nesting" `Quick test_scope_tx_nesting;
+    tc "scope: epochs and persist units" `Quick test_scope_units_and_epochs;
+    tc "scope: strands" `Quick test_scope_strands;
+    QCheck_alcotest.to_alcotest prop_checker_deterministic;
+    QCheck_alcotest.to_alcotest prop_fix_clean_is_identity;
+    QCheck_alcotest.to_alcotest prop_fixing_buggy_reduces_warnings;
+    QCheck_alcotest.to_alcotest prop_removing_durability_monotone;
+    QCheck_alcotest.to_alcotest prop_dedup_idempotent;
+  ]

@@ -1,0 +1,91 @@
+(* Tests for the strand-persistent KV store and its interaction with the
+   dynamic checker — the §4.4 concurrency use case. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let build ?(sloppy = false) ?(batch = 8) () =
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~model:Analysis.Model.Strand () in
+  Runtime.Dynamic.attach checker pmem;
+  let kv =
+    Workloads.Kvstore_strand.create ~capacity:256 ~partitions:8 ~batch
+      ~sloppy_strands:sloppy pmem
+  in
+  (pmem, checker, kv)
+
+let test_get_set_semantics () =
+  let _, _, kv = build () in
+  check Alcotest.bool "set" true (Workloads.Kvstore_strand.set kv 5 50);
+  check Alcotest.(option int) "get" (Some 50) (Workloads.Kvstore_strand.get kv 5);
+  ignore (Workloads.Kvstore_strand.set kv 5 51);
+  check Alcotest.(option int) "overwrite" (Some 51)
+    (Workloads.Kvstore_strand.get kv 5);
+  check Alcotest.(option int) "missing" None (Workloads.Kvstore_strand.get kv 9)
+
+let test_disciplined_strands_race_free () =
+  let _, checker, kv = build () in
+  for i = 1 to 500 do
+    ignore (Workloads.Kvstore_strand.set kv (1 + (i mod 16)) i)
+  done;
+  Workloads.Kvstore_strand.quiesce kv;
+  let s = Runtime.Dynamic.summary checker in
+  check Alcotest.int "no WAW races" 0 s.Runtime.Dynamic.waw;
+  check Alcotest.int "no RAW races" 0 s.Runtime.Dynamic.raw
+
+let test_sloppy_strands_race () =
+  let _, checker, kv = build ~sloppy:true () in
+  (* hammer one key: every same-batch pair is a concurrent WAW *)
+  for i = 1 to 100 do
+    ignore (Workloads.Kvstore_strand.set kv 7 i)
+  done;
+  Workloads.Kvstore_strand.quiesce kv;
+  let s = Runtime.Dynamic.summary checker in
+  check Alcotest.bool "WAW races detected" true (s.Runtime.Dynamic.waw > 0)
+
+let test_batch_one_is_race_free_even_sloppy () =
+  (* a barrier after every mutation orders everything: even sloppy ids
+     cannot race *)
+  let _, checker, kv = build ~sloppy:true ~batch:1 () in
+  for i = 1 to 100 do
+    ignore (Workloads.Kvstore_strand.set kv 7 i)
+  done;
+  let s = Runtime.Dynamic.summary checker in
+  check Alcotest.int "barrier-per-op kills concurrency" 0 s.Runtime.Dynamic.waw
+
+let test_quiesce_makes_durable () =
+  let pmem, _, kv = build () in
+  ignore (Workloads.Kvstore_strand.set kv 3 33);
+  Workloads.Kvstore_strand.quiesce kv;
+  check Alcotest.int "nothing volatile after quiesce" 0
+    (Runtime.Pmem.volatile_slot_count pmem)
+
+let test_batched_barriers_cheaper () =
+  (* the point of strand persistency: fewer barriers for the same
+     updates *)
+  let fences_with ~batch =
+    let pmem = Runtime.Pmem.create () in
+    let kv = Workloads.Kvstore_strand.create ~capacity:256 ~batch pmem in
+    for i = 1 to 64 do
+      ignore (Workloads.Kvstore_strand.set kv i i)
+    done;
+    Workloads.Kvstore_strand.quiesce kv;
+    (Runtime.Pmem.stats pmem).Runtime.Pmem.fences
+  in
+  let per_op = fences_with ~batch:1 in
+  let batched = fences_with ~batch:8 in
+  check Alcotest.int "one barrier per op" 64 per_op;
+  check Alcotest.int "one barrier per batch" 8 batched
+
+let suite =
+  [
+    tc "strand store: semantics" `Quick test_get_set_semantics;
+    tc "strand store: disciplined ids race-free" `Quick
+      test_disciplined_strands_race_free;
+    tc "strand store: sloppy ids race" `Quick test_sloppy_strands_race;
+    tc "strand store: barrier-per-op safe even sloppy" `Quick
+      test_batch_one_is_race_free_even_sloppy;
+    tc "strand store: quiesce durability" `Quick test_quiesce_makes_durable;
+    tc "strand store: batching saves barriers" `Quick
+      test_batched_barriers_cheaper;
+  ]

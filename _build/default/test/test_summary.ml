@@ -1,0 +1,69 @@
+(* Tests for the warning-summary aggregation. *)
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let w ?(origin = Analysis.Warning.Static)
+    ?(rule = Analysis.Warning.Unflushed_write) ?(file = "a.c") ?(line = 1) () =
+  Analysis.Warning.make ~origin ~rule ~model:Analysis.Model.Strict
+    ~loc:(Nvmir.Loc.make ~file ~line) ~fname:"f" "m"
+
+let test_of_warnings () =
+  let s =
+    Analysis.Summary.of_warnings
+      [
+        w ();
+        w ~rule:Analysis.Warning.Multiple_flushes ~file:"b.c" ();
+        w ~rule:Analysis.Warning.Multiple_flushes ~file:"b.c" ~line:2 ();
+        w ~origin:Analysis.Warning.Dynamic ~line:9 ();
+      ]
+  in
+  check Alcotest.int "total" 4 s.Analysis.Summary.total;
+  check Alcotest.int "violations" 2 s.Analysis.Summary.violations;
+  check Alcotest.int "performance" 2 s.Analysis.Summary.performance;
+  check Alcotest.int "static" 3 s.Analysis.Summary.static_found;
+  check Alcotest.int "dynamic" 1 s.Analysis.Summary.dynamic_found;
+  check Alcotest.(option int) "rule histogram" (Some 2)
+    (List.assoc_opt Analysis.Warning.Multiple_flushes s.Analysis.Summary.by_rule);
+  check Alcotest.(option int) "file histogram" (Some 2)
+    (List.assoc_opt "b.c" s.Analysis.Summary.by_file)
+
+let test_merge_monoid () =
+  let s1 = Analysis.Summary.of_warnings [ w (); w ~file:"b.c" () ] in
+  let s2 = Analysis.Summary.of_warnings [ w ~file:"b.c" ~line:5 () ] in
+  let m = Analysis.Summary.merge s1 s2 in
+  check Alcotest.int "merged total" 3 m.Analysis.Summary.total;
+  check Alcotest.(option int) "merged file tally" (Some 2)
+    (List.assoc_opt "b.c" m.Analysis.Summary.by_file);
+  let with_empty = Analysis.Summary.merge Analysis.Summary.empty s1 in
+  check Alcotest.int "empty is identity" s1.Analysis.Summary.total
+    with_empty.Analysis.Summary.total
+
+let test_corpus_summary () =
+  (* the 50-warning totals through the summary path *)
+  let total =
+    List.fold_left
+      (fun acc (p : Corpus.Types.program) ->
+        let _, score = Corpus.Registry.analyze p in
+        Analysis.Summary.merge acc
+          (Analysis.Summary.of_warnings score.Deepmc.Report.warnings))
+      Analysis.Summary.empty Corpus.Registry.all
+  in
+  check Alcotest.int "50 warnings" 50 total.Analysis.Summary.total;
+  check Alcotest.int "6 found dynamically" 6 total.Analysis.Summary.dynamic_found;
+  check Alcotest.int "44 found statically" 44 total.Analysis.Summary.static_found;
+  (* the busiest rule across the corpus *)
+  match total.Analysis.Summary.by_rule with
+  | (top, n) :: _ ->
+    check Alcotest.string "flush-unmodified is the most common class"
+      "flush-unmodified"
+      (Analysis.Warning.rule_name top);
+    check Alcotest.int "eleven of them" 11 n
+  | [] -> Alcotest.fail "empty histogram"
+
+let suite =
+  [
+    tc "of_warnings" `Quick test_of_warnings;
+    tc "merge monoid" `Quick test_merge_monoid;
+    tc "corpus summary totals" `Quick test_corpus_summary;
+  ]
