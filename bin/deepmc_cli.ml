@@ -10,6 +10,7 @@
      deepmc check-mixed prog.nvmir --model-map models.txt
      deepmc fix prog.nvmir --strict [-o fixed.nvmir]
      deepmc crash prog.nvmir [--entry main] [--summary]
+     deepmc crash-explore prog.nvmir [--bound 256] [--json]
      deepmc fmt prog.nvmir [-i]
      deepmc dsg prog.nvmir --function nvm_lock
      deepmc cfg prog.nvmir [--callgraph]
@@ -488,6 +489,69 @@ let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(term_result (const run $ file_arg $ entry_req $ summary_term))
 
+(* Reachable-image exploration: where `deepmc crash` walks the single
+   prefix image per point, `crash-explore` enumerates the durable images
+   any write-back order could leave behind. *)
+let crash_explore_cmd =
+  let entry_req =
+    Arg.(
+      value
+      & opt string "main"
+      & info [ "entry" ] ~docv:"FUNC" ~doc:"Entry point (default main).")
+  in
+  let bound_term =
+    Arg.(
+      value
+      & opt int Runtime.Crash_space.default_bound
+      & info [ "bound" ] ~docv:"N"
+          ~doc:
+            "Maximum images per crash point: exhaustive below, sampled \
+             above.")
+  in
+  let seed_term =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed (deterministic).")
+  in
+  let domains_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the crash-point fan-out.")
+  in
+  let run () file entry bound seed domains json =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    match Nvmir.Prog.find_func prog entry with
+    | None -> Error (`Msg (Fmt.str "entry %s not defined" entry))
+    | Some _ ->
+      let r =
+        Deepmc.Crash_sweep.explore_program ?domains ~bound ~seed ~entry prog
+      in
+      if json then
+        Fmt.pr "%a@." Deepmc.Json_report.pp
+          (Deepmc.Json_report.of_crash_space r)
+      else Fmt.pr "%a@." Runtime.Crash_space.pp_report r;
+      if r.Runtime.Crash_space.inconsistent > 0 then
+        Error
+          (`Msg
+             (Fmt.str "%d inconsistent crash image(s)"
+                r.Runtime.Crash_space.inconsistent))
+      else Ok ()
+  in
+  let doc =
+    "Enumerate the durable images reachable at every crash point (any \
+     subset of in-flight cache lines persisted) and check each against \
+     the strict-order write-sequence oracle."
+  in
+  Cmd.v (Cmd.info "crash-explore" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ file_arg $ entry_req $ bound_term
+       $ seed_term $ domains_term $ json_term))
+
 let fmt_cmd =
   let in_place_term =
     Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the file.")
@@ -528,8 +592,8 @@ let main_cmd =
   let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; fmt_cmd; dsg_cmd;
-      cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
+      check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
+      fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -35,6 +35,7 @@ type report = {
   static : Analysis.Checker.result;
   dynamic : dynamic_outcome;
   warnings : Analysis.Warning.t list; (* merged, deduplicated *)
+  crash_space : Runtime.Crash_space.report option;
   elapsed_static : float;
   elapsed_dynamic : float;
 }
@@ -66,7 +67,8 @@ let run_dynamic_analysis (t : t) ?entry ?args prog =
 (* Analyze a program. [persistent_roots] are the user's interface
    annotations: (function, variable) pairs known to reference NVM.
    [entry]/[args] drive the optional dynamic run. *)
-let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args prog : report =
+let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
+    ?(explore_crash_images = false) ?crash_bound prog : report =
   Log.info (fun m ->
       m "analyzing %d function(s) against the %a model (%a)"
         (List.length (Nvmir.Prog.funcs prog))
@@ -98,11 +100,27 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args prog : report =
     Analysis.Warning.dedup (static.Analysis.Checker.warnings @ dyn_warnings)
     |> Analysis.Warning.sort
   in
+  let crash_space =
+    match (explore_crash_images, entry) with
+    | false, _ | _, None -> None
+    | true, Some entry ->
+      if Nvmir.Prog.find_func prog entry = None then None
+      else begin
+        let r =
+          Crash_sweep.explore_program ?bound:crash_bound ~entry
+            ?args prog
+        in
+        Log.info (fun m ->
+            m "crash space: %a" Runtime.Crash_space.pp_report r);
+        Some r
+      end
+  in
   {
     model = t.model;
     static;
     dynamic;
     warnings;
+    crash_space;
     elapsed_static = t1 -. t0;
     elapsed_dynamic = t2 -. t1;
   }
@@ -137,13 +155,19 @@ let pp_report ppf r =
     | Dynamic_ok (s, _) -> Runtime.Dynamic.pp_summary ppf s
     | Dynamic_skipped reason -> Fmt.pf ppf "skipped (%s)" reason
   in
+  let pp_crash_space ppf = function
+    | None -> ()
+    | Some cs ->
+      Fmt.pf ppf "@ crash space: %a" Report.pp_crash_score
+        (Report.crash_score cs)
+  in
   Fmt.pf ppf
     "@[<v>DeepMC report (%a model)@ static: %.1f ms, dynamic: %.1f ms@ \
-     dynamic: %a@ %d warning(s): %d violation(s), %d performance@ %a@]"
+     dynamic: %a%a@ %d warning(s): %d violation(s), %d performance@ %a@]"
     Analysis.Model.pp r.model
     (r.elapsed_static *. 1000.)
     (r.elapsed_dynamic *. 1000.)
-    pp_dynamic r.dynamic
+    pp_dynamic r.dynamic pp_crash_space r.crash_space
     (List.length r.warnings)
     (List.length (violations r))
     (List.length (performance_bugs r))

@@ -21,6 +21,8 @@ type report = {
   static : Analysis.Checker.result;
   dynamic : dynamic_outcome;
   warnings : Analysis.Warning.t list;  (** merged, deduplicated *)
+  crash_space : Runtime.Crash_space.report option;
+      (** reachable crash-image exploration, when requested *)
   elapsed_static : float;
   elapsed_dynamic : float;
 }
@@ -31,11 +33,16 @@ val analyze :
   ?roots:string list ->
   ?entry:string ->
   ?args:int list ->
+  ?explore_crash_images:bool ->
+  ?crash_bound:int ->
   Nvmir.Prog.t ->
   report
 (** [persistent_roots] are the user's interface annotations;
     [roots] selects static-analysis roots; [entry]/[args] drive the
-    dynamic run (skipped when absent). *)
+    dynamic run (skipped when absent). [explore_crash_images] (default
+    false) additionally runs {!Crash_sweep.explore_program} with the
+    sequential oracle, capped at [crash_bound] images per crash
+    point. *)
 
 val baseline_compile : Nvmir.Prog.t -> float
 (** The Table 9 baseline: a full front-end pass (emit, re-parse,

@@ -82,6 +82,34 @@ let of_dynamic_summary (s : Runtime.Dynamic.summary) =
       ("warning_count", Int s.Runtime.Dynamic.warning_count);
     ]
 
+let of_crash_task = function
+  | Runtime.Crash_space.Point k -> Int k
+  | Runtime.Crash_space.Exit -> String "exit"
+
+let of_crash_line (obj, line) =
+  Obj [ ("obj", Int obj); ("line", Int line) ]
+
+let of_crash_witness (w : Runtime.Crash_space.witness) =
+  Obj
+    [
+      ("at", of_crash_task w.Runtime.Crash_space.w_task);
+      ( "persisted",
+        List (List.map of_crash_line w.Runtime.Crash_space.w_persisted) );
+      ("detail", String w.Runtime.Crash_space.w_detail);
+    ]
+
+let of_crash_space (r : Runtime.Crash_space.report) =
+  Obj
+    [
+      ("crash_points", Int r.Runtime.Crash_space.crash_points);
+      ("images_enumerated", Int r.Runtime.Crash_space.images_enumerated);
+      ("images_distinct", Int r.Runtime.Crash_space.images_distinct);
+      ("pruning_ratio", Float (Runtime.Crash_space.pruning_ratio r));
+      ("inconsistent", Int r.Runtime.Crash_space.inconsistent);
+      ( "witnesses",
+        List (List.map of_crash_witness r.Runtime.Crash_space.witnesses) );
+    ]
+
 let of_report (r : Driver.report) =
   Obj
     [
@@ -104,6 +132,10 @@ let of_report (r : Driver.report) =
         | Driver.Dynamic_ok (s, _) -> of_dynamic_summary s
         | Driver.Dynamic_skipped reason ->
           Obj [ ("skipped", String reason) ] );
+      ( "crash_space",
+        match r.Driver.crash_space with
+        | Some cs -> of_crash_space cs
+        | None -> Null );
     ]
 
 let of_score (s : Report.score) =

@@ -15,6 +15,7 @@ val to_string : json -> string
 
 val of_warning : Analysis.Warning.t -> json
 val of_dynamic_summary : Runtime.Dynamic.summary -> json
+val of_crash_space : Runtime.Crash_space.report -> json
 val of_report : Driver.report -> json
 val of_score : Report.score -> json
 val of_fix_outcome : Autofix.outcome -> json

@@ -9,7 +9,11 @@
 
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
-(* Run [f] over [items] on [domains] domains; results keep order. *)
+(* Run [f] over [items] on [domains] domains; results keep order. If a
+   worker raises, the first exception wins: the other workers stop
+   claiming items, every spawned domain is joined, and the exception is
+   re-raised with its original backtrace — the join never hangs and no
+   domain is leaked. *)
 let map ?(domains = default_domains ()) (f : 'a -> 'b) (items : 'a list) :
     'b list =
   let n = List.length items in
@@ -19,12 +23,23 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (items : 'a list) :
     let arr = Array.of_list items in
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let failure :
+        (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f arr.(i));
-          loop ()
+        if Atomic.get failure = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f arr.(i) with
+            | r -> results.(i) <- Some r
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore
+                (Atomic.compare_and_set failure None (Some (e, bt))));
+            loop ()
+          end
         end
       in
       loop ()
@@ -32,10 +47,13 @@ let map ?(domains = default_domains ()) (f : 'a -> 'b) (items : 'a list) :
     let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
-    Array.to_list
-      (Array.map
-         (function Some r -> r | None -> invalid_arg "Parallel.map: hole")
-         results)
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> invalid_arg "Parallel.map: hole")
+           results)
   end
 
 type corpus_result = {

@@ -6,7 +6,9 @@ val default_domains : unit -> int
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel map preserving order. [domains] defaults to
-    [recommended_domain_count - 1], capped at 8. *)
+    [recommended_domain_count - 1], capped at 8. If a worker raises, the
+    remaining work is abandoned, every domain is joined, and the first
+    exception is re-raised with its backtrace. *)
 
 type corpus_result = {
   program : string;

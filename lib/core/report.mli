@@ -50,3 +50,15 @@ val recall : score -> float
 val pp_location_kind : location_kind Fmt.t
 val pp_expectation : expectation Fmt.t
 val pp_score : score Fmt.t
+
+(** {1 Crash-space scoring} *)
+
+type crash_score = {
+  crash_points : int;
+  images : int;  (** enumerated across all points *)
+  distinct : int;  (** after persistence-equivalence pruning *)
+  inconsistent : int;
+}
+
+val crash_score : Runtime.Crash_space.report -> crash_score
+val pp_crash_score : crash_score Fmt.t

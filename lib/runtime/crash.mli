@@ -21,6 +21,14 @@ type report = {
 val count_events :
   ?config:Config.t -> ?entry:string -> ?args:int list -> Nvmir.Prog.t -> int
 
+val counting_listener : int ref -> Pmem.listener
+(** Counts every persistent-memory event (write, flush, fence, tx
+    begin/end) into the ref. *)
+
+val crashing_listener : at:int -> int ref -> Pmem.listener
+(** Like {!counting_listener} but raises {!Crashed} when the counter
+    reaches [at]. Shared with {!Crash_space}. *)
+
 val test :
   ?config:Config.t ->
   ?entry:string ->

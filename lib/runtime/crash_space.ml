@@ -1,0 +1,308 @@
+(* Crash-image state-space exploration.
+
+   The prefix oracle in [Crash] injects a crash after the k-th
+   persistent-memory event and inspects ONE durable image per point: the
+   state in which nothing in flight persisted. Real hardware is less
+   kind — at a crash, ANY subset of the cache lines still in flight
+   (Dirty, or flushed but not yet fenced) may have reached NVM, decided
+   by eviction and write-back completion order rather than by the
+   program. The deep write-back reorderings that make persistency bugs
+   "deep" live exactly in those other images, which is why enumerating
+   reachable post-crash images is the standard ground-truth oracle for
+   crash-consistency detectors (WITCHER, PMRace).
+
+   At every crash point (and at program exit, where still-volatile lines
+   are simply lost) this module:
+
+   - takes the candidate lines from [Pmem.inflight_lines];
+   - materializes each persisted-subset via [Pmem.materialize], with
+     open transactions rolled back;
+   - prunes by a persistence-equivalence digest — many subsets collapse
+     to the same durable state (flushing clean data, overlapping lines),
+     and the pruning ratio is reported;
+   - enumerates exhaustively when 2^candidates fits the [bound], and
+     otherwise draws a deterministic sample that always contains the
+     empty and full subsets, so the prefix image is never lost and
+     corpus-wide sweeps stay tractable.
+
+   Consistency of an image is judged by an [oracle]: a user invariant
+   over the materialized heap, or the built-in [Sequential] oracle that
+   accepts an image iff it equals some program-order prefix of the
+   recorded write sequence (the states strict persistency allows) and,
+   at exit, iff no write is left volatile. Because the empty subset is
+   always explored, every violation the prefix oracle reports is also
+   found here — the differential test suite checks that inclusion. *)
+
+type oracle =
+  | Sequential
+  | Invariant of ((Pmem.addr -> Value.t) -> (unit, string) result)
+
+type task = Point of int | Exit
+
+type witness = {
+  w_task : task;
+  w_persisted : (int * int) list; (* the lines that reached NVM *)
+  w_detail : string;
+}
+
+type point_result = {
+  task : task;
+  candidate_lines : int;
+  subsets_enumerated : int;
+  distinct_images : int;
+  sampled : bool; (* true when the subset space exceeded the bound *)
+  witnesses : witness list; (* one per distinct inconsistent image *)
+}
+
+type report = {
+  points : point_result list;
+  crash_points : int; (* event-injection points, excluding exit *)
+  images_enumerated : int;
+  images_distinct : int;
+  inconsistent : int;
+  witnesses : witness list; (* all, in point order *)
+}
+
+let default_bound = 256
+let count_points = Crash.count_events
+
+(* Re-execute up to [task] (a crash point, or completion for [Exit]),
+   recording the persistent write sequence for the Sequential oracle. *)
+let run_to ?config ?entry ?args ~task prog =
+  let pmem = Pmem.create ?config () in
+  let writes = ref [] in
+  let n = ref 0 in
+  let at = match task with Point k -> k | Exit -> max_int in
+  let bump _loc =
+    incr n;
+    if !n = at then raise Crash.Crashed
+  in
+  let listener =
+    {
+      Pmem.null_listener with
+      Pmem.on_write =
+        (fun a loc ->
+          (* the cached value at notification time is the written value *)
+          writes := (a, Pmem.cached_value pmem a) :: !writes;
+          bump loc);
+      on_flush =
+        (fun ~obj_id:_ ~first_slot:_ ~nslots:_ ~dirty:_ loc -> bump loc);
+      on_fence = bump;
+      on_tx_begin = bump;
+      on_tx_end = bump;
+    }
+  in
+  Pmem.add_listener pmem listener;
+  let interp = Interp.create ~pmem prog in
+  let crashed =
+    try
+      ignore (Interp.run ?entry ?args interp);
+      false
+    with Crash.Crashed -> true
+  in
+  (pmem, List.rev !writes, crashed)
+
+(* Persistence-equivalence digest: an injective rendering of the durable
+   image, so images are compared (and pruned) by exact state, not by the
+   subset that produced them. *)
+let digest (img : (int, Value.t array) Hashtbl.t) =
+  let ids = Hashtbl.fold (fun k _ a -> k :: a) img [] |> List.sort Int.compare in
+  let b = Buffer.create 128 in
+  List.iter
+    (fun id ->
+      Buffer.add_string b (Fmt.str "o%d:" id);
+      Array.iter
+        (fun v -> Buffer.add_string b (Fmt.str "%a;" Value.pp v))
+        (Hashtbl.find img id))
+    ids;
+  Buffer.contents b
+
+(* The digests of every program-order prefix of the write sequence,
+   replayed over an initially-zero image of the objects live at the
+   crash — the durable states a strictly-persistent execution can
+   expose. *)
+let prefix_digests pmem writes =
+  let img = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      if Pmem.is_persistent pmem id then
+        Hashtbl.replace img id (Array.make (Pmem.obj_size pmem id) Value.Vnull))
+    (Pmem.live_objects pmem);
+  let set = Hashtbl.create (List.length writes + 1) in
+  Hashtbl.replace set (digest img) ();
+  List.iter
+    (fun ({ Pmem.obj_id; slot }, v) ->
+      match Hashtbl.find_opt img obj_id with
+      | Some arr ->
+        arr.(slot) <- v;
+        Hashtbl.replace set (digest img) ()
+      | None -> ())
+    writes;
+  set
+
+(* Subsets of [ncand] candidate lines as bool arrays: exhaustive while
+   2^ncand fits the bound, otherwise a deterministic LCG sample that
+   always includes the empty and full subsets. *)
+let enumerate ~bound ~seed ncand =
+  if ncand = 0 then ([ [||] ], false)
+  else if ncand <= 20 && 1 lsl ncand <= bound then
+    ( List.init (1 lsl ncand) (fun mask ->
+          Array.init ncand (fun i -> mask land (1 lsl i) <> 0)),
+      false )
+  else begin
+    let state = ref ((seed land 0x3FFFFFFF) lor 1) in
+    let bit () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (* the low bits of this LCG alternate; sample a middle bit *)
+      (!state lsr 16) land 1 = 1
+    in
+    let n = max 1 bound in
+    ( List.init n (fun i ->
+          if i = 0 then Array.make ncand false
+          else if i = 1 then Array.make ncand true
+          else Array.init ncand (fun _ -> bit ())),
+      true )
+  end
+
+let explore_task ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
+    ?(oracle = Sequential) ~task prog : point_result =
+  let pmem, writes, _crashed = run_to ?config ?entry ?args ~task prog in
+  let candidates = Pmem.inflight_lines pmem in
+  let cand = Array.of_list candidates in
+  let ncand = Array.length cand in
+  let seed = seed lxor (match task with Point k -> k * 7919 | Exit -> 104729) in
+  let subs, sampled = enumerate ~bound ~seed ncand in
+  let prefixes = lazy (prefix_digests pmem writes) in
+  (* the exit reference: nothing in flight is lost *)
+  let complete = lazy (digest (Pmem.materialize pmem ~persist:candidates)) in
+  let seen = Hashtbl.create 64 in
+  let witnesses = ref [] in
+  let enumerated = ref 0 in
+  List.iter
+    (fun sub ->
+      incr enumerated;
+      let persist = ref [] in
+      Array.iteri (fun i c -> if sub.(i) then persist := c :: !persist) cand;
+      let persist = List.rev !persist in
+      let img = Pmem.materialize pmem ~persist in
+      let dg = digest img in
+      if not (Hashtbl.mem seen dg) then begin
+        Hashtbl.replace seen dg ();
+        let verdict =
+          match oracle with
+          | Invariant f ->
+            f (fun { Pmem.obj_id; slot } ->
+                match Hashtbl.find_opt img obj_id with
+                | Some arr when slot >= 0 && slot < Array.length arr ->
+                  arr.(slot)
+                | _ -> Value.Vnull)
+          | Sequential -> (
+            match task with
+            | Point _ ->
+              if Hashtbl.mem (Lazy.force prefixes) dg then Ok ()
+              else
+                Error
+                  "durable image matches no program-order prefix of the \
+                   write sequence"
+            | Exit ->
+              if String.equal dg (Lazy.force complete) then Ok ()
+              else Error "writes still volatile at program exit are lost")
+        in
+        match verdict with
+        | Ok () -> ()
+        | Error d ->
+          witnesses :=
+            { w_task = task; w_persisted = persist; w_detail = d }
+            :: !witnesses
+      end)
+    subs;
+  {
+    task;
+    candidate_lines = ncand;
+    subsets_enumerated = !enumerated;
+    distinct_images = Hashtbl.length seen;
+    sampled;
+    witnesses = List.rev !witnesses;
+  }
+
+let summarize ~crash_points (points : point_result list) : report =
+  let images_enumerated =
+    List.fold_left (fun a p -> a + p.subsets_enumerated) 0 points
+  in
+  let images_distinct =
+    List.fold_left (fun a p -> a + p.distinct_images) 0 points
+  in
+  let witnesses = List.concat_map (fun (p : point_result) -> p.witnesses) points in
+  {
+    points;
+    crash_points;
+    images_enumerated;
+    images_distinct;
+    inconsistent = List.length witnesses;
+    witnesses;
+  }
+
+let explore ?config ?entry ?args ?bound ?seed ?oracle prog : report =
+  let total = Crash.count_events ?config ?entry ?args prog in
+  let tasks = List.init total (fun i -> Point (i + 1)) @ [ Exit ] in
+  summarize ~crash_points:total
+    (List.map
+       (fun task ->
+         explore_task ?config ?entry ?args ?bound ?seed ?oracle ~task prog)
+       tasks)
+
+let test ?config ?entry ?args ?bound ?seed ~invariant prog =
+  explore ?config ?entry ?args ?bound ?seed ~oracle:(Invariant invariant) prog
+
+let consistent r = r.inconsistent = 0
+
+let pruning_ratio r =
+  if r.images_enumerated = 0 then 0.
+  else 1. -. (float_of_int r.images_distinct /. float_of_int r.images_enumerated)
+
+let violation_points r =
+  List.filter_map
+    (fun p ->
+      match (p.task, p.witnesses) with
+      | Point k, _ :: _ -> Some k
+      | _ -> None)
+    r.points
+  |> List.sort_uniq Int.compare
+
+let first_witness r = match r.witnesses with [] -> None | w :: _ -> Some w
+
+(* ------------------------------------------------------------------ *)
+(* Printers *)
+
+let pp_task ppf = function
+  | Point k -> Fmt.pf ppf "event %d" k
+  | Exit -> Fmt.string ppf "exit"
+
+let pp_line ppf (o, l) = Fmt.pf ppf "obj%d.L%d" o l
+
+let pp_witness ppf w =
+  Fmt.pf ppf "at %a: persisted {%a}: %s" pp_task w.w_task
+    Fmt.(list ~sep:(any ", ") pp_line)
+    w.w_persisted w.w_detail
+
+let max_printed_witnesses = 10
+
+let pp_report ppf r =
+  let shown, hidden =
+    let rec take n = function
+      | w :: ws when n > 0 ->
+        let s, h = take (n - 1) ws in
+        (w :: s, h)
+      | ws -> ([], List.length ws)
+    in
+    take max_printed_witnesses r.witnesses
+  in
+  Fmt.pf ppf
+    "@[<v>crash points: %d (+ exit); images: %d enumerated, %d distinct \
+     (pruning %.0f%%); inconsistent: %d%a%t@]"
+    r.crash_points r.images_enumerated r.images_distinct
+    (100. *. pruning_ratio r)
+    r.inconsistent
+    Fmt.(list ~sep:nop (fun ppf w -> Fmt.pf ppf "@   %a" pp_witness w))
+    shown
+    (fun ppf -> if hidden > 0 then Fmt.pf ppf "@   ... and %d more" hidden)

@@ -404,6 +404,69 @@ let durable_snapshot t =
     t.objects;
   snap
 
+(* ------------------------------------------------------------------ *)
+(* Crash-image enumeration support ([Crash_space]): which cache lines
+   are still in flight, and what durable image results when an arbitrary
+   subset of them reaches NVM. Lines are (obj_id, line index) pairs;
+   line width comes from the configuration. *)
+
+let lines_matching t pred =
+  Hashtbl.fold
+    (fun id o acc ->
+      if not o.persistent then acc
+      else begin
+        let lines = ref [] in
+        Array.iteri
+          (fun s st ->
+            if pred st then begin
+              let line = line_of t s in
+              if not (List.mem line !lines) then lines := line :: !lines
+            end)
+          o.state;
+        List.fold_left (fun acc l -> (id, l) :: acc) acc !lines
+      end)
+    t.objects []
+  |> List.sort compare
+
+let dirty_lines t = lines_matching t (fun st -> st = Dirty)
+let unfenced_lines t = lines_matching t (fun st -> st = Flushed)
+let inflight_lines t = lines_matching t (fun st -> st <> Clean)
+
+(* The durable image if exactly the [persist] lines were written back
+   before the crash: chosen lines carry their cached slots, everything
+   else keeps its fenced value, and recovery rolls open transactions
+   back via their undo logs (outermost first, so the innermost snapshot
+   wins — the same resolution order as [durable_value]). The empty
+   subset reproduces [durable_snapshot] exactly. *)
+let materialize t ~persist =
+  let snap = Hashtbl.create (Hashtbl.length t.objects) in
+  Hashtbl.iter
+    (fun id o ->
+      if o.persistent then begin
+        let arr = Array.copy o.nvm in
+        List.iter
+          (fun (obj_id, line) ->
+            if obj_id = id then begin
+              let lo = line * t.config.Config.cacheline_slots in
+              let hi =
+                min (Array.length o.cache) (lo + t.config.Config.cacheline_slots)
+              in
+              for s = lo to hi - 1 do
+                arr.(s) <- o.cache.(s)
+              done
+            end)
+          persist;
+        List.iter
+          (fun tx ->
+            List.iter
+              (fun u -> if u.u_obj = id then arr.(u.u_slot) <- u.u_value)
+              tx.undo)
+          (List.rev t.tx_stack);
+        Hashtbl.replace snap id arr
+      end)
+    t.objects;
+  snap
+
 (* How many slots are not yet durable (differ between cache and the
    durable view)? Zero means a crash right now loses nothing. *)
 let volatile_slot_count t =

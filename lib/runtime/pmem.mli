@@ -128,6 +128,29 @@ val slot_state : t -> addr -> slot_state
 val durable_snapshot : t -> (int, Value.t array) Hashtbl.t
 (** Durable view of every persistent object. *)
 
+(** {2 Crash-image enumeration}
+
+    Lines are [(obj_id, line index)] pairs at the configured cache-line
+    width. At a crash, any subset of the in-flight lines may have
+    reached NVM; {!Crash_space} enumerates those images. *)
+
+val dirty_lines : t -> (int * int) list
+(** Lines with at least one [Dirty] slot, sorted. *)
+
+val unfenced_lines : t -> (int * int) list
+(** Lines with at least one [Flushed] (written back but not yet fenced)
+    slot, sorted. *)
+
+val inflight_lines : t -> (int * int) list
+(** Union of {!dirty_lines} and {!unfenced_lines}: every line whose
+    persistence at a crash is undetermined. *)
+
+val materialize : t -> persist:(int * int) list -> (int, Value.t array) Hashtbl.t
+(** The durable image if exactly the [persist] lines were written back
+    before the crash: chosen lines carry their cached slots, everything
+    else keeps its fenced value, and open transactions are rolled back.
+    [materialize t ~persist:[]] equals {!durable_snapshot}. *)
+
 val volatile_slot_count : t -> int
 (** Slots whose cached value differs from the durable view; zero means a
     crash loses nothing. *)

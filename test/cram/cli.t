@@ -125,6 +125,50 @@ The crash-safe WAL has in-flight exposure but loses nothing:
   $ deepmc crash ../../examples/programs/wal.nvmir --summary
   crash points: 30; peak in-flight exposure: 9 slot(s); never durable: 0 slot(s)
 
+crash-explore enumerates every reachable write-back image (not just the
+prefix image) and reports the inconsistent ones with their persisted
+subsets; the lossy program's volatile write shows up as an image that
+misses it:
+
+  $ deepmc crash-explore lossy.nvmir
+  crash points: 4 (+ exit); images: 9 enumerated, 9 distinct (pruning 0%); inconsistent: 1
+    at exit: persisted {}: writes still volatile at program exit are lost
+  deepmc: 1 inconsistent crash image(s)
+  [124]
+
+  $ deepmc crash-explore lossy.nvmir --json
+  {"crash_points": 4,
+    "images_enumerated": 9,
+    "images_distinct": 9,
+    "pruning_ratio": 0.0,
+    "inconsistent": 1,
+    "witnesses": [{"at": "exit",
+                    "persisted": [],
+                    "detail": "writes still volatile at program exit are lost"}]}
+  deepmc: 1 inconsistent crash image(s)
+  [124]
+
+A program that persists every write before the next is consistent in
+every reachable image and exits cleanly:
+
+  $ cat > ordered.nvmir <<'IR'
+  > struct s { f: int, g: int }
+  > func main() {
+  > entry:
+  >   p = alloc pmem s
+  >   store p->f, 1
+  >   persist exact p->f
+  >   store p->g, 2
+  >   persist exact p->g
+  >   ret
+  > }
+  > IR
+  $ deepmc crash-explore ordered.nvmir
+  crash points: 6 (+ exit); images: 11 enumerated, 11 distinct (pruning 0%); inconsistent: 0
+
+  $ deepmc crash-explore ordered.nvmir --json | grep inconsistent
+    "inconsistent": 0,
+
 Interface annotations (--pmem-root) mark externally-created objects as
 persistent, so library functions are checkable without a driver:
 

@@ -13,6 +13,7 @@ let () =
       ("interp", Test_interp.suite);
       ("dynamic", Test_dynamic.suite);
       ("crash", Test_crash.suite);
+      ("crash-space", Test_crash_space.suite);
       ("corpus", Test_corpus.suite);
       ("workloads", Test_workloads.suite);
       ("driver", Test_driver.suite);

@@ -168,6 +168,40 @@ let prop_synth_executions_explained =
           Runtime.Recorder.explained_by rec_ ts)
         (Corpus.Synth.roots cfg))
 
+(* Soundness cross-check of the crash-image explorer against the static
+   checker: dynamic ground truth must not outrun the static rules. If a
+   randomly generated program has an inconsistent reachable crash image,
+   the static checker must flag the program with at least one warning —
+   otherwise the rules have a blind spot the image space can see.
+   QCheck shrinks the integer seed toward a minimal counterexample;
+   failures print the seed plus both sides' evidence. *)
+let prop_crash_space_implies_static_warning =
+  QCheck.Test.make
+    ~name:"inconsistent crash image implies a static warning" ~count:10
+    QCheck.(map abs int)
+    (fun seed ->
+      let cfg =
+        { Corpus.Synth.default_config with seed; nfuncs = 5;
+          calls_per_func = 1; buggy_fraction_pct = 50 }
+      in
+      let prog, _ = Corpus.Synth.generate cfg in
+      let space = Runtime.Crash_space.explore ~entry:"main" ~bound:64 prog in
+      if space.Runtime.Crash_space.inconsistent = 0 then true
+      else begin
+        let r =
+          Analysis.Checker.check ~config:wide_config
+            ~roots:(Corpus.Synth.roots cfg) ~model:Analysis.Model.Strict prog
+        in
+        if r.Analysis.Checker.warnings = [] then
+          QCheck.Test.fail_reportf
+            "seed %d: %d inconsistent crash image(s) (first: %a) but zero \
+             static warnings"
+            seed space.Runtime.Crash_space.inconsistent
+            (Fmt.option Runtime.Crash_space.pp_witness)
+            (Runtime.Crash_space.first_witness space)
+        else true
+      end)
+
 let suite =
   [
     tc "straight-line agreement" `Quick test_straightline_agreement;
@@ -176,4 +210,5 @@ let suite =
     tc "whole corpus executions explained" `Quick
       test_corpus_executions_explained;
     QCheck_alcotest.to_alcotest prop_synth_executions_explained;
+    QCheck_alcotest.to_alcotest prop_crash_space_implies_static_warning;
   ]

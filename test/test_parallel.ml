@@ -22,6 +22,32 @@ let test_map_more_domains_than_items () =
   check Alcotest.(list int) "domains capped to items" [ 2; 4 ]
     (Deepmc.Parallel.map ~domains:16 (fun x -> x * 2) [ 1; 2 ])
 
+(* a raising worker must propagate the exception from the join, not
+   leave spawned domains hanging or return partial results *)
+let test_map_propagates_exceptions () =
+  let boom x = if x = 37 then failwith "boom" else x in
+  let items = List.init 100 Fun.id in
+  (match Deepmc.Parallel.map ~domains:4 boom items with
+  | _ -> Alcotest.fail "expected the worker's exception"
+  | exception Failure m -> check Alcotest.string "original message" "boom" m);
+  (* the single-domain path raises too *)
+  match Deepmc.Parallel.map ~domains:1 boom items with
+  | _ -> Alcotest.fail "expected the worker's exception (1 domain)"
+  | exception Failure m -> check Alcotest.string "original message" "boom" m
+
+(* after a failure the pool is fully joined, so the next map works *)
+let test_map_usable_after_failure () =
+  (try
+     ignore
+       (Deepmc.Parallel.map ~domains:4
+          (fun x -> if x = 5 then raise Exit else x)
+          (List.init 50 Fun.id))
+   with Exit -> ());
+  check
+    Alcotest.(list int)
+    "subsequent map is unaffected" [ 2; 4; 6 ]
+    (Deepmc.Parallel.map ~domains:4 (fun x -> x * 2) [ 1; 2; 3 ])
+
 let corpus_jobs () =
   List.map
     (fun (p : Corpus.Types.program) ->
@@ -66,6 +92,9 @@ let suite =
     tc "map: preserves order" `Quick test_map_preserves_order;
     tc "map: edge cases" `Quick test_map_edge_cases;
     tc "map: domains capped" `Quick test_map_more_domains_than_items;
+    tc "map: worker exception propagates" `Quick
+      test_map_propagates_exceptions;
+    tc "map: pool usable after a failure" `Quick test_map_usable_after_failure;
     tc "check_many: matches sequential" `Quick
       test_check_many_matches_sequential;
     tc "check_many: static warning total" `Quick
