@@ -252,12 +252,12 @@ let table9 () =
       let cfg = { Corpus.Synth.default_config with nfuncs; seed = 11 } in
       let prog, _ = Corpus.Synth.generate cfg in
       let base_s = Deepmc.Driver.baseline_compile prog in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Deepmc.Clock.now () in
       let _ =
         Analysis.Checker.check ~roots:(Corpus.Synth.roots cfg)
           ~model:Analysis.Model.Strict prog
       in
-      let full_s = Unix.gettimeofday () -. t0 in
+      let full_s = Deepmc.Clock.elapsed_s t0 in
       Fmt.pr "%-12s %12.1f %14.1f %12.1f   (%s)@." name (base_s *. 1000.)
         ((base_s +. full_s) *. 1000.)
         (full_s *. 1000.)
@@ -549,12 +549,12 @@ let ablation () =
     (fun nfuncs ->
       let cfg = { Corpus.Synth.default_config with nfuncs; seed = 3 } in
       let prog, _ = Corpus.Synth.generate cfg in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Deepmc.Clock.now () in
       let r =
         Analysis.Checker.check ~roots:(Corpus.Synth.roots cfg)
           ~model:Analysis.Model.Strict prog
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Deepmc.Clock.elapsed_s t0 in
       Fmt.pr "%5d funcs (%6d instrs): %7.1f ms, %4d traces@." nfuncs
         (Nvmir.Prog.total_instrs prog)
         (dt *. 1000.) r.Analysis.Checker.trace_count)
@@ -625,7 +625,7 @@ let strand () =
     in
     let rng = Workloads.Gen.rng 77 in
     let n = txs / 2 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Deepmc.Clock.now () in
     for i = 1 to n do
       ignore (Workloads.Gen.simulate_work rng ~amount:2500);
       ignore
@@ -634,7 +634,7 @@ let strand () =
            i)
     done;
     Workloads.Kvstore_strand.quiesce kv;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Deepmc.Clock.elapsed_s t0 in
     let stats = Runtime.Pmem.stats pmem in
     ( float_of_int n /. dt,
       stats.Runtime.Pmem.fences,
@@ -679,9 +679,9 @@ let parallel () =
   Fmt.pr "%d analysis jobs (%d corpus programs x 8)@." (List.length jobs)
     (List.length Corpus.Registry.all);
   let time domains =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Deepmc.Clock.now () in
     let rs = Deepmc.Parallel.check_many ~domains jobs in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Deepmc.Clock.elapsed_s t0 in
     let warnings =
       List.fold_left
         (fun a (r : Deepmc.Parallel.corpus_result) ->
@@ -747,11 +747,11 @@ let crashspace () =
       (fun (name, entry, args, prog) ->
         List.iter
           (fun bound ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Deepmc.Clock.now () in
             let r =
               Deepmc.Crash_sweep.explore_program ~bound ~entry ~args prog
             in
-            let dt = Unix.gettimeofday () -. t0 in
+            let dt = Deepmc.Clock.elapsed_s t0 in
             Fmt.pr "%-18s %6d %8d %9d %7.0f%% %12.0f %8d  (%.1f ms)@." name
               bound r.Runtime.Crash_space.images_enumerated
               r.Runtime.Crash_space.images_distinct
@@ -834,6 +834,114 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Static-checker throughput: streaming engine + domain pool vs the
+   legacy materialize-then-check pipeline.  `perf --json` additionally
+   writes BENCH_checker.json for EXPERIMENTS.md / CI. *)
+
+let perf ?(json = false) () =
+  section "Checker throughput: streaming engine + persistent domain pool";
+  let corpus_jobs =
+    List.map
+      (fun (p : Corpus.Types.program) ->
+        (Corpus.Types.model p, Corpus.Types.parse p, p.Corpus.Types.roots))
+      Corpus.Registry.all
+  in
+  let synth_jobs =
+    List.map
+      (fun seed ->
+        let cfg = { Corpus.Synth.default_config with nfuncs = 80; seed } in
+        let prog, _ = Corpus.Synth.generate cfg in
+        (Analysis.Model.Strict, prog, Corpus.Synth.roots cfg))
+      [ 21; 22; 23 ]
+  in
+  let jobs = corpus_jobs @ synth_jobs in
+  let sweep engine =
+    List.fold_left
+      (fun (ev, pk) (model, prog, roots) ->
+        let config = { Analysis.Config.default with Analysis.Config.engine } in
+        let r = Analysis.Checker.check ~config ~roots ~model prog in
+        (ev + r.Analysis.Checker.event_count,
+         max pk r.Analysis.Checker.peak_paths))
+      (0, 0) jobs
+  in
+  let measure ~engine ~domains =
+    Pool.set_default_size domains;
+    ignore (sweep engine) (* warm up: pool domains, parser, minor heap *);
+    let best = ref infinity and events = ref 0 and peak = ref 0 in
+    for _ = 1 to 3 do
+      let t0 = Deepmc.Clock.now () in
+      let ev, pk = sweep engine in
+      let dt = Deepmc.Clock.elapsed_s t0 in
+      if dt < !best then best := dt;
+      events := ev;
+      peak := pk
+    done;
+    (!best, !events, !peak)
+  in
+  let saved = Pool.default_size () in
+  let domains = Pool.recommended_size () in
+  let legacy_s, legacy_ev, legacy_peak =
+    measure ~engine:Analysis.Config.Materialized ~domains:1
+  in
+  let s1_s, s1_ev, s1_peak =
+    measure ~engine:Analysis.Config.Streaming ~domains:1
+  in
+  let sd_s, sd_ev, sd_peak =
+    (* on a single-core host the default-domain config IS the 1-domain
+       config; re-measuring would just print noise *)
+    if domains = 1 then (s1_s, s1_ev, s1_peak)
+    else measure ~engine:Analysis.Config.Streaming ~domains
+  in
+  Pool.set_default_size saved;
+  let rate ev s = float_of_int ev /. s in
+  let row label ev s peak =
+    Fmt.pr "%-34s %9.1f ms %12.0f events/s %6d peak paths@." label
+      (s *. 1000.) (rate ev s) peak
+  in
+  Fmt.pr "workload: %d programs, %d events per sweep, best of 3@."
+    (List.length jobs) legacy_ev;
+  hr ();
+  row "legacy (materialized, 1 domain)" legacy_ev legacy_s legacy_peak;
+  row "streaming (1 domain)" s1_ev s1_s s1_peak;
+  row (Fmt.str "streaming (%d domains)" domains) sd_ev sd_s sd_peak;
+  hr ();
+  let speedup_legacy = legacy_s /. sd_s in
+  let speedup_1d = s1_s /. sd_s in
+  Fmt.pr "speedup vs legacy: %.2fx; speedup vs 1 domain: %.2fx@."
+    speedup_legacy speedup_1d;
+  Fmt.pr "peak live paths: %d streaming vs %d materialized@." sd_peak
+    legacy_peak;
+  if sd_ev <> legacy_ev || s1_ev <> legacy_ev then
+    Fmt.pr "WARNING: engines disagree on event counts (%d/%d/%d)@." legacy_ev
+      s1_ev sd_ev;
+  if json then begin
+    let oc = open_out "BENCH_checker.json" in
+    let bench label ev s peak =
+      Fmt.str
+        "  \"%s\": {\"elapsed_ms\": %.1f, \"events_per_sec\": %.0f, \
+         \"peak_paths\": %d}"
+        label (s *. 1000.) (rate ev s) peak
+    in
+    Printf.fprintf oc
+      "{\n\
+       \  \"workload\": {\"programs\": %d, \"events\": %d},\n\
+       \  \"domains\": %d,\n\
+       %s,\n\
+       %s,\n\
+       %s,\n\
+       \  \"speedup_vs_legacy\": %.2f,\n\
+       \  \"speedup_vs_1_domain\": %.2f\n\
+       }\n"
+      (List.length jobs) legacy_ev domains
+      (bench "legacy_materialized_1_domain" legacy_ev legacy_s legacy_peak)
+      (bench "streaming_1_domain" s1_ev s1_s s1_peak)
+      (bench "streaming_default_domains" sd_ev sd_s sd_peak)
+      speedup_legacy speedup_1d;
+    close_out oc;
+    Fmt.pr "wrote BENCH_checker.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -856,12 +964,14 @@ let sections : (string * (unit -> unit)) list =
     ("strand", strand);
     ("parallel", parallel);
     ("crashspace", crashspace);
+    ("perf", perf ?json:None);
     ("micro", micro);
   ]
 
 let () =
   match Sys.argv with
   | [| _ |] -> List.iter (fun (_, f) -> f ()) sections
+  | [| _; "perf"; "--json" |] -> perf ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name sections with
     | Some f -> f ()

@@ -131,19 +131,65 @@ let pmem_roots_term =
           "Annotate a variable as referencing persistent memory (interface \
            annotation; repeatable).")
 
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains in the shared analysis pool (default: \
+           available cores - 1, capped at 8).")
+
+let stats_term =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print checker statistics (engine, traces, events, peak live \
+           paths, pool activity) on stderr.")
+
+let materialized_term =
+  Arg.(
+    value & flag
+    & info [ "materialized" ]
+        ~doc:
+          "Use the materialized trace engine (the streaming engine's \
+           differential oracle) instead of the default streaming engine.")
+
 let check_cmd =
   let run () model file entry no_dynamic field_insensitive suppressions json
-      pmem_roots html =
+      pmem_roots html domains stats materialized =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
+    Option.iter Pool.set_default_size domains;
+    let config =
+      {
+        Analysis.Config.default with
+        Analysis.Config.engine =
+          (if materialized then Analysis.Config.Materialized
+           else Analysis.Config.Streaming);
+      }
+    in
     let driver =
-      Deepmc.Driver.make ~field_sensitive:(not field_insensitive)
+      Deepmc.Driver.make ~config ~field_sensitive:(not field_insensitive)
         ~run_dynamic:(not no_dynamic) model
     in
     let report =
       Deepmc.Driver.analyze driver ~persistent_roots:pmem_roots ?entry prog
     in
+    if stats then begin
+      let s = report.Deepmc.Driver.static in
+      let ps = Pool.stats (Pool.default ()) in
+      Fmt.epr
+        "engine: %s@.traces: %d (%d events)@.peak live paths: %d@.static \
+         time: %.1f ms@.pool: %d domain(s), %d job(s), %d chunk(s)@."
+        (Analysis.Config.engine_name config.Analysis.Config.engine)
+        s.Analysis.Checker.trace_count s.Analysis.Checker.event_count
+        s.Analysis.Checker.peak_paths
+        (report.Deepmc.Driver.elapsed_static *. 1000.)
+        ps.Pool.size ps.Pool.jobs ps.Pool.chunks
+    end;
     let* warnings =
       match suppressions with
       | None -> Ok report.Deepmc.Driver.warnings
@@ -181,7 +227,8 @@ let check_cmd =
       term_result
         (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
        $ no_dynamic_term $ field_insensitive_term $ suppressions_term
-       $ json_term $ pmem_roots_term $ html_term))
+       $ json_term $ pmem_roots_term $ html_term $ domains_term $ stats_term
+       $ materialized_term))
 
 (* Mixed-model checking: a map file with one "function model" pair per
    line assigns each analysis root its intended persistency model. *)

@@ -1,28 +1,92 @@
 (* The static checker (steps 2–4 of Figure 8): builds the DSG, collects
    interprocedural traces from the analysis roots, applies the rule set
    for the selected persistency model, and reports deduplicated
-   warnings. *)
+   warnings.
+
+   Two engines produce the same warnings (a differential test enforces
+   it on the whole corpus):
+
+   - [Config.Streaming] (default): traces are enumerated lazily per
+     root; each path is fed through [Rules.Incremental] and discarded as
+     soon as its warnings are out, so peak memory is O(live paths), and
+     independent roots are checked concurrently on the shared domain
+     pool.
+   - [Config.Materialized]: the original collect-everything-then-check
+     pipeline, kept as the oracle. *)
 
 type result = {
   model : Model.t;
   warnings : Warning.t list;
   trace_count : int;
   event_count : int;
+  peak_paths : int; (* max simultaneously-live paths across roots *)
   dsg : Dsa.Dsg.t;
 }
+
+(* Deduplicate as warnings stream out: first occurrence wins, order
+   kept — the same result [Warning.dedup] computes on the concatenated
+   list, without retaining duplicates in the meantime. *)
+let check_root_streaming ctx (src : Trace.source) =
+  let seen = Hashtbl.create 16 in
+  let rev_warnings = ref [] in
+  Seq.iter
+    (fun trace ->
+      let st = Rules.Incremental.feed Rules.Incremental.start trace in
+      List.iter
+        (fun w ->
+          let k = Warning.dedup_key w in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            rev_warnings := w :: !rev_warnings
+          end)
+        (Rules.Incremental.finish ctx st))
+    src.Trace.traces;
+  List.rev !rev_warnings
 
 let check ?(config = Config.default) ?(field_sensitive = true)
     ?(persistent_roots = []) ?roots ~model (prog : Nvmir.Prog.t) : result =
   let dsg = Dsa.Dsg.build ~field_sensitive ~persistent_roots prog in
-  let per_root = Trace.collect ~config ?roots dsg prog in
   let ctx = { Rules.model; dsg; tenv = Nvmir.Prog.tenv prog } in
-  let traces = List.concat_map snd per_root in
-  let warnings =
-    List.concat_map (Rules.check_trace ctx) traces
-    |> Warning.dedup |> Warning.sort
-  in
-  let event_count = List.fold_left (fun acc t -> acc + Trace.length t) 0 traces in
-  { model; warnings; trace_count = List.length traces; event_count; dsg }
+  match config.Config.engine with
+  | Config.Materialized ->
+    let per_root = Trace.collect ~config ?roots dsg prog in
+    let traces = List.concat_map snd per_root in
+    let warnings =
+      List.concat_map (Rules.check_trace ctx) traces
+      |> Warning.dedup |> Warning.sort
+    in
+    let event_count =
+      List.fold_left (fun acc t -> acc + Trace.length t) 0 traces
+    in
+    (* every materialized trace is live at once *)
+    {
+      model;
+      warnings;
+      trace_count = List.length traces;
+      event_count;
+      peak_paths = List.length traces;
+      dsg;
+    }
+  | Config.Streaming ->
+    let sources = Trace.stream ~config ?roots dsg prog in
+    (* freeze the union-find: forcing the sources from worker domains
+       must not race on path compression *)
+    Dsa.Arena.compress (Dsa.Dsg.arena dsg);
+    let per_root =
+      Pool.map (Pool.default ()) (check_root_streaming ctx) sources
+    in
+    let warnings =
+      List.concat per_root |> Warning.dedup |> Warning.sort
+    in
+    let trace_count, event_count, peak_paths =
+      List.fold_left
+        (fun (t, e, p) (src : Trace.source) ->
+          ( t + src.Trace.s_stats.Trace.paths,
+            e + src.Trace.s_stats.Trace.events,
+            max p src.Trace.s_stats.Trace.peak_live ))
+        (0, 0, 0) sources
+    in
+    { model; warnings; trace_count; event_count; peak_paths; dsg }
 
 (* Mixed-model checking — lifting the limitation §4.5 states ("DeepMC
    currently does not support the scenario that part of a program uses

@@ -1,12 +1,21 @@
 (** The static checker (steps 2–4 of Figure 8): build the DSG, collect
     interprocedural traces, apply the rule set for the selected model,
-    and report deduplicated warnings. *)
+    and report deduplicated warnings.
+
+    [Config.engine] selects between the streaming engine (lazy path
+    enumeration checked incrementally, roots fanned out on the shared
+    domain pool; the default) and the materialized oracle. Both emit
+    identical warning sets. *)
 
 type result = {
   model : Model.t;
   warnings : Warning.t list;
   trace_count : int;
   event_count : int;
+  peak_paths : int;
+      (** max simultaneously-live paths: equals [trace_count] under the
+          materialized engine, the live-frame high-water mark when
+          streaming *)
   dsg : Dsa.Dsg.t;
 }
 

@@ -741,9 +741,7 @@ let meta_of id = List.find (fun m -> m.id = id) catalog
 let applicable_rules model =
   List.filter (fun m -> List.exists (Model.equal model) m.models) catalog
 
-(* Run every applicable rule over one trace. *)
-let check_trace ctx (trace : Trace.t) : Warning.t list =
-  let scoped = scope_trace trace in
+let run_all ctx scoped =
   List.concat
     [
       check_unflushed_write ctx scoped;
@@ -754,3 +752,90 @@ let check_trace ctx (trace : Trace.t) : Warning.t list =
       check_strand_dependence ctx scoped;
       check_flush_coverage ctx scoped;
     ]
+
+(* Run every applicable rule over one trace. *)
+let check_trace ctx (trace : Trace.t) : Warning.t list =
+  run_all ctx (scope_trace trace)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental checking (streaming engine).
+
+   The streaming trace engine feeds events into a per-path state as the
+   path is enumerated; the state is a persistent value, so forking an
+   in-flight path at a branch point is one pointer copy and siblings
+   share their common scoped prefix. When a path completes, [finish]
+   runs the rule set over its scoped events and the warnings stream out
+   — no second pass over a materialized trace.
+
+   [step] is an independent reimplementation of [scope_trace] (kept
+   deliberately separate: the Materialized/Streaming differential tests
+   cross-check the two scopings against each other). *)
+
+module Incremental = struct
+  type state = {
+    idx : int;
+    tx_counter : int;
+    epoch_counter : int;
+    tx_stack : int list;
+    epoch : int;
+    unit_ : int;
+    strand : int;
+    rev_scoped : scoped list; (* shared with forked siblings *)
+  }
+
+  let start =
+    {
+      idx = 0;
+      tx_counter = 0;
+      epoch_counter = 0;
+      tx_stack = [];
+      epoch = -1;
+      unit_ = 0;
+      strand = -1;
+      rev_scoped = [];
+    }
+
+  let step (st : state) (e : Event.t) : state =
+    let mk tx_stack epoch strand =
+      {
+        ev = e;
+        idx = st.idx;
+        tx_depth = List.length tx_stack;
+        tx_id = (match tx_stack with [] -> -1 | t :: _ -> t);
+        tx_stack;
+        epoch;
+        unit_ = st.unit_;
+        strand;
+      }
+    in
+    let push s st = { st with idx = st.idx + 1; rev_scoped = s :: st.rev_scoped } in
+    match e.Event.kind with
+    | Event.Tx_begin ->
+      let id = st.tx_counter in
+      let stack = id :: st.tx_stack in
+      push
+        (mk stack st.epoch st.strand)
+        { st with tx_counter = id + 1; tx_stack = stack }
+    | Event.Tx_end ->
+      (* the Tx_end event itself belongs to the transaction it closes *)
+      let popped = match st.tx_stack with [] -> [] | _ :: t -> t in
+      push (mk st.tx_stack st.epoch st.strand) { st with tx_stack = popped }
+    | Event.Epoch_begin ->
+      let id = st.epoch_counter in
+      push
+        (mk st.tx_stack id st.strand)
+        { st with epoch_counter = id + 1; epoch = id }
+    | Event.Epoch_end ->
+      push (mk st.tx_stack st.epoch st.strand) { st with epoch = -1 }
+    | Event.Strand_begin n ->
+      push (mk st.tx_stack st.epoch n) { st with strand = n }
+    | Event.Strand_end _ ->
+      push (mk st.tx_stack st.epoch st.strand) { st with strand = -1 }
+    | Event.Fence ->
+      push (mk st.tx_stack st.epoch st.strand) { st with unit_ = st.unit_ + 1 }
+    | Event.Write _ | Event.Flush _ | Event.Log _ | Event.Call_mark _
+    | Event.Ret_mark _ -> push (mk st.tx_stack st.epoch st.strand) st
+
+  let feed st trace = List.fold_left step st trace
+  let finish ctx st = run_all ctx (List.rev st.rev_scoped)
+end

@@ -46,3 +46,19 @@ val applicable_rules : Model.t -> rule_meta list
 
 val check_trace : ctx -> Trace.t -> Warning.t list
 (** Run every applicable rule over one trace. *)
+
+(** {1 Incremental checking} — the streaming engine's per-path state.
+
+    A persistent scoping state: fork an in-flight path by reusing the
+    value, share scoped prefixes structurally. Implemented independently
+    of {!scope_trace} so the engine differential also cross-checks the
+    two scopings: for any trace,
+    [finish ctx (feed start trace) = check_trace ctx trace]. *)
+module Incremental : sig
+  type state
+
+  val start : state
+  val step : state -> Event.t -> state
+  val feed : state -> Event.t list -> state
+  val finish : ctx -> state -> Warning.t list
+end

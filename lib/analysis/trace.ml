@@ -10,7 +10,17 @@
    callee traces are spliced into caller traces at call sites
    (Figure 11), bounded by [Config.recursion_bound] on the call chain
    and [Config.expansion_fanout] callee traces per site. Call/return
-   provenance markers are kept in the merged trace. *)
+   provenance markers are kept in the merged trace.
+
+   Two engines share these phases. [collect] is the original
+   materializing pipeline: every root trace exists as a list before any
+   rule runs. [stream] enumerates a root's paths lazily — the DFS is a
+   [Seq] whose suspended branch frames share their event-prefix storage,
+   and call-site expansion is a lazy cross-product over memoized callee
+   suffixes — so peak memory is O(live paths), and the checker can
+   consume (and discard) each path as it completes. Both enumerate
+   identical traces in identical order; [collect] survives as the
+   differential oracle behind [Config.Materialized]. *)
 
 type t = Event.t list
 
@@ -45,37 +55,117 @@ let events_of_instr dsg ~fname (i : Nvmir.Instr.t) : Event.t list =
   | Nvmir.Instr.Load _ | Nvmir.Instr.Assign _ | Nvmir.Instr.Binop _
   | Nvmir.Instr.Alloc _ | Nvmir.Instr.Addr_of _ | Nvmir.Instr.Comment _ -> []
 
-(* Phase 1: enumerate bounded paths through [func], accumulating events.
-   Paths containing persistent operations are explored first when a cap
-   cut is needed — we achieve this cheaply by enumerating in CFG order
-   and capping, which suffices for corpus-scale functions. *)
-let collect_function (config : Config.t) dsg (func : Nvmir.Func.t) : t list =
+(* First [n] elements, stopping as soon as they are found — the caller's
+   lists are capped cross-products, so scanning past [n] is wasted. *)
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+(* ------------------------------------------------------------------ *)
+(* Per-block event precomputation (streaming engine).
+
+   The materializing walk below re-resolves every instruction through
+   the DSG once per path that crosses its block — for a function with P
+   paths over B shared blocks that is P×B resolutions of identical
+   results (resolution is idempotent after the DSG build: every operand
+   was already resolved during the local phase). The streaming engine
+   resolves each block once up front and replays the cached events.
+
+   Abstract addresses are hash-consed through [pool] while caching, so
+   the thousands of structurally-equal addresses a hot block contributes
+   across paths collapse to one allocation each. *)
+
+type block_events = (string, (string, Event.t list) Hashtbl.t) Hashtbl.t
+
+let intern_event pool (e : Event.t) : Event.t =
+  let intern a =
+    match Hashtbl.find_opt pool a with
+    | Some shared -> shared
+    | None ->
+      Hashtbl.add pool a a;
+      a
+  in
+  match e.Event.kind with
+  | Event.Write a -> { e with Event.kind = Event.Write (intern a) }
+  | Event.Flush (a, o) -> { e with Event.kind = Event.Flush (intern a, o) }
+  | Event.Log a -> { e with Event.kind = Event.Log (intern a) }
+  | Event.Fence | Event.Tx_begin | Event.Tx_end | Event.Epoch_begin
+  | Event.Epoch_end | Event.Strand_begin _ | Event.Strand_end _
+  | Event.Call_mark _ | Event.Ret_mark _ -> e
+
+let precompute_block_events dsg prog : block_events =
+  let tables = Hashtbl.create 64 in
+  let pool : (Dsa.Aaddr.t, Dsa.Aaddr.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      let fname = Nvmir.Func.name f in
+      let per_block = Hashtbl.create 16 in
+      List.iter
+        (fun (b : Nvmir.Func.block) ->
+          let evs =
+            List.concat_map
+              (fun i ->
+                List.map (intern_event pool) (events_of_instr dsg ~fname i))
+              b.instrs
+          in
+          Hashtbl.replace per_block b.label evs)
+        f.Nvmir.Func.blocks;
+      Hashtbl.replace tables fname per_block)
+    (Nvmir.Prog.funcs prog);
+  tables
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1, materialized: enumerate bounded paths through [func],
+   accumulating events. Paths containing persistent operations are
+   explored first when a cap cut is needed — we achieve this cheaply by
+   enumerating in CFG order and capping, which suffices for corpus-scale
+   functions. [events] (streaming prepare) substitutes the precomputed
+   per-block cache for instruction-by-instruction resolution. *)
+let collect_function ?events (config : Config.t) dsg (func : Nvmir.Func.t) :
+    t list =
   let cfg = Graphs.Cfg.of_func func in
   let loops = Graphs.Loops.compute cfg in
   let fname = Nvmir.Func.name func in
+  let block_evs =
+    match events with
+    | Some (tbl : block_events) ->
+      let per_block = Hashtbl.find_opt tbl fname in
+      fun (block : Nvmir.Func.block) ->
+        Option.value ~default:[]
+          (Option.bind per_block (fun t -> Hashtbl.find_opt t block.label))
+    | None ->
+      fun block ->
+        List.concat_map (events_of_instr dsg ~fname) block.Nvmir.Func.instrs
+  in
   let traces = ref [] in
   let count = ref 0 in
-  let rec walk label acc edge_counts =
+  (* per-(back-)edge traversal counts for the path being walked; the
+     count is undone after each branch returns, so sibling paths see
+     the state their common prefix established — the same per-path
+     semantics the old immutable assoc list gave, without its O(edges)
+     lookups *)
+  let edge_counts : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk label acc =
     if !count >= config.max_paths then ()
     else
       match Graphs.Cfg.block cfg label with
       | None -> ()
       | Some block ->
-        let acc =
-          List.fold_left
-            (fun acc i -> List.rev_append (events_of_instr dsg ~fname i) acc)
-            acc block.instrs
-        in
+        let acc = List.rev_append (block_evs block) acc in
         let follow target =
           if Graphs.Loops.is_back_edge loops ~source:label ~target then begin
             let key = (label, target) in
-            let taken =
-              Option.value ~default:0 (List.assoc_opt key edge_counts)
-            in
-            if taken < config.loop_bound then
-              walk target acc ((key, taken + 1) :: List.remove_assoc key edge_counts)
+            let taken = Option.value ~default:0 (Hashtbl.find_opt edge_counts key) in
+            if taken < config.loop_bound then begin
+              Hashtbl.replace edge_counts key (taken + 1);
+              walk target acc;
+              Hashtbl.replace edge_counts key taken
+            end
           end
-          else walk target acc edge_counts
+          else walk target acc
         in
         (match block.term with
         | Nvmir.Func.Ret _ ->
@@ -88,9 +178,106 @@ let collect_function (config : Config.t) dsg (func : Nvmir.Func.t) : t list =
           follow then_lbl;
           follow else_lbl)
   in
-  walk (Graphs.Cfg.entry cfg) [] [];
+  walk (Graphs.Cfg.entry cfg) [];
   List.rev !traces
 
+(* ------------------------------------------------------------------ *)
+(* Phase 1, streaming: the same DFS as [collect_function], demand-driven.
+
+   The explicit frame stack replaces the recursion; pushing the else
+   frame below the then frame reproduces the recursive order (the whole
+   then subtree completes before the else branch starts). Suspended
+   frames keep their event accumulator as a shared-tail list, so N live
+   branches off one prefix store the prefix once. [stats] observes the
+   high-water mark of live frames — the O(live paths) the engine holds
+   instead of the O(all paths) the materialized engine does. *)
+
+type stats = {
+  mutable peak_live : int;  (* max simultaneously-live path frames *)
+  mutable paths : int;
+  mutable events : int;  (* non-marker events across yielded paths *)
+}
+
+let fresh_stats () = { peak_live = 0; paths = 0; events = 0 }
+
+(* A frame: CFG label to continue from, reversed events so far, and the
+   back-edge counts this path has used (immutable here — frames outlive
+   the walk that created them, so undo-style sharing cannot work). *)
+type frame = {
+  fr_label : string;
+  fr_acc : Event.t list;
+  fr_edges : ((string * string) * int) list;
+}
+
+let stream_function ?events (config : Config.t) dsg ~stats (func : Nvmir.Func.t)
+    : t Seq.t =
+  let cfg = Graphs.Cfg.of_func func in
+  let loops = Graphs.Loops.compute cfg in
+  let fname = Nvmir.Func.name func in
+  let block_evs =
+    match events with
+    | Some (tbl : block_events) ->
+      let per_block = Hashtbl.find_opt tbl fname in
+      fun (block : Nvmir.Func.block) ->
+        Option.value ~default:[]
+          (Option.bind per_block (fun t -> Hashtbl.find_opt t block.label))
+    | None ->
+      fun block ->
+        List.concat_map (events_of_instr dsg ~fname) block.Nvmir.Func.instrs
+  in
+  let note_live depth = if depth > stats.peak_live then stats.peak_live <- depth in
+  (* [depth] tracks the stack length so the high-water mark costs O(1)
+     per push instead of a length scan *)
+  let rec next stack depth () =
+    match stack with
+    | [] -> Seq.Nil
+    | fr :: stack -> (
+      (* live paths right now: the in-flight frame plus the suspended ones *)
+      note_live depth;
+      let depth = depth - 1 in
+      match Graphs.Cfg.block cfg fr.fr_label with
+      | None -> next stack depth ()
+      | Some block ->
+        let acc = List.rev_append (block_evs block) fr.fr_acc in
+        let follow target (stack, depth) =
+          if Graphs.Loops.is_back_edge loops ~source:fr.fr_label ~target then begin
+            let key = (fr.fr_label, target) in
+            let taken =
+              Option.value ~default:0 (List.assoc_opt key fr.fr_edges)
+            in
+            if taken < config.loop_bound then
+              ( {
+                  fr_label = target;
+                  fr_acc = acc;
+                  fr_edges =
+                    (key, taken + 1) :: List.remove_assoc key fr.fr_edges;
+                }
+                :: stack,
+                depth + 1 )
+            else (stack, depth)
+          end
+          else
+            ( { fr_label = target; fr_acc = acc; fr_edges = fr.fr_edges }
+              :: stack,
+              depth + 1 )
+        in
+        (match block.term with
+        | Nvmir.Func.Ret _ -> Seq.Cons (List.rev acc, next stack depth)
+        | Nvmir.Func.Br l ->
+          let stack, depth = follow l (stack, depth) in
+          next stack depth ()
+        | Nvmir.Func.Cond_br { then_lbl; else_lbl; _ } ->
+          (* else below then: then's subtree drains first, as in the
+             recursive walk *)
+          let stack, depth =
+            follow then_lbl (follow else_lbl (stack, depth))
+          in
+          next stack depth ()))
+  in
+  let entry = { fr_label = Graphs.Cfg.entry cfg; fr_acc = []; fr_edges = [] } in
+  next [ entry ] 1
+
+(* ------------------------------------------------------------------ *)
 (* Phase 2: splice callee traces into caller traces at call sites.
 
    Expansion is memoized bottom-up over the call graph (callees first,
@@ -100,7 +287,6 @@ let collect_function (config : Config.t) dsg (func : Nvmir.Func.t) : t list =
    cyclic SCCs are then re-expanded [Config.recursion_bound] times, each
    pass splicing the previous pass's results, which bounds recursion
    unrolling exactly like §4.3 describes. *)
-let take n l = List.filteri (fun i _ -> i < n) l
 
 let expand_with (config : Config.t) ~memo (trace : t) : t list =
   (* the path cap is applied at every combination point — the
@@ -129,24 +315,181 @@ let expand_with (config : Config.t) ~memo (trace : t) : t list =
   in
   take cap (expand_trace trace)
 
-(* Collect fully expanded traces for the given root functions (defaults
-   to the call-graph roots: functions never called from the program). *)
-let collect ?(config = Config.default) ?roots dsg prog :
-    (string * t list) list =
+(* The lazy mirror of [expand_with]: the same caps at the same points,
+   the same callee-major enumeration order, but callee trace sets come
+   from a [lookup] returning re-traversable sequences forced on demand —
+   a spliced trace exists only while the consumer looks at it. *)
+let expand_lookup (config : Config.t) ~lookup (trace : t) : t Seq.t =
+  let cap = config.max_paths in
+  let rec expand trace : t Seq.t =
+    match trace with
+    | [] -> Seq.return []
+    | ({ Event.kind = Event.Call_mark callee; fname; loc } as ev) :: rest -> (
+      let rests = Seq.memoize (Seq.take cap (expand rest)) in
+      match lookup callee with
+      | Some callee_traces when callee_traces () <> Seq.Nil ->
+        let callee_traces = Seq.take config.expansion_fanout callee_traces in
+        Seq.take cap
+          (Seq.concat_map
+             (fun ct ->
+               Seq.map
+                 (fun r ->
+                   (ev :: ct)
+                   @ (Event.make ~fname ~loc (Event.Ret_mark callee) :: r))
+                 rests)
+             callee_traces)
+      | Some _ | None -> Seq.map (fun r -> ev :: r) rests)
+    | ev :: rest -> Seq.map (fun r -> ev :: r) (expand rest)
+  in
+  Seq.take cap (expand trace)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy memo (streaming engine).
+
+   The eager memo above materializes up to [max_paths] merged traces for
+   EVERY function, yet a caller splices only [expansion_fanout] of them
+   per call site — most of that work is computed and then never read.
+   The lazy memo gives each function a memoized [Seq] instead: forcing a
+   caller's traces forces just the demanded prefix of each callee's.
+
+   Cyclic SCCs keep the eager treatment (their bounded re-expansion
+   passes need the previous pass materialized). Two snapshots preserve
+   the eager engine's exact view:
+
+   - [lz_cyclic] is the first-pass (postorder) expansion of the cyclic
+     functions. Acyclic consumers splice THIS — in the eager build their
+     entries were materialized during the postorder pass, before any
+     re-expansion replaced a cyclic entry.
+   - the re-expansion passes themselves read the current cyclic table
+     ([materialize]'s [cur]), as the eager loop does.
+
+   [lz_seqs] holds suspended computation, so a [lazy_memo] must stay
+   confined to one domain; the tables it shares ([lz_intra],
+   [lz_cyclic]) are frozen before any sequence escapes [stream]. *)
+
+type lazy_memo = {
+  lz_config : Config.t;
+  lz_intra : (string, t list) Hashtbl.t;  (* shared, frozen *)
+  lz_cyclic : (string, t list) Hashtbl.t;  (* shared, frozen *)
+  lz_cyc_set : (string, unit) Hashtbl.t;  (* shared, frozen *)
+  lz_seqs : (string, t Seq.t) Hashtbl.t;  (* per-consumer *)
+}
+
+let rec lazy_entry lm name : t Seq.t option =
+  match Hashtbl.find_opt lm.lz_seqs name with
+  | Some s -> Some s
+  | None -> (
+    match Hashtbl.find_opt lm.lz_cyclic name with
+    | Some ts -> Some (List.to_seq ts)
+    | None when Hashtbl.mem lm.lz_cyc_set name ->
+      (* cyclic entry not built yet (later in the postorder pass): the
+         eager build would find no memo entry and keep the call mark —
+         expanding lazily here would recurse through the cycle forever *)
+      None
+    | None -> (
+      match Hashtbl.find_opt lm.lz_intra name with
+      | None -> None
+      | Some own ->
+        let s =
+          Seq.memoize
+            (Seq.take lm.lz_config.Config.max_paths
+               (Seq.concat_map (expand_lazy lm) (List.to_seq own)))
+        in
+        Hashtbl.add lm.lz_seqs name s;
+        Some s))
+
+and expand_lazy lm (trace : t) : t Seq.t =
+  expand_lookup lm.lz_config ~lookup:(lazy_entry lm) trace
+
+(* Functions in recursive SCCs (singleton SCCs only count when
+   self-calling). *)
+let cyclic_funcs cg =
+  List.concat_map
+    (fun scc ->
+      match scc with
+      | [ f ] when not (List.mem f (Graphs.Callgraph.callees cg f)) -> []
+      | fs -> fs)
+    (Graphs.Callgraph.sccs cg)
+
+(* Intra traces for everything but [skip], plus the materialized cyclic
+   tables: [cyclic_pass1] (what acyclic consumers splice) and
+   [cyclic_cur] (the bounded-unrolling fixpoint, what a cyclic root
+   reads). Mirrors [build_memo]'s postorder pass and re-expansion loop
+   restricted to the cyclic functions — the only ones whose entries the
+   eager build ever overwrites. *)
+let build_lazy ?events (config : Config.t) dsg prog ~skip =
   let intra = Hashtbl.create 64 in
   List.iter
     (fun f ->
-      Hashtbl.replace intra (Nvmir.Func.name f) (collect_function config dsg f))
+      let fname = Nvmir.Func.name f in
+      if not (List.mem fname skip) then
+        Hashtbl.replace intra fname (collect_function ?events config dsg f))
+    (Nvmir.Prog.funcs prog);
+  let cg = Graphs.Callgraph.of_prog prog in
+  let cyclic = cyclic_funcs cg in
+  let cyc_set : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace cyc_set f ()) cyclic;
+  let cyclic_pass1 : (string, t list) Hashtbl.t = Hashtbl.create 8 in
+  (* shared acyclic consumer: reused across cyclic builds so their
+     acyclic callees expand once; always splices pass-1 cyclic entries *)
+  let shared =
+    {
+      lz_config = config;
+      lz_intra = intra;
+      lz_cyclic = cyclic_pass1;
+      lz_cyc_set = cyc_set;
+      lz_seqs = Hashtbl.create 32;
+    }
+  in
+  let materialize cur fname =
+    let lookup name =
+      match Hashtbl.find_opt cur name with
+      | Some ts -> Some (List.to_seq ts)
+      | None -> lazy_entry shared name
+    in
+    let own = Option.value ~default:[] (Hashtbl.find_opt intra fname) in
+    List.of_seq
+      (Seq.take config.max_paths
+         (Seq.concat_map (expand_lookup config ~lookup) (List.to_seq own)))
+  in
+  List.iter
+    (fun fname ->
+      if List.mem fname cyclic && not (List.mem fname skip) then
+        Hashtbl.replace cyclic_pass1 fname (materialize cyclic_pass1 fname))
+    (Graphs.Callgraph.postorder cg);
+  let cyclic_cur = Hashtbl.copy cyclic_pass1 in
+  if cyclic <> [] then
+    for _ = 2 to config.recursion_bound do
+      List.iter
+        (fun fname ->
+          if not (List.mem fname skip) then
+            Hashtbl.replace cyclic_cur fname (materialize cyclic_cur fname))
+        cyclic
+    done;
+  (cg, intra, cyclic_pass1, cyclic_cur, cyc_set)
+
+(* Shared phase-2 driver: intra-procedural traces for the functions in
+   [skip_intra]'s complement, then bottom-up memoized expansion for
+   everything not in [skip_memo]. *)
+let build_memo ?events (config : Config.t) dsg prog ~skip =
+  let intra = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let fname = Nvmir.Func.name f in
+      if not (List.mem fname skip) then
+        Hashtbl.replace intra fname (collect_function ?events config dsg f))
     (Nvmir.Prog.funcs prog);
   let cg = Graphs.Callgraph.of_prog prog in
   let memo : (string, t list) Hashtbl.t = Hashtbl.create 64 in
   let expand_function fname =
     let own = Option.value ~default:[] (Hashtbl.find_opt intra fname) in
     List.concat_map (expand_with config ~memo) own
-    |> List.filteri (fun i _ -> i < config.max_paths)
+    |> take config.max_paths
   in
   List.iter
-    (fun fname -> Hashtbl.replace memo fname (expand_function fname))
+    (fun fname ->
+      if not (List.mem fname skip) then
+        Hashtbl.replace memo fname (expand_function fname))
     (Graphs.Callgraph.postorder cg);
   (* bounded unrolling for recursive components *)
   let cyclic =
@@ -163,17 +506,107 @@ let collect ?(config = Config.default) ?roots dsg prog :
         (fun fname -> Hashtbl.replace memo fname (expand_function fname))
         cyclic
     done;
-  let roots =
-    match roots with
-    | Some rs -> rs
-    | None -> (
-      match Graphs.Callgraph.roots cg with
-      | [] -> Nvmir.Prog.func_names prog
-      | rs -> rs)
-  in
+  (cg, memo, cyclic)
+
+let resolve_roots ~roots cg prog =
+  match roots with
+  | Some rs -> rs
+  | None -> (
+    match Graphs.Callgraph.roots cg with
+    | [] -> Nvmir.Prog.func_names prog
+    | rs -> rs)
+
+(* Collect fully expanded traces for the given root functions (defaults
+   to the call-graph roots: functions never called from the program). *)
+let collect ?(config = Config.default) ?roots dsg prog :
+    (string * t list) list =
+  let cg, memo, _ = build_memo config dsg prog ~skip:[] in
+  let roots = resolve_roots ~roots cg prog in
   List.map
     (fun r -> (r, Option.value ~default:[] (Hashtbl.find_opt memo r)))
     roots
+
+(* ------------------------------------------------------------------ *)
+(* Streaming entry point: one lazy trace sequence per root.
+
+   A root is streamable when nothing calls it (its memo entry would
+   never be read) and it is not part of a recursive cycle (cyclic
+   functions need their materialized previous-pass expansion). Such a
+   root's paths never exist as a list: its intra DFS and call-site
+   expansion are both demand-driven. Non-streamable roots fall back to
+   reading the memo — correct, just not lazy.
+
+   Everything mutable (DSG resolution, memo tables, per-block event
+   caches) is built here, before any sequence is returned; forcing the
+   sequences only reads, so distinct roots can be consumed from
+   distinct domains concurrently (after [Dsa.Arena.compress]). *)
+
+type source = { root : string; s_stats : stats; traces : t Seq.t }
+
+let stream ?(config = Config.default) ?roots dsg prog : source list =
+  let events = precompute_block_events dsg prog in
+  let cg = Graphs.Callgraph.of_prog prog in
+  let requested = resolve_roots ~roots cg prog in
+  let never_called = Graphs.Callgraph.roots cg in
+  let cyclic = cyclic_funcs cg in
+  let streamable r = List.mem r never_called && not (List.mem r cyclic) in
+  let streamed = List.filter streamable requested in
+  let _, intra, cyclic_pass1, cyclic_cur, cyc_set =
+    build_lazy ~events config dsg prog ~skip:streamed
+  in
+  let funcs = Nvmir.Prog.funcs prog in
+  List.map
+    (fun r ->
+      let s_stats = fresh_stats () in
+      let count tr =
+        s_stats.paths <- s_stats.paths + 1;
+        s_stats.events <-
+          s_stats.events
+          + List.fold_left
+              (fun n e -> if Event.is_marker e then n else n + 1)
+              0 tr;
+        tr
+      in
+      (* one consumer per root: [lz_seqs] holds suspended state, so
+         distinct roots must not share it across domains *)
+      let lm =
+        {
+          lz_config = config;
+          lz_intra = intra;
+          lz_cyclic = cyclic_pass1;
+          lz_cyc_set = cyc_set;
+          lz_seqs = Hashtbl.create 32;
+        }
+      in
+      let traces =
+        if List.mem r streamed then
+          match List.find_opt (fun f -> Nvmir.Func.name f = r) funcs with
+          | None -> Seq.empty
+          | Some f ->
+            Seq.map count
+              (Seq.take config.max_paths
+                 (Seq.concat_map (expand_lazy lm)
+                    (stream_function ~events config dsg ~stats:s_stats f)))
+        else if Hashtbl.mem cyc_set r then begin
+          (* a recursive root needs its bounded-unrolling fixpoint,
+             materialized during prepare *)
+          let ts = Option.value ~default:[] (Hashtbl.find_opt cyclic_cur r) in
+          s_stats.peak_live <- List.length ts;
+          Seq.map count (List.to_seq ts)
+        end
+        else begin
+          (* called-from-elsewhere root: lazily expanded like a callee;
+             its intra traces are materialized, so count those as live *)
+          s_stats.peak_live <-
+            List.length
+              (Option.value ~default:[] (Hashtbl.find_opt intra r));
+          match lazy_entry lm r with
+          | None -> Seq.empty
+          | Some s -> Seq.map count s
+        end
+      in
+      { root = r; s_stats; traces })
+    requested
 
 let pp ppf (trace : t) =
   Fmt.pf ppf "@[<v 2>trace (%d events)@ %a@]" (List.length trace)

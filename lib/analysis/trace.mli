@@ -1,6 +1,8 @@
 (** Trace collection (§4.3): bounded depth-first path enumeration per
     function, then memoized bottom-up splicing of callee traces into
-    callers at call sites (Figure 11). *)
+    callers at call sites (Figure 11). [collect] materializes every
+    trace (the differential oracle); [stream] enumerates a root's paths
+    lazily with O(live paths) peak memory. *)
 
 type t = Event.t list
 
@@ -8,8 +10,18 @@ val events_of_instr : Dsa.Dsg.t -> fname:string -> Nvmir.Instr.t -> Event.t list
 (** The events one instruction contributes; writes and flushes the DSG
     proves volatile contribute nothing. *)
 
-val collect_function : Config.t -> Dsa.Dsg.t -> Nvmir.Func.t -> t list
-(** Phase 1: intra-procedural traces, with unexpanded call marks. *)
+type block_events
+(** Per-(function, block) cache of resolved events with hash-consed
+    abstract addresses: each block is resolved through the DSG once
+    instead of once per path crossing it. *)
+
+val precompute_block_events : Dsa.Dsg.t -> Nvmir.Prog.t -> block_events
+
+val collect_function :
+  ?events:block_events -> Config.t -> Dsa.Dsg.t -> Nvmir.Func.t -> t list
+(** Phase 1: intra-procedural traces, with unexpanded call marks.
+    [events] substitutes the precomputed per-block cache for
+    instruction-by-instruction resolution. *)
 
 val collect :
   ?config:Config.t ->
@@ -17,8 +29,38 @@ val collect :
   Dsa.Dsg.t ->
   Nvmir.Prog.t ->
   (string * t list) list
-(** Fully-expanded traces per root. [roots] defaults to the call-graph
-    roots (functions never called within the program). *)
+(** Fully-expanded traces per root, all materialized. [roots] defaults
+    to the call-graph roots (functions never called within the
+    program). *)
+
+(** {1 Streaming engine} *)
+
+type stats = {
+  mutable peak_live : int;
+      (** high-water mark of simultaneously-live path frames *)
+  mutable paths : int;  (** paths yielded so far *)
+  mutable events : int;  (** non-marker events across yielded paths *)
+}
+
+type source = {
+  root : string;
+  s_stats : stats;  (** updated as [traces] is forced *)
+  traces : t Seq.t;
+}
+
+val stream :
+  ?config:Config.t ->
+  ?roots:string list ->
+  Dsa.Dsg.t ->
+  Nvmir.Prog.t ->
+  source list
+(** One lazy trace sequence per root, enumerating exactly the traces
+    {!collect} returns, in the same order. All DSG resolution happens
+    before this returns; forcing the sequences only reads shared state,
+    so distinct roots may be consumed from distinct domains (compress
+    the arena first — see {!Dsa.Arena.compress}). Each sequence is
+    single-shot per domain: it shares memoized suffixes internally but
+    the intra-procedural walk restarts if re-forced from the head. *)
 
 val pp : t Fmt.t
 

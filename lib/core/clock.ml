@@ -1,0 +1,16 @@
+(* Monotonic elapsed-time measurement.
+
+   Every perf number the toolkit reports (Table 9 overheads, bench
+   throughput, sweep timings) used to come from [Unix.gettimeofday],
+   which jumps under NTP adjustments and makes nonsense of short
+   intervals. [Monotonic_clock] (CLOCK_MONOTONIC) is immune to clock
+   adjustments; wall-clock remains available for timestamps only. *)
+
+type t = int64 (* nanoseconds from an arbitrary origin *)
+
+let now () : t = Monotonic_clock.now ()
+
+let elapsed_s (t0 : t) : float =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+
+let span_s (t0 : t) (t1 : t) : float = Int64.to_float (Int64.sub t1 t0) /. 1e9

@@ -1,0 +1,13 @@
+(** Monotonic elapsed-time measurement (CLOCK_MONOTONIC), immune to
+    wall-clock adjustments. Use for every perf number; keep
+    [Unix.gettimeofday] for timestamps only. *)
+
+type t
+(** An instant: nanoseconds from an arbitrary origin. *)
+
+val now : unit -> t
+val elapsed_s : t -> float
+(** Seconds from the instant to now. *)
+
+val span_s : t -> t -> float
+(** [span_s t0 t1] is the seconds from [t0] to [t1]. *)

@@ -48,12 +48,12 @@ let sweep ?domains ?config ?bound ?seed ?oracle (jobs : job list) :
   let done_work =
     Parallel.map ?domains
       (fun (j, task) ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         let r =
           Runtime.Crash_space.explore_task ?config ~entry:j.entry ~args:j.args
             ?bound ?seed ?oracle ~task j.prog
         in
-        (j.name, r, Unix.gettimeofday () -. t0))
+        (j.name, r, Clock.elapsed_s t0))
       work
   in
   List.map

@@ -73,28 +73,28 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
       m "analyzing %d function(s) against the %a model (%a)"
         (List.length (Nvmir.Prog.funcs prog))
         Analysis.Model.pp t.model Analysis.Config.pp t.config);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let static =
     Analysis.Checker.check ~config:t.config ~field_sensitive:t.field_sensitive
       ~persistent_roots ?roots ~model:t.model prog
   in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Clock.now () in
   Log.info (fun m ->
       m "static: %d trace(s), %d event(s), %d warning(s) in %.1f ms"
         static.Analysis.Checker.trace_count static.Analysis.Checker.event_count
         (List.length static.Analysis.Checker.warnings)
-        ((t1 -. t0) *. 1000.));
+        (Clock.span_s t0 t1 *. 1000.));
   let dynamic, dyn_warnings =
     if t.run_dynamic then run_dynamic_analysis t ?entry ?args prog
     else (Dynamic_skipped "dynamic analysis disabled", [])
   in
-  let t2 = Unix.gettimeofday () in
+  let t2 = Clock.now () in
   (match dynamic with
   | Dynamic_ok (s, ws) ->
     Log.info (fun m ->
         m "dynamic: %a; %d warning(s) in %.1f ms" Runtime.Dynamic.pp_summary s
           (List.length ws)
-          ((t2 -. t1) *. 1000.))
+          (Clock.span_s t1 t2 *. 1000.))
   | Dynamic_skipped reason -> Log.debug (fun m -> m "dynamic skipped: %s" reason));
   let warnings =
     Analysis.Warning.dedup (static.Analysis.Checker.warnings @ dyn_warnings)
@@ -121,8 +121,8 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
     dynamic;
     warnings;
     crash_space;
-    elapsed_static = t1 -. t0;
-    elapsed_dynamic = t2 -. t1;
+    elapsed_static = Clock.span_s t0 t1;
+    elapsed_dynamic = Clock.span_s t1 t2;
   }
 
 (* The "baseline compilation" of Table 9: a full front-end pass with no
@@ -130,7 +130,7 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
    validate, and build CFGs and the call graph. Returns elapsed
    seconds. *)
 let baseline_compile prog =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let text = Fmt.str "%a" Nvmir.Prog.pp prog in
   let reparsed = Nvmir.Parser.parse text in
   ignore (Nvmir.Prog.validate reparsed);
@@ -138,7 +138,7 @@ let baseline_compile prog =
     (fun f -> ignore (Graphs.Cfg.of_func f))
     (Nvmir.Prog.funcs reparsed);
   ignore (Graphs.Callgraph.of_prog reparsed);
-  Unix.gettimeofday () -. t0
+  Clock.elapsed_s t0
 
 let violations r =
   List.filter

@@ -3,58 +3,19 @@
    batch jobs — CI over a corpus, the evaluation's 16-program sweep —
    fan out over OCaml 5 domains.
 
-   The pool is deliberately simple: one domain per chunk of work, results
-   gathered in submission order. Analyses share nothing (each builds its
-   own DSG), so no synchronization beyond join is needed. *)
+   All fan-out goes through the process-wide persistent [Pool]: worker
+   domains are spawned once and reused across submissions (the old
+   implementation forked and joined fresh domains on every call), and
+   the same pool serves the checker's per-root fan-out, so nested
+   submissions compose instead of oversubscribing the machine. *)
 
-let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+let default_domains () = Pool.default_size ()
 
-(* Run [f] over [items] on [domains] domains; results keep order. If a
-   worker raises, the first exception wins: the other workers stop
-   claiming items, every spawned domain is joined, and the exception is
-   re-raised with its original backtrace — the join never hangs and no
-   domain is leaked. *)
-let map ?(domains = default_domains ()) (f : 'a -> 'b) (items : 'a list) :
-    'b list =
-  let n = List.length items in
-  if n = 0 then []
-  else begin
-    let domains = max 1 (min domains n) in
-    let arr = Array.of_list items in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure :
-        (exn * Printexc.raw_backtrace) option Atomic.t =
-      Atomic.make None
-    in
-    let worker () =
-      let rec loop () =
-        if Atomic.get failure = None then begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            (match f arr.(i) with
-            | r -> results.(i) <- Some r
-            | exception e ->
-              let bt = Printexc.get_raw_backtrace () in
-              ignore
-                (Atomic.compare_and_set failure None (Some (e, bt))));
-            loop ()
-          end
-        end
-      in
-      loop ()
-    in
-    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
-      Array.to_list
-        (Array.map
-           (function Some r -> r | None -> invalid_arg "Parallel.map: hole")
-           results)
-  end
+(* Run [f] over [items] on up to [domains] cooperating domains; results
+   keep order. If a worker raises, the first exception wins and is
+   re-raised with its original backtrace; the pool survives. *)
+let map ?domains (f : 'a -> 'b) (items : 'a list) : 'b list =
+  Pool.map ?domains (Pool.default ()) f items
 
 type corpus_result = {
   program : string;
@@ -73,7 +34,7 @@ let check_many ?domains ?(config = Analysis.Config.default)
     corpus_result list =
   map ?domains
     (fun (program, model, prog, roots) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let result =
         Analysis.Checker.check ~config ~field_sensitive ~roots ~model prog
       in
@@ -81,7 +42,7 @@ let check_many ?domains ?(config = Analysis.Config.default)
         program;
         model;
         warnings = result.Analysis.Checker.warnings;
-        elapsed_s = Unix.gettimeofday () -. t0;
+        elapsed_s = Clock.elapsed_s t0;
       })
     jobs
 

@@ -1,14 +1,17 @@
 (** Multicore analysis driver (OCaml 5 domains): whole-program checking
-    shares nothing across programs, so batch jobs fan out over a domain
-    pool. *)
+    shares nothing across programs, so batch jobs fan out over the
+    process-wide persistent {!Pool} — workers are spawned once and
+    reused across submissions. *)
 
 val default_domains : unit -> int
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel map preserving order. [domains] defaults to
-    [recommended_domain_count - 1], capped at 8. If a worker raises, the
-    remaining work is abandoned, every domain is joined, and the first
-    exception is re-raised with its backtrace. *)
+(** Parallel map preserving order, on the shared pool. [domains] caps
+    the domains cooperating on this call (default: the pool size,
+    [recommended_domain_count - 1] capped at 8). If a worker raises, the
+    remaining work is abandoned and the first exception is re-raised
+    with its backtrace; the pool survives. Safe to call from inside a
+    worker (nested submission). *)
 
 type corpus_result = {
   program : string;

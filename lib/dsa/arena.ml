@@ -55,14 +55,25 @@ let fresh t ?ty ?(persistent = false) ?(heap = false) ?(unknown = false) () =
   t.len <- t.len + 1;
   id
 
+(* The write is guarded so that after [compress] a fully-compressed
+   arena answers [find] without mutating — concurrent readers (the
+   parallel per-root checking phase) then never race on [parent]. *)
 let rec find t id =
   let n = node t id in
   if n.parent = id then id
   else begin
     let root = find t n.parent in
-    n.parent <- root;
+    if n.parent <> root then n.parent <- root;
     root
   end
+
+(* Point every node directly at its canonical representative. Once all
+   unions are done, this freezes the union-find: subsequent [find]s are
+   pure lookups, safe to issue from multiple domains. *)
+let compress t =
+  for i = 0 to t.len - 1 do
+    ignore (find t i)
+  done
 
 let canonical t id = node t (find t id)
 

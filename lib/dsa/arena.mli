@@ -39,6 +39,11 @@ val fresh :
 val find : t -> int -> int
 (** Canonical representative (with path compression). *)
 
+val compress : t -> unit
+(** Fully compress every node's parent chain. After this (and absent
+    further unions), [find] and [canonical] are read-only and safe to
+    call from multiple domains concurrently. *)
+
 val canonical : t -> int -> node
 
 val unify : t -> int -> int -> unit

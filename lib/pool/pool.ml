@@ -1,0 +1,299 @@
+(* Persistent domain pool.
+
+   The analysis pipeline is embarrassingly parallel at several levels
+   (programs of a corpus sweep, crash points of a crash-space sweep,
+   analysis roots and function bodies inside one static check), but the
+   old driver spawned-and-joined fresh domains on every [Parallel.map]
+   call — domain creation is a milliseconds-scale operation, so batch
+   jobs paid a per-call fork/join tax that dwarfed small work items.
+
+   This pool is created once and reused for the life of the process:
+
+   - Worker domains are spawned lazily (first submission) and then kept,
+     parked on a condition variable between jobs.
+   - A submission publishes a chunked task descriptor; parked workers
+     wake and steal chunks from it via an atomic claim counter, and the
+     submitting domain itself drains chunks too (helping), so a
+     submission never waits for a parked worker to make progress.
+   - Nested submissions from inside a worker are safe: the nested
+     submitter helps drain its own descriptor and only ever blocks on
+     chunks that some other domain is actively executing, so the
+     wait-for graph cannot cycle.
+   - If a task raises, the first exception wins: claiming stops, every
+     in-flight chunk finishes, and the exception is re-raised at the
+     submission point with its original backtrace. The pool itself
+     survives and is reusable afterwards.
+
+   The pool is deliberately free of any project dependency so that both
+   the analysis layer (per-function collection, per-root checking) and
+   the core layer (corpus sweeps, crash sweeps) can share one instance. *)
+
+type stats = {
+  size : int;  (** target number of worker domains *)
+  alive : int;  (** workers currently spawned *)
+  spawned_total : int;  (** workers ever spawned (reuse indicator) *)
+  jobs : int;  (** submissions completed *)
+  chunks : int;  (** chunks executed across all jobs *)
+}
+
+(* One parallel-map submission: a bag of [nchunks] chunks claimed via
+   [next]. [inflight] counts claimed-but-unfinished chunks; it is
+   incremented before the claim so a waiter can never observe
+   "exhausted and idle" while a chunk is between claim and execution. *)
+type desc = {
+  run_chunk : int -> unit;
+  nchunks : int;
+  next : int Atomic.t;
+  inflight : int Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  d_mutex : Mutex.t;
+  d_cond : Condition.t; (* signaled as chunks complete *)
+  mutable helpers : int; (* workers that joined; bounded by max_helpers *)
+  max_helpers : int;
+}
+
+type t = {
+  mutable target : int;
+  mutable workers : unit Domain.t list;
+  mutable pending : desc list; (* open submissions, FIFO *)
+  mutable shutdown : bool;
+  mutable spawned_total : int;
+  q_mutex : Mutex.t;
+  q_cond : Condition.t; (* signaled on submission / shutdown *)
+  jobs_done : int Atomic.t;
+  chunks_run : int Atomic.t;
+}
+
+let recommended_size () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let exhausted d =
+  Atomic.get d.next >= d.nchunks || Atomic.get d.failure <> None
+
+let finished d = exhausted d && Atomic.get d.inflight = 0
+
+(* Claim and run chunks of [d] until it is exhausted. Runs on workers
+   and on the submitting domain alike. *)
+let drain pool d =
+  let rec loop () =
+    if Atomic.get d.failure <> None then ()
+    else begin
+      Atomic.incr d.inflight;
+      let i = Atomic.fetch_and_add d.next 1 in
+      if i >= d.nchunks then begin
+        (* nothing claimed: undo and let waiters re-evaluate *)
+        Atomic.decr d.inflight;
+        Mutex.lock d.d_mutex;
+        Condition.broadcast d.d_cond;
+        Mutex.unlock d.d_mutex
+      end
+      else begin
+        (match d.run_chunk i with
+        | () -> ()
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set d.failure None (Some (e, bt))));
+        Atomic.incr pool.chunks_run;
+        Atomic.decr d.inflight;
+        Mutex.lock d.d_mutex;
+        Condition.broadcast d.d_cond;
+        Mutex.unlock d.d_mutex;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let remove_pending pool d =
+  Mutex.lock pool.q_mutex;
+  pool.pending <- List.filter (fun d' -> d' != d) pool.pending;
+  Mutex.unlock pool.q_mutex
+
+let rec worker_loop pool =
+  Mutex.lock pool.q_mutex;
+  let rec get () =
+    if pool.shutdown then None
+    else begin
+      pool.pending <- List.filter (fun d -> not (exhausted d)) pool.pending;
+      match
+        List.find_opt (fun d -> d.helpers < d.max_helpers) pool.pending
+      with
+      | Some d ->
+        d.helpers <- d.helpers + 1;
+        Some d
+      | None ->
+        Condition.wait pool.q_cond pool.q_mutex;
+        get ()
+    end
+  in
+  let claimed = get () in
+  Mutex.unlock pool.q_mutex;
+  match claimed with
+  | None -> () (* shutdown: the domain exits *)
+  | Some d ->
+    drain pool d;
+    remove_pending pool d;
+    worker_loop pool
+
+let create ?size () =
+  let target = match size with Some n -> max 1 n | None -> recommended_size () in
+  {
+    target;
+    workers = [];
+    pending = [];
+    shutdown = false;
+    spawned_total = 0;
+    q_mutex = Mutex.create ();
+    q_cond = Condition.create ();
+    jobs_done = Atomic.make 0;
+    chunks_run = Atomic.make 0;
+  }
+
+(* Spawn missing workers, up to [target - 1]: the submitting domain is
+   itself the remaining unit of parallelism. Called under no lock; the
+   worker-list update is guarded. *)
+let ensure_workers pool =
+  Mutex.lock pool.q_mutex;
+  let missing = pool.target - 1 - List.length pool.workers in
+  if missing > 0 && not pool.shutdown then begin
+    for _ = 1 to missing do
+      pool.workers <- Domain.spawn (fun () -> worker_loop pool) :: pool.workers;
+      pool.spawned_total <- pool.spawned_total + 1
+    done
+  end;
+  Mutex.unlock pool.q_mutex
+
+let shutdown pool =
+  Mutex.lock pool.q_mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.q_cond;
+  let ws = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.q_mutex;
+  List.iter Domain.join ws;
+  Mutex.lock pool.q_mutex;
+  pool.shutdown <- false;
+  Mutex.unlock pool.q_mutex
+
+let resize pool n =
+  let n = max 1 n in
+  if n <> pool.target then begin
+    shutdown pool;
+    pool.target <- n
+  end
+
+let size pool = pool.target
+
+let stats pool =
+  Mutex.lock pool.q_mutex;
+  let alive = List.length pool.workers in
+  let spawned_total = pool.spawned_total in
+  Mutex.unlock pool.q_mutex;
+  {
+    size = pool.target;
+    alive;
+    spawned_total;
+    jobs = Atomic.get pool.jobs_done;
+    chunks = Atomic.get pool.chunks_run;
+  }
+
+(* Parallel map preserving submission order. [domains] caps the number
+   of domains cooperating on this job (submitter included); it defaults
+   to the pool size. [chunk] is the number of consecutive items per
+   claimed chunk (default: items spread ~4 chunks per cooperating
+   domain, so stealing stays cheap but imbalanced items still
+   rebalance). *)
+let map ?domains ?chunk pool (f : 'a -> 'b) (items : 'a list) : 'b list =
+  let n = List.length items in
+  if n = 0 then []
+  else begin
+    let budget =
+      match domains with
+      | Some d -> max 1 (min d pool.target)
+      | None -> pool.target
+    in
+    let budget = min budget n in
+    let arr = Array.of_list items in
+    let results : 'b option array = Array.make n None in
+    let chunk_size =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (budget * 4))
+    in
+    let nchunks = (n + chunk_size - 1) / chunk_size in
+    let d =
+      {
+        run_chunk =
+          (fun i ->
+            let lo = i * chunk_size in
+            let hi = min n (lo + chunk_size) - 1 in
+            for j = lo to hi do
+              results.(j) <- Some (f arr.(j))
+            done);
+        nchunks;
+        next = Atomic.make 0;
+        inflight = Atomic.make 0;
+        failure = Atomic.make None;
+        d_mutex = Mutex.create ();
+        d_cond = Condition.create ();
+        helpers = 0;
+        max_helpers = budget - 1;
+      }
+    in
+    if d.max_helpers > 0 then begin
+      ensure_workers pool;
+      Mutex.lock pool.q_mutex;
+      pool.pending <- pool.pending @ [ d ];
+      Condition.broadcast pool.q_cond;
+      Mutex.unlock pool.q_mutex
+    end;
+    drain pool d;
+    Mutex.lock d.d_mutex;
+    while not (finished d) do
+      Condition.wait d.d_cond d.d_mutex
+    done;
+    Mutex.unlock d.d_mutex;
+    if d.max_helpers > 0 then remove_pending pool d;
+    Atomic.incr pool.jobs_done;
+    match Atomic.get d.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> invalid_arg "Pool.map: hole")
+           results)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide default pool, shared by every analysis layer. *)
+
+let default_mutex = Mutex.create ()
+let default_pool : t option ref = ref None
+let requested_size : int option ref = ref None
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ?size:!requested_size () in
+      default_pool := Some p;
+      (* park-and-join on process exit so no domain outlives main *)
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let set_default_size n =
+  Mutex.lock default_mutex;
+  requested_size := Some (max 1 n);
+  let existing = !default_pool in
+  Mutex.unlock default_mutex;
+  match existing with Some p -> resize p (max 1 n) | None -> ()
+
+let default_size () =
+  match !requested_size with
+  | Some n -> n
+  | None -> (
+    match !default_pool with Some p -> p.target | None -> recommended_size ())

@@ -1,0 +1,33 @@
+The checker-throughput section prints a three-configuration table.
+Timings and counts vary per host, so digits are normalized away and
+runs of spaces collapsed; the shape and labels are deterministic:
+
+  $ deepmc-bench perf | sed -E 's/[0-9]+(\.[0-9]+)?/N/g; s/ +/ /g'
+  
+  Checker throughput: streaming engine + persistent domain pool
+  =============================================================
+  workload: N programs, N events per sweep, best of N
+  ------------------------------------------------------------------------------------------------
+  legacy (materialized, N domain) N ms N events/s N peak paths
+  streaming (N domain) N ms N events/s N peak paths
+  streaming (N domains) N ms N events/s N peak paths
+  ------------------------------------------------------------------------------------------------
+  speedup vs legacy: Nx; speedup vs N domain: Nx
+  peak live paths: N streaming vs N materialized
+
+
+With --json the same run also writes BENCH_checker.json next to the
+working directory, carrying one record per configuration plus the two
+speedup ratios:
+
+  $ deepmc-bench perf --json > /dev/null
+  $ grep -c '"events_per_sec"' BENCH_checker.json
+  3
+  $ grep -c '"peak_paths"' BENCH_checker.json
+  3
+  $ grep -o '"speedup_vs_legacy"' BENCH_checker.json
+  "speedup_vs_legacy"
+  $ grep -o '"speedup_vs_1_domain"' BENCH_checker.json
+  "speedup_vs_1_domain"
+  $ grep -o '"domains"' BENCH_checker.json
+  "domains"

@@ -21,6 +21,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("scoped", Test_scoped.suite);
       ("parallel", Test_parallel.suite);
+      ("stream", Test_stream.suite);
       ("strand-store", Test_strand_store.suite);
       ("durability", Test_durability.suite);
       ("misc", Test_misc.suite);
