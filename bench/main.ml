@@ -323,26 +323,45 @@ let bar pct =
   let n = max 0 (min 60 (int_of_float (pct *. 2.))) in
   String.make n '#'
 
-let figure12 () =
+(* Client-domain scaling of the pool-driven harness: the same workload
+   and transaction count at 1 client vs N. On a single-core host the
+   pool degrades to sequential in-submitter execution and the speedup
+   stays ~1x; the measurement is recorded either way. *)
+let figure12_scaling () =
+  let mix = List.hd Workloads.Memslap.mixes in
+  let label, _ = mix in
+  let clients = 4 in
+  let run n =
+    (Workloads.Memslap.comparison ~clients:n ~txs mix)
+      .Workloads.Harness.baseline
+      .Workloads.Harness.throughput
+  in
+  let tps1 = run 1 in
+  let tpsn = run clients in
+  (label, clients, tps1, tpsn, tpsn /. tps1)
+
+let figure12 ?(json = false) () =
   section "Figure 12: throughput impact of the dynamic analysis";
+  Fmt.pr "execution: concurrent client domains on the shared pool (%d)@."
+    (Pool.default_size ());
   let series =
     [
-      ( "Memcached",
+      ( "Memcached", 4,
         List.map
           (fun m -> Workloads.Memslap.comparison ~clients:4 ~txs m)
           Workloads.Memslap.mixes );
-      ( "Redis",
+      ( "Redis", 50,
         List.map
           (fun m -> Workloads.Redis_bench.comparison ~clients:50 ~txs m)
           Workloads.Redis_bench.mixes );
-      ( "NStore",
+      ( "NStore", 4,
         List.map
           (fun m -> Workloads.Ycsb.comparison ~clients:4 ~txs m)
           Workloads.Ycsb.mixes );
     ]
   in
   List.iter
-    (fun (app, comps) ->
+    (fun (app, _clients, comps) ->
       Fmt.pr "@.%s (%d transactions per mix):@." app txs;
       List.iter
         (fun c -> Fmt.pr "  %a@." Workloads.Harness.pp_comparison c)
@@ -362,7 +381,60 @@ let figure12 () =
       Fmt.pr
         "  measured overhead band: %.1f%% .. %.1f%% (paper: %.1f%% .. %.1f%%)@."
         (max 0. lo) hi plo phi)
-    series
+    series;
+  let scale_mix, scale_clients, tps1, tpsn, speedup = figure12_scaling () in
+  Fmt.pr "@.client-domain scaling (%s, %d tx baseline, no checker):@."
+    scale_mix txs;
+  Fmt.pr "  1 client:  %10.0f tx/s@." tps1;
+  Fmt.pr "  %d clients: %10.0f tx/s (%.2fx)@." scale_clients tpsn speedup;
+  if Pool.recommended_size () = 1 then
+    Fmt.pr
+      "  (single-core host: the pool runs client tasks sequentially, so \
+       ~1x is expected here)@.";
+  if json then begin
+    let all_overheads =
+      List.concat_map
+        (fun (_, _, comps) ->
+          List.map (fun c -> c.Workloads.Harness.overhead_pct) comps)
+        series
+    in
+    let band_lo = List.fold_left min infinity all_overheads
+    and band_hi = List.fold_left max neg_infinity all_overheads in
+    let oc = open_out "BENCH_dynamic.json" in
+    let mix_obj app (c : Workloads.Harness.comparison) =
+      Fmt.str
+        "    {\"app\": \"%s\", \"label\": \"%s\", \"clients\": %d, \
+         \"baseline_tps\": %.0f, \"checked_tps\": %.0f, \"overhead_pct\": \
+         %.2f}"
+        app c.Workloads.Harness.baseline.Workloads.Harness.label
+        c.Workloads.Harness.baseline.Workloads.Harness.clients
+        c.Workloads.Harness.baseline.Workloads.Harness.throughput
+        c.Workloads.Harness.with_checker.Workloads.Harness.throughput
+        c.Workloads.Harness.overhead_pct
+    in
+    let mixes_json =
+      List.concat_map
+        (fun (app, _, comps) -> List.map (mix_obj app) comps)
+        series
+      |> String.concat ",\n"
+    in
+    Printf.fprintf oc
+      "{\n\
+       \  \"txs\": %d,\n\
+       \  \"pool_domains\": %d,\n\
+       \  \"mixes\": [\n\
+       %s\n\
+       \  ],\n\
+       \  \"overhead_band_pct\": {\"min\": %.2f, \"max\": %.2f},\n\
+       \  \"paper_band_pct\": {\"min\": 1.7, \"max\": 16.1},\n\
+       \  \"scaling\": {\"mix\": \"%s\", \"txs\": %d, \"clients\": %d, \
+       \"baseline_tps\": [%.0f, %.0f], \"speedup\": %.2f}\n\
+       }\n"
+      txs (Pool.default_size ()) mixes_json (max 0. band_lo) band_hi scale_mix
+      txs scale_clients tps1 tpsn speedup;
+    close_out oc;
+    Fmt.pr "wrote BENCH_dynamic.json@."
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fixing the performance bugs improves application performance (5.1) *)
@@ -956,7 +1028,7 @@ let sections : (string * (unit -> unit)) list =
     ("table9", table9);
     ("figure10", figure10);
     ("figure11", figure11);
-    ("figure12", figure12);
+    ("figure12", figure12 ?json:None);
     ("perffix", perffix);
     ("completeness", completeness);
     ("falsepos", falsepos);
@@ -972,6 +1044,7 @@ let () =
   match Sys.argv with
   | [| _ |] -> List.iter (fun (_, f) -> f ()) sections
   | [| _; "perf"; "--json" |] -> perf ~json:true ()
+  | [| _; "figure12"; "--json" |] -> figure12 ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name sections with
     | Some f -> f ()

@@ -73,6 +73,15 @@ let entry_term =
 let no_dynamic_term =
   Arg.(value & flag & info [ "no-dynamic" ] ~doc:"Skip the dynamic analysis.")
 
+let clients_term =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ] ~docv:"N"
+        ~doc:
+          "Run the dynamic analysis from N concurrent client domains, each \
+           executing the entry on its own heap under one checker (default \
+           1: single-domain).")
+
 let field_insensitive_term =
   Arg.(
     value & flag
@@ -157,8 +166,8 @@ let materialized_term =
            differential oracle) instead of the default streaming engine.")
 
 let check_cmd =
-  let run () model file entry no_dynamic field_insensitive suppressions json
-      pmem_roots html domains stats materialized =
+  let run () model file entry clients no_dynamic field_insensitive
+      suppressions json pmem_roots html domains stats materialized =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
@@ -176,7 +185,8 @@ let check_cmd =
         ~run_dynamic:(not no_dynamic) model
     in
     let report =
-      Deepmc.Driver.analyze driver ~persistent_roots:pmem_roots ?entry prog
+      Deepmc.Driver.analyze driver ~persistent_roots:pmem_roots ?entry ~clients
+        prog
     in
     if stats then begin
       let s = report.Deepmc.Driver.static in
@@ -226,9 +236,9 @@ let check_cmd =
     Term.(
       term_result
         (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
-       $ no_dynamic_term $ field_insensitive_term $ suppressions_term
-       $ json_term $ pmem_roots_term $ html_term $ domains_term $ stats_term
-       $ materialized_term))
+       $ clients_term $ no_dynamic_term $ field_insensitive_term
+       $ suppressions_term $ json_term $ pmem_roots_term $ html_term
+       $ domains_term $ stats_term $ materialized_term))
 
 (* Mixed-model checking: a map file with one "function model" pair per
    line assigns each analysis root its intended persistency model. *)

@@ -40,13 +40,17 @@ type report = {
   elapsed_dynamic : float;
 }
 
-let run_dynamic_analysis (t : t) ?entry ?args prog =
+(* Per-client object-id offset for multi-client dynamic runs; keeps
+   shadow-segment keys distinct across client heaps. *)
+let client_obj_id_stride = 1 lsl 20
+
+let run_dynamic_analysis (t : t) ?entry ?args ?(clients = 1) prog =
   match entry with
   | None -> (Dynamic_skipped "no entry point", [])
   | Some entry -> (
     match Nvmir.Prog.find_func prog entry with
     | None -> (Dynamic_skipped (Fmt.str "entry %s not defined" entry), [])
-    | Some _ -> (
+    | Some _ when clients <= 1 -> (
       let pmem = Runtime.Pmem.create () in
       let checker = Runtime.Dynamic.create ~model:t.model () in
       Runtime.Dynamic.attach checker pmem;
@@ -62,12 +66,43 @@ let run_dynamic_analysis (t : t) ?entry ?args prog =
           Runtime.Dynamic.warnings checker )
       | Runtime.Interp.Out_of_fuel ->
         (Dynamic_skipped "execution exceeded fuel budget",
-         Runtime.Dynamic.warnings checker)))
+         Runtime.Dynamic.warnings checker))
+    | Some _ ->
+      (* N client domains execute the entry concurrently, each on its own
+         heap, observed by one checker through client-bound listeners.
+         The program and type env are read-only after parse, so sharing
+         them across domains is safe. *)
+      let checker = Runtime.Dynamic.create ~model:t.model () in
+      let failures =
+        Pool.map ~domains:clients ~chunk:1 (Pool.default ())
+          (fun c ->
+            let pmem =
+              Runtime.Pmem.create ~first_obj_id:(c * client_obj_id_stride) ()
+            in
+            Runtime.Dynamic.attach_client checker ~thread:c pmem;
+            let interp = Runtime.Interp.create ~pmem prog in
+            try
+              ignore (Runtime.Interp.run ~entry ?args interp);
+              None
+            with
+            | Runtime.Interp.Runtime_error (m, loc) ->
+              Some
+                (Fmt.str "client %d: runtime error at %a: %s" c Nvmir.Loc.pp
+                   loc m)
+            | Runtime.Interp.Out_of_fuel ->
+              Some (Fmt.str "client %d: execution exceeded fuel budget" c))
+          (List.init clients Fun.id)
+        |> List.filter_map Fun.id
+      in
+      let ws = Runtime.Dynamic.warnings checker in
+      (match failures with
+      | [] -> (Dynamic_ok (Runtime.Dynamic.summary checker, ws), ws)
+      | first :: _ -> (Dynamic_skipped first, ws)))
 
 (* Analyze a program. [persistent_roots] are the user's interface
    annotations: (function, variable) pairs known to reference NVM.
    [entry]/[args] drive the optional dynamic run. *)
-let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
+let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
     ?(explore_crash_images = false) ?crash_bound prog : report =
   Log.info (fun m ->
       m "analyzing %d function(s) against the %a model (%a)"
@@ -85,7 +120,7 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args
         (List.length static.Analysis.Checker.warnings)
         (Clock.span_s t0 t1 *. 1000.));
   let dynamic, dyn_warnings =
-    if t.run_dynamic then run_dynamic_analysis t ?entry ?args prog
+    if t.run_dynamic then run_dynamic_analysis t ?entry ?args ?clients prog
     else (Dynamic_skipped "dynamic analysis disabled", [])
   in
   let t2 = Clock.now () in

@@ -33,13 +33,17 @@ val analyze :
   ?roots:string list ->
   ?entry:string ->
   ?args:int list ->
+  ?clients:int ->
   ?explore_crash_images:bool ->
   ?crash_bound:int ->
   Nvmir.Prog.t ->
   report
 (** [persistent_roots] are the user's interface annotations;
     [roots] selects static-analysis roots; [entry]/[args] drive the
-    dynamic run (skipped when absent). [explore_crash_images] (default
+    dynamic run (skipped when absent). [clients] (default 1) executes
+    the entry from that many concurrent client domains, each on its own
+    heap, under one dynamic checker — warnings stay deterministically
+    ordered regardless of interleaving. [explore_crash_images] (default
     false) additionally runs {!Crash_sweep.explore_program} with the
     sequential oracle, capped at [crash_bound] images per crash
     point. *)

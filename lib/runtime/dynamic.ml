@@ -17,7 +17,18 @@
 
    Only accesses inside annotated regions are tracked (the paper's key
    overhead reduction over vanilla ThreadSanitizer), so cost scales with
-   the persistent write/read ratio of the workload. *)
+   the persistent write/read ratio of the workload.
+
+   Concurrency: all per-client state — the open region, the epoch write
+   log, the transaction depth, the warning buffer, the race counters —
+   lives in [thread_state], one per client. A listener obtained through
+   {!attach_client} is bound to its client's state, so listeners firing
+   on different domains never touch each other's state; the only shared
+   structures are the lock-striped shadow segment, the atomic barrier
+   counter, and the atomic stored-warning counter that enforces the
+   global cap. Warnings are aggregated (and deterministically sorted) at
+   summary time. The historical [set_thread]/[attach] interface remains
+   for single-domain interleaved replay. *)
 
 type region = No_region | In_epoch | In_strand of int
 
@@ -27,76 +38,128 @@ type thread_state = {
   mutable begin_fence : int; (* barrier count when the region began *)
   mutable epoch_writes : (Pmem.addr * Nvmir.Loc.t) list;
       (* writes of the open epoch, with their source locations *)
+  mutable tx_depth : int;
+      (* transactions are per-client: a client inside its own
+         transaction must not change how another client's flushes are
+         classified *)
+  mutable warnings : Analysis.Warning.t list; (* newest first *)
+  mutable warning_count : int; (* length of [warnings], kept explicit *)
+  mutable dropped : int;
+  mutable waw : int;
+  mutable raw : int;
+  mutable unflushed : int;
+  mutable redundant : int;
+  mutable pmem : Pmem.t option;
+      (* the heap this client's listener is bound to, for epoch-end
+         volatility queries; [None] falls back to the checker-wide
+         attachment *)
 }
 
 type t = {
   model : Analysis.Model.t;
   shadow : Shadow.t;
   max_warnings : int;
-  mutable warnings : Analysis.Warning.t list;
-  mutable dropped_warnings : int;
-  mutable races_waw : int;
-  mutable races_raw : int;
-  mutable unflushed_epoch_writes : int;
-  mutable redundant_flushes : int;
   threads : (int, thread_state) Hashtbl.t;
-  mutable current : thread_state;
-  mutable fence_count : int; (* global persist-barrier counter *)
-  mutable pmem : Pmem.t option;
-  mutable tx_depth : int;
-  ever_written : (int, unit) Hashtbl.t;
-      (* in-region writes seen, keyed like [Shadow.key] *)
+  threads_lock : Mutex.t; (* guards [threads]; state creation only *)
+  mutable current : thread_state; (* single-domain interleaved replay *)
+  fence_count : int Atomic.t; (* global persist-barrier counter *)
+  stored : int Atomic.t; (* warnings stored across all threads *)
+  mutable default_pmem : Pmem.t option;
 }
 
 let fresh_thread id =
-  { thread_id = id; region = No_region; begin_fence = 0; epoch_writes = [] }
+  {
+    thread_id = id;
+    region = No_region;
+    begin_fence = 0;
+    epoch_writes = [];
+    tx_depth = 0;
+    warnings = [];
+    warning_count = 0;
+    dropped = 0;
+    waw = 0;
+    raw = 0;
+    unflushed = 0;
+    redundant = 0;
+    pmem = None;
+  }
 
-let create ?(max_warnings = 10_000) ~model () =
+let create ?(max_warnings = 10_000) ?shards ~model () =
   let t0 = fresh_thread 0 in
   let threads = Hashtbl.create 8 in
   Hashtbl.replace threads 0 t0;
   {
     model;
-    shadow = Shadow.create ();
+    shadow = Shadow.create ?shards ();
     max_warnings;
-    warnings = [];
-    dropped_warnings = 0;
-    races_waw = 0;
-    races_raw = 0;
-    unflushed_epoch_writes = 0;
-    redundant_flushes = 0;
     threads;
+    threads_lock = Mutex.create ();
     current = t0;
-    fence_count = 0;
-    pmem = None;
-    tx_depth = 0;
-    ever_written = Hashtbl.create 256;
+    fence_count = Atomic.make 0;
+    stored = Atomic.make 0;
+    default_pmem = None;
   }
 
 let thread t id =
-  match Hashtbl.find_opt t.threads id with
-  | Some ts -> ts
-  | None ->
-    let ts = fresh_thread id in
-    Hashtbl.replace t.threads id ts;
-    ts
+  Mutex.lock t.threads_lock;
+  let ts =
+    match Hashtbl.find_opt t.threads id with
+    | Some ts -> ts
+    | None ->
+      let ts = fresh_thread id in
+      Hashtbl.replace t.threads id ts;
+      ts
+  in
+  Mutex.unlock t.threads_lock;
+  ts
 
-(* Multi-client workloads switch the active thread before each
-   operation; single-threaded IR programs never call this. *)
+(* Interleaved multi-client replay switches the active thread before
+   each operation; single-threaded IR programs never call this. *)
 let set_thread t id =
   if t.current.thread_id <> id then t.current <- thread t id
 
-let warnings t = List.rev t.warnings
+let thread_states t =
+  Mutex.lock t.threads_lock;
+  let ts = Hashtbl.fold (fun _ ts acc -> ts :: acc) t.threads [] in
+  Mutex.unlock t.threads_lock;
+  List.sort (fun a b -> Int.compare a.thread_id b.thread_id) ts
+
+(* Aggregated warnings, deterministically ordered (location, then rule,
+   then message) so concurrent executions report byte-for-byte the same
+   output as the sequential engine. *)
+let warnings t =
+  List.concat_map (fun ts -> List.rev ts.warnings) (thread_states t)
+  |> List.stable_sort (fun (a : Analysis.Warning.t) (b : Analysis.Warning.t) ->
+         match Nvmir.Loc.compare a.Analysis.Warning.loc b.Analysis.Warning.loc with
+         | 0 -> (
+           match
+             String.compare
+               (Analysis.Warning.rule_name a.Analysis.Warning.rule)
+               (Analysis.Warning.rule_name b.Analysis.Warning.rule)
+           with
+           | 0 ->
+             String.compare a.Analysis.Warning.message b.Analysis.Warning.message
+           | c -> c)
+         | c -> c)
+
 let shadow t = t.shadow
 
-let add_warning t ~rule ~loc ~fname message =
-  if List.length t.warnings >= t.max_warnings then
-    t.dropped_warnings <- t.dropped_warnings + 1
-  else
-    t.warnings <-
+(* The cap is global across threads: claim a stored slot with one
+   fetch-and-add (O(1), where the old implementation recomputed
+   [List.length] of the buffer on every warning) and roll back when the
+   cap was already reached. *)
+let add_warning t ts ~rule ~loc ~fname message =
+  if Atomic.fetch_and_add t.stored 1 >= t.max_warnings then begin
+    Atomic.decr t.stored;
+    ts.dropped <- ts.dropped + 1
+  end
+  else begin
+    ts.warnings <-
       Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ~rule
         ~model:t.model ~loc ~fname message
-      :: t.warnings
+      :: ts.warnings;
+    ts.warning_count <- ts.warning_count + 1
+  end
 
 let strand_of_region ts =
   match ts.region with
@@ -104,8 +167,7 @@ let strand_of_region ts =
   | In_epoch -> Some (-1 - ts.thread_id) (* epochs race only across threads *)
   | No_region -> None
 
-let on_write t addr loc =
-  let ts = t.current in
+let on_write t ts addr loc =
   match strand_of_region ts with
   | None -> ()
   | Some strand ->
@@ -113,8 +175,9 @@ let on_write t addr loc =
        strand regions defer barriers by design *)
     if ts.region = In_epoch then
       ts.epoch_writes <- (addr, loc) :: ts.epoch_writes;
-    Hashtbl.replace t.ever_written (Shadow.key ~obj_id:addr.Pmem.obj_id ~slot:addr.Pmem.slot) ();
-    let access = { Shadow.strand; fence_at = t.fence_count; loc } in
+    let access =
+      { Shadow.strand; fence_at = Atomic.get t.fence_count; loc }
+    in
     let conflicts =
       Shadow.record_write t.shadow ~obj_id:addr.Pmem.obj_id
         ~slot:addr.Pmem.slot ~begin_fence:ts.begin_fence access
@@ -123,8 +186,8 @@ let on_write t addr loc =
       (fun c ->
         match c with
         | `Waw (w : Shadow.access) ->
-          t.races_waw <- t.races_waw + 1;
-          add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+          ts.waw <- ts.waw + 1;
+          add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
             ~fname:"<runtime>"
             (Fmt.str
                "WAW race: strands %d and %d both write obj%d[%d] without an \
@@ -132,8 +195,8 @@ let on_write t addr loc =
                w.Shadow.strand strand addr.Pmem.obj_id addr.Pmem.slot
                Nvmir.Loc.pp w.Shadow.loc)
         | `Raw (r : Shadow.access) ->
-          t.races_raw <- t.races_raw + 1;
-          add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+          ts.raw <- ts.raw + 1;
+          add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
             ~fname:"<runtime>"
             (Fmt.str
                "RAW race: strand %d reads obj%d[%d] concurrently with strand \
@@ -142,19 +205,20 @@ let on_write t addr loc =
                Nvmir.Loc.pp r.Shadow.loc))
       conflicts
 
-let on_read t addr loc =
-  let ts = t.current in
+let on_read t ts addr loc =
   match strand_of_region ts with
   | None -> ()
   | Some strand -> (
-    let access = { Shadow.strand; fence_at = t.fence_count; loc } in
+    let access =
+      { Shadow.strand; fence_at = Atomic.get t.fence_count; loc }
+    in
     match
       Shadow.record_read t.shadow ~obj_id:addr.Pmem.obj_id ~slot:addr.Pmem.slot
         ~begin_fence:ts.begin_fence access
     with
     | Some (`Raw w) ->
-      t.races_raw <- t.races_raw + 1;
-      add_warning t ~rule:Analysis.Warning.Strand_dependence ~loc
+      ts.raw <- ts.raw + 1;
+      add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
         ~fname:"<runtime>"
         (Fmt.str
            "RAW race: read of obj%d[%d] is concurrent with strand %d's write \
@@ -167,27 +231,26 @@ let on_read t addr loc =
    whether the range was ever written inside a tracked region (multiple
    flushes / persist-same-in-tx) or never written at all (writing back
    unmodified data). *)
-let on_flush t ~obj_id ~first_slot ~nslots ~dirty loc =
-  let ts = t.current in
+let on_flush t ts ~obj_id ~first_slot ~nslots ~dirty loc =
   match strand_of_region ts with
   | None -> ()
   | Some _ ->
     if not dirty then begin
-      t.redundant_flushes <- t.redundant_flushes + 1;
+      ts.redundant <- ts.redundant + 1;
       let rec ever i =
         i < nslots
-        && (Hashtbl.mem t.ever_written (Shadow.key ~obj_id ~slot:(first_slot + i))
+        && (Shadow.ever_written t.shadow ~obj_id ~slot:(first_slot + i)
            || ever (i + 1))
       in
       if not (ever 0) then
-        add_warning t ~rule:Analysis.Warning.Flush_unmodified ~loc
+        add_warning t ts ~rule:Analysis.Warning.Flush_unmodified ~loc
           ~fname:"<runtime>"
           (Fmt.str
              "flush of obj%d[%d..%d] writes back data that was never modified"
              obj_id first_slot
              (first_slot + nslots - 1))
-      else if t.tx_depth > 0 then
-        add_warning t ~rule:Analysis.Warning.Persist_same_object_in_tx ~loc
+      else if ts.tx_depth > 0 then
+        add_warning t ts ~rule:Analysis.Warning.Persist_same_object_in_tx ~loc
           ~fname:"<runtime>"
           (Fmt.str
              "obj%d[%d..%d] persisted again within the same transaction with \
@@ -195,7 +258,7 @@ let on_flush t ~obj_id ~first_slot ~nslots ~dirty loc =
              obj_id first_slot
              (first_slot + nslots - 1))
       else
-        add_warning t ~rule:Analysis.Warning.Multiple_flushes ~loc
+        add_warning t ts ~rule:Analysis.Warning.Multiple_flushes ~loc
           ~fname:"<runtime>"
           (Fmt.str
              "redundant write-back of obj%d[%d..%d]: already flushed and \
@@ -204,21 +267,20 @@ let on_flush t ~obj_id ~first_slot ~nslots ~dirty loc =
              (first_slot + nslots - 1))
     end
 
-let on_fence t _loc = t.fence_count <- t.fence_count + 1
+let on_fence t _ts _loc = Atomic.incr t.fence_count
 
-let on_strand_begin t n _loc =
-  let ts = t.current in
+let on_strand_begin t ts n _loc =
   ts.region <- In_strand n;
-  ts.begin_fence <- t.fence_count
+  ts.begin_fence <- Atomic.get t.fence_count
 
-let on_strand_end t n _loc =
+let on_strand_end _t ts n _loc =
   ignore n;
-  t.current.region <- No_region
+  ts.region <- No_region
 
 let flush_epoch_report t ts _loc =
-  match t.pmem with
-  | None -> ts.epoch_writes <- []
-  | Some pm ->
+  match (ts.pmem, t.default_pmem) with
+  | None, None -> ts.epoch_writes <- []
+  | Some pm, _ | None, Some pm ->
     (* epochs are short (a handful of writes), so iterate directly *)
     let still_volatile =
       List.filter (fun (addr, _) -> Pmem.slot_state pm addr <> Pmem.Clean)
@@ -226,8 +288,8 @@ let flush_epoch_report t ts _loc =
     in
     List.iter
       (fun ((addr : Pmem.addr), wloc) ->
-        t.unflushed_epoch_writes <- t.unflushed_epoch_writes + 1;
-        add_warning t ~rule:Analysis.Warning.Unflushed_write ~loc:wloc
+        ts.unflushed <- ts.unflushed + 1;
+        add_warning t ts ~rule:Analysis.Warning.Unflushed_write ~loc:wloc
           ~fname:"<runtime>"
           (Fmt.str
              "epoch ends while the write to obj%d[%d] is still volatile; a \
@@ -236,38 +298,73 @@ let flush_epoch_report t ts _loc =
       still_volatile;
     ts.epoch_writes <- []
 
-let on_epoch_begin t _loc =
-  let ts = t.current in
+let on_epoch_begin t ts _loc =
   ts.region <- In_epoch;
   ts.epoch_writes <- [];
-  ts.begin_fence <- t.fence_count
+  ts.begin_fence <- Atomic.get t.fence_count
 
-let on_epoch_end t loc =
-  let ts = t.current in
+let on_epoch_end t ts loc =
   flush_epoch_report t ts loc;
   ts.region <- No_region
 
+(* A listener whose events are all attributed to the client [state]:
+   safe to fire from that client's domain concurrently with other
+   clients' listeners. *)
+let bound_listener t (state : thread_state) : Pmem.listener =
+  {
+    Pmem.null_listener with
+    Pmem.on_write = (fun addr loc -> on_write t state addr loc);
+    on_read = (fun addr loc -> on_read t state addr loc);
+    on_flush =
+      (fun ~obj_id ~first_slot ~nslots ~dirty loc ->
+        on_flush t state ~obj_id ~first_slot ~nslots ~dirty loc);
+    on_fence = (fun loc -> on_fence t state loc);
+    on_tx_begin = (fun _ -> state.tx_depth <- state.tx_depth + 1);
+    on_tx_end = (fun _ -> state.tx_depth <- max 0 (state.tx_depth - 1));
+    on_strand_begin = (fun n loc -> on_strand_begin t state n loc);
+    on_strand_end = (fun n loc -> on_strand_end t state n loc);
+    on_epoch_begin = (fun loc -> on_epoch_begin t state loc);
+    on_epoch_end = (fun loc -> on_epoch_end t state loc);
+  }
+
+(* The interleaved-replay listener: events go to whichever thread
+   [set_thread] last selected. Single-domain use only. *)
 let listener t : Pmem.listener =
   {
     Pmem.null_listener with
-    Pmem.on_write = (fun addr loc -> on_write t addr loc);
-    on_read = (fun addr loc -> on_read t addr loc);
+    Pmem.on_write = (fun addr loc -> on_write t t.current addr loc);
+    on_read = (fun addr loc -> on_read t t.current addr loc);
     on_flush =
       (fun ~obj_id ~first_slot ~nslots ~dirty loc ->
-        on_flush t ~obj_id ~first_slot ~nslots ~dirty loc);
-    on_fence = (fun loc -> on_fence t loc);
-    on_tx_begin = (fun _ -> t.tx_depth <- t.tx_depth + 1);
-    on_tx_end = (fun _ -> t.tx_depth <- max 0 (t.tx_depth - 1));
-    on_strand_begin = (fun n loc -> on_strand_begin t n loc);
-    on_strand_end = (fun n loc -> on_strand_end t n loc);
-    on_epoch_begin = (fun loc -> on_epoch_begin t loc);
-    on_epoch_end = (fun loc -> on_epoch_end t loc);
+        on_flush t t.current ~obj_id ~first_slot ~nslots ~dirty loc);
+    on_fence = (fun loc -> on_fence t t.current loc);
+    on_tx_begin =
+      (fun _ ->
+        let ts = t.current in
+        ts.tx_depth <- ts.tx_depth + 1);
+    on_tx_end =
+      (fun _ ->
+        let ts = t.current in
+        ts.tx_depth <- max 0 (ts.tx_depth - 1));
+    on_strand_begin = (fun n loc -> on_strand_begin t t.current n loc);
+    on_strand_end = (fun n loc -> on_strand_end t t.current n loc);
+    on_epoch_begin = (fun loc -> on_epoch_begin t t.current loc);
+    on_epoch_end = (fun loc -> on_epoch_end t t.current loc);
   }
 
-(* Attach the checker to a heap; subsequent operations are monitored. *)
+(* Attach the checker to a heap; subsequent operations are monitored,
+   attributed via [set_thread]. *)
 let attach t pm =
-  t.pmem <- Some pm;
+  t.default_pmem <- Some pm;
   Pmem.add_listener pm (listener t)
+
+(* Attach a client-bound listener: every event of [pm] is attributed to
+   [thread], with no shared mutable attribution state — the heap may be
+   driven from its own domain. *)
+let attach_client t ~thread:id pm =
+  let ts = thread t id in
+  ts.pmem <- Some pm;
+  Pmem.add_listener pm (bound_listener t ts)
 
 type summary = {
   waw : int;
@@ -280,14 +377,17 @@ type summary = {
 }
 
 let summary t =
+  let states = thread_states t in
+  let sum f = List.fold_left (fun acc ts -> acc + f ts) 0 states in
+  let dropped = sum (fun ts -> ts.dropped) in
   {
-    waw = t.races_waw;
-    raw = t.races_raw;
-    unflushed = t.unflushed_epoch_writes;
-    redundant = t.redundant_flushes;
+    waw = sum (fun ts -> ts.waw);
+    raw = sum (fun ts -> ts.raw);
+    unflushed = sum (fun ts -> ts.unflushed);
+    redundant = sum (fun ts -> ts.redundant);
     tracked_cells = Shadow.tracked_cells t.shadow;
-    warning_count = List.length t.warnings + t.dropped_warnings;
-    dropped = t.dropped_warnings;
+    warning_count = sum (fun ts -> ts.warning_count) + dropped;
+    dropped;
   }
 
 let pp_summary ppf s =

@@ -3,23 +3,41 @@
     {!Interp} or native code using {!Pmem} directly); it tracks accesses
     inside annotated regions in a shadow segment, detects WAW/RAW races
     between strands, reports writes still volatile at epoch boundaries,
-    and classifies redundant write-backs. *)
+    and classifies redundant write-backs.
+
+    The checker is safe to drive from several domains at once when each
+    domain's heap is attached with {!attach_client}: all per-client
+    state is private to that client, the shadow segment is lock-striped,
+    and warnings are aggregated (deterministically ordered) at summary
+    time. *)
 
 type t
 
-val create : ?max_warnings:int -> model:Analysis.Model.t -> unit -> t
+val create :
+  ?max_warnings:int -> ?shards:int -> model:Analysis.Model.t -> unit -> t
 (** [max_warnings] caps stored warnings (default 10000); occurrences
-    beyond the cap are still counted in the summary. *)
+    beyond the cap are still counted in the summary. [shards] is the
+    shadow-segment stripe count (see {!Shadow.create}). *)
 
 val attach : t -> Pmem.t -> unit
 (** Register the checker as a listener; subsequent operations are
-    monitored. *)
+    monitored and attributed to the thread selected by {!set_thread}.
+    Single-domain (interleaved replay) use only. *)
+
+val attach_client : t -> thread:int -> Pmem.t -> unit
+(** Register a listener bound to client [thread]: every event of this
+    heap is attributed to that client, with no shared attribution state,
+    so the heap may be driven from its own domain concurrently with
+    other clients'. *)
 
 val set_thread : t -> int -> unit
-(** Multi-client workloads switch the active thread before each
-    operation. *)
+(** Interleaved multi-client replay switches the active thread before
+    each operation (only affects heaps attached with {!attach}). *)
 
 val warnings : t -> Analysis.Warning.t list
+(** All stored warnings, sorted by (location, rule, message) — the same
+    order regardless of how client execution interleaved. *)
+
 val shadow : t -> Shadow.t
 
 type summary = {

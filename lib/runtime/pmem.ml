@@ -106,11 +106,12 @@ type t = {
          keeps fences O(outstanding flushes) instead of O(heap) *)
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default) ?(first_obj_id = 0) () =
+  if first_obj_id < 0 then invalid_arg "Pmem.create: negative first_obj_id";
   {
     config;
     objects = Hashtbl.create 64;
-    next_id = 0;
+    next_id = first_obj_id;
     listeners = [];
     stats = fresh_stats ();
     tx_stack = [];

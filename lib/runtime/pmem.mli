@@ -48,7 +48,11 @@ type stats = {
 
 type t
 
-val create : ?config:Config.t -> unit -> t
+val create : ?config:Config.t -> ?first_obj_id:int -> unit -> t
+(** [first_obj_id] offsets object-id allocation so heaps created for
+    concurrent clients never hand out the same id — shadow-segment keys
+    stay globally unique when one checker observes many heaps. *)
+
 val stats : t -> stats
 val config : t -> Config.t
 val add_listener : t -> listener -> unit

@@ -13,7 +13,13 @@
    happens-before a later access by a region begun at barrier count b
    iff they are by the same strand or b > f (a barrier intervened). The
    general vector-clock machinery lives in [Vclock] and is exercised by
-   the test suite; the checker uses the scalar form for speed. *)
+   the test suite; the checker uses the scalar form for speed.
+
+   Concurrency: the segment is sharded into lock-striped sub-tables so
+   listeners running on different client domains can record accesses
+   concurrently. A cell's whole read/write history lives in one shard,
+   so the conflict computation for an access happens atomically under
+   that shard's lock; the global counters are atomics. *)
 
 type access = {
   strand : int;
@@ -31,31 +37,74 @@ type cell = {
   mutable reads : access list; (* reads since the last write *)
 }
 
-(* Cells are keyed by an int encoding of (obj, slot) — [obj lsl 24 lor
-   slot] — so lookups avoid polymorphic hashing of tuples. Objects and
-   slots are both well below 2^24 in practice. *)
-let key ~obj_id ~slot = (obj_id lsl 24) lor slot
+(* Cells are keyed by an int encoding of (obj, slot) so lookups avoid
+   polymorphic hashing of tuples. The slot field is 30 bits wide; the
+   object id occupies the bits above it, which leaves 32 bits of object
+   ids on a 64-bit host. Out-of-range components are rejected instead of
+   silently aliasing another object's slots (which would fabricate
+   races). *)
+let slot_bits = 30
+let max_slot = (1 lsl slot_bits) - 1
+let max_obj_id = (1 lsl (Sys.int_size - 1 - slot_bits)) - 1
 
-type t = {
+let key ~obj_id ~slot =
+  if slot < 0 || slot > max_slot then
+    invalid_arg (Fmt.str "Shadow.key: slot %d outside [0, %d]" slot max_slot);
+  if obj_id < 0 || obj_id > max_obj_id then
+    invalid_arg
+      (Fmt.str "Shadow.key: obj_id %d outside [0, %d]" obj_id max_obj_id);
+  (obj_id lsl slot_bits) lor slot
+
+type shard = {
+  lock : Mutex.t;
   cells : (int, cell) Hashtbl.t;
-  mutable tracked_writes : int;
-  mutable tracked_reads : int;
 }
 
-let create () =
-  { cells = Hashtbl.create 1024; tracked_writes = 0; tracked_reads = 0 }
+type t = {
+  shards : shard array; (* length is a power of two *)
+  mask : int;
+  tracked_writes : int Atomic.t;
+  tracked_reads : int Atomic.t;
+}
+
+let default_shards = 16
+
+let create ?(shards = default_shards) () =
+  let n =
+    let rec pow2 n = if n >= shards then n else pow2 (n * 2) in
+    pow2 1
+  in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); cells = Hashtbl.create 64 });
+    mask = n - 1;
+    tracked_writes = Atomic.make 0;
+    tracked_reads = Atomic.make 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Mix the object id into the low bits so one object's slots — and
+   different objects — both spread across stripes. *)
+let shard_of t key = t.shards.((key lxor (key lsr slot_bits)) land t.mask)
 
 let clear t =
-  Hashtbl.reset t.cells;
-  t.tracked_writes <- 0;
-  t.tracked_reads <- 0
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.cells;
+      Mutex.unlock s.lock)
+    t.shards;
+  Atomic.set t.tracked_writes 0;
+  Atomic.set t.tracked_reads 0
 
-let cell t key =
-  match Hashtbl.find_opt t.cells key with
+let cell_locked shard key =
+  match Hashtbl.find_opt shard.cells key with
   | Some c -> c
   | None ->
     let c = { last_write = None; reads = [] } in
-    Hashtbl.replace t.cells key c;
+    Hashtbl.replace shard.cells key c;
     c
 
 (* Record a write; returns the conflicting accesses, if any: a WAW race
@@ -64,8 +113,11 @@ let cell t key =
    writing region began. *)
 let record_write t ~obj_id ~slot ~begin_fence (a : access) :
     [ `Waw of access | `Raw of access ] list =
-  let c = cell t (key ~obj_id ~slot) in
-  t.tracked_writes <- t.tracked_writes + 1;
+  let key = key ~obj_id ~slot in
+  let shard = shard_of t key in
+  Atomic.incr t.tracked_writes;
+  Mutex.lock shard.lock;
+  let c = cell_locked shard key in
   let conflicts = ref [] in
   (match c.last_write with
   | Some w when not (ordered_before w ~strand:a.strand ~begin_fence) ->
@@ -78,6 +130,7 @@ let record_write t ~obj_id ~slot ~begin_fence (a : access) :
     c.reads;
   c.last_write <- Some a;
   c.reads <- [];
+  Mutex.unlock shard.lock;
   List.rev !conflicts
 
 (* Record a read; returns a RAW conflict when the read races with the
@@ -85,16 +138,47 @@ let record_write t ~obj_id ~slot ~begin_fence (a : access) :
    post-persist data). *)
 let record_read t ~obj_id ~slot ~begin_fence (a : access) :
     [ `Raw of access ] option =
-  let c = cell t (key ~obj_id ~slot) in
-  t.tracked_reads <- t.tracked_reads + 1;
+  let key = key ~obj_id ~slot in
+  let shard = shard_of t key in
+  Atomic.incr t.tracked_reads;
+  Mutex.lock shard.lock;
+  let c = cell_locked shard key in
   c.reads <- a :: c.reads;
-  match c.last_write with
-  | Some w when not (ordered_before w ~strand:a.strand ~begin_fence) ->
-    Some (`Raw w)
-  | Some _ | None -> None
+  let conflict =
+    match c.last_write with
+    | Some w when not (ordered_before w ~strand:a.strand ~begin_fence) ->
+      Some (`Raw w)
+    | Some _ | None -> None
+  in
+  Mutex.unlock shard.lock;
+  conflict
 
-let tracked_cells t = Hashtbl.length t.cells
+(* Has [record_write] ever been called on this slot? Read-created cells
+   have no [last_write], so the check is exact — it replaces the
+   separate ever-written table the checker used to keep. *)
+let ever_written t ~obj_id ~slot =
+  let key = key ~obj_id ~slot in
+  let shard = shard_of t key in
+  Mutex.lock shard.lock;
+  let r =
+    match Hashtbl.find_opt shard.cells key with
+    | Some c -> c.last_write <> None
+    | None -> false
+  in
+  Mutex.unlock shard.lock;
+  r
+
+let tracked_cells t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.cells in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
 
 let pp ppf t =
-  Fmt.pf ppf "shadow: %d cells, %d writes, %d reads tracked"
-    (tracked_cells t) t.tracked_writes t.tracked_reads
+  Fmt.pf ppf "shadow: %d cells in %d shard(s), %d writes, %d reads tracked"
+    (tracked_cells t) (shard_count t)
+    (Atomic.get t.tracked_writes)
+    (Atomic.get t.tracked_reads)

@@ -2,7 +2,11 @@
     recording per-slot access history for happens-before WAW/RAW race
     detection. Ordering uses a scalar barrier-count fast path (persist
     barriers in the runtime are global synchronization points); see
-    DESIGN.md. *)
+    DESIGN.md.
+
+    The segment is lock-striped: cells are sharded by slot key, each
+    shard guarded by its own mutex, so listeners on concurrent client
+    domains can record accesses without racing on checker state. *)
 
 type access = {
   strand : int;
@@ -15,11 +19,21 @@ val ordered_before : access -> strand:int -> begin_fence:int -> bool
     region began at barrier count [begin_fence]? *)
 
 val key : obj_id:int -> slot:int -> int
-(** Int encoding of a slot address (avoids tuple hashing). *)
+(** Int encoding of a slot address (avoids tuple hashing): the slot in
+    the low {!slot_bits} bits, the object id above them.
+    @raise Invalid_argument when either component is out of range —
+    silent truncation would alias another object and fabricate races. *)
+
+val slot_bits : int
+val max_slot : int
+val max_obj_id : int
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] is rounded up to a power of two (default 16). *)
+
+val shard_count : t -> int
 val clear : t -> unit
 
 val record_write :
@@ -30,7 +44,8 @@ val record_write :
   access ->
   [ `Waw of access | `Raw of access ] list
 (** Record a write; returns the races it completes (WAW with the
-    previous writer, RAW with unordered readers). *)
+    previous writer, RAW with unordered readers). The conflict check and
+    history update are atomic with respect to the cell's shard. *)
 
 val record_read :
   t ->
@@ -39,6 +54,9 @@ val record_read :
   begin_fence:int ->
   access ->
   [ `Raw of access ] option
+
+val ever_written : t -> obj_id:int -> slot:int -> bool
+(** Has {!record_write} ever been called on this slot? *)
 
 val tracked_cells : t -> int
 val pp : t Fmt.t

@@ -3,6 +3,18 @@
     store on the NVM runtime, with or without the dynamic checker, and
     report throughput. *)
 
+(** How the clients execute. [Concurrent] (the default, and the paper's
+    setup) gives each client its own heap + store instance, driven on a
+    pool domain, all observed by one checker through client-bound
+    listeners; client heaps use disjoint object-id ranges so warnings
+    are interleaving-independent. [Interleaved] is the historical
+    single-domain replay (one heap, active client switched per
+    transaction). *)
+type execution = Interleaved | Concurrent
+
+val obj_id_stride : int
+(** Object-id range reserved per client in [Concurrent] mode. *)
+
 type result = {
   label : string;
   txs : int;
@@ -21,6 +33,7 @@ val measure :
   label:string ->
   ?model:Analysis.Model.t ->
   ?repeats:int ->
+  ?execution:execution ->
   clients:int ->
   txs:int ->
   checked:bool ->
@@ -29,7 +42,9 @@ val measure :
   unit ->
   result
 (** Best of [repeats] runs (default 3): wall-clock noise only slows runs
-    down, so the fastest run is the cleanest signal. *)
+    down, so the fastest run is the cleanest signal. In [Concurrent]
+    mode [setup] runs once per client (each on its own heap) and [op]
+    must not share mutable state across clients. *)
 
 type comparison = {
   baseline : result;
@@ -41,6 +56,7 @@ val compare_checked :
   label:string ->
   ?model:Analysis.Model.t ->
   ?repeats:int ->
+  ?execution:execution ->
   clients:int ->
   txs:int ->
   setup:(Runtime.Pmem.t -> 'st) ->

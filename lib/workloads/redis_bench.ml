@@ -15,8 +15,10 @@ let mixes : (string * op Gen.mix) list =
 
 let keyspace = 2048
 
+(* The log is a ring; a modest capacity keeps the working set small even
+   with 50 concurrent client heaps, each holding its own log. *)
 let setup pmem =
-  let st = Logstore.create pmem in
+  let st = Logstore.create ~log_capacity:(1 lsl 15) pmem in
   for k = 1 to keyspace / 2 do
     Logstore.set st k k
   done;
@@ -36,7 +38,7 @@ let run_op mix st rng ~client =
   | Lpush -> Logstore.set st (key lor 0x10000) client
   | Sadd -> Logstore.set st (key lor 0x20000) 1
 
-let comparison ?(clients = 50) ?(txs = 100_000) (label, mix) =
-  Harness.compare_checked ~label ~clients ~txs ~setup
+let comparison ?execution ?(clients = 50) ?(txs = 100_000) (label, mix) =
+  Harness.compare_checked ~label ?execution ~clients ~txs ~setup
     ~op:(fun st rng ~client -> run_op mix st rng ~client)
     ()

@@ -31,3 +31,24 @@ speedup ratios:
   "speedup_vs_1_domain"
   $ grep -o '"domains"' BENCH_checker.json
   "domains"
+
+The figure12 section drives the pool-backed concurrent workloads; with
+--json it writes BENCH_dynamic.json with one record per operation mix
+(5 Memcached + 5 Redis + 6 NStore = 16), the measured overhead band,
+the paper's band, and the client-domain scaling measurement:
+
+  $ DEEPMC_BENCH_TXS=400 deepmc-bench figure12 --json > /dev/null
+  $ grep -c '"overhead_pct"' BENCH_dynamic.json
+  16
+  $ grep -c '"baseline_tps"' BENCH_dynamic.json
+  17
+  $ grep -o '"overhead_band_pct"' BENCH_dynamic.json
+  "overhead_band_pct"
+  $ grep -o '"paper_band_pct"' BENCH_dynamic.json
+  "paper_band_pct"
+  $ grep -o '"scaling"' BENCH_dynamic.json
+  "scaling"
+  $ grep -o '"speedup"' BENCH_dynamic.json
+  "speedup"
+  $ grep -o '"pool_domains"' BENCH_dynamic.json
+  "pool_domains"

@@ -16,6 +16,7 @@ let () =
       ("crash-space", Test_crash_space.suite);
       ("corpus", Test_corpus.suite);
       ("workloads", Test_workloads.suite);
+      ("concurrent", Test_concurrent.suite);
       ("driver", Test_driver.suite);
       ("autofix", Test_autofix.suite);
       ("extensions", Test_extensions.suite);

@@ -241,6 +241,106 @@ let test_dynamic_warning_cap () =
     (List.length (Runtime.Dynamic.warnings checker));
   check Alcotest.int "all occurrences counted" 20 s.Runtime.Dynamic.warning_count
 
+(* Regression (bugfix): the slot encoding used to pack slot into 24 bits
+   with no range check, so obj 0 slot 2^24 aliased obj 1 slot 0 and
+   fabricated races. The slot field is now wider and out-of-range
+   components are rejected. *)
+let test_shadow_key_range () =
+  let k1 = Runtime.Shadow.key ~obj_id:0 ~slot:(1 lsl 24) in
+  let k2 = Runtime.Shadow.key ~obj_id:1 ~slot:0 in
+  check Alcotest.bool "slot 2^24 does not alias obj 1" true (k1 <> k2);
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "slot beyond field width rejected" true
+    (raises (fun () ->
+         Runtime.Shadow.key ~obj_id:0 ~slot:(Runtime.Shadow.max_slot + 1)));
+  check Alcotest.bool "negative slot rejected" true
+    (raises (fun () -> Runtime.Shadow.key ~obj_id:0 ~slot:(-1)));
+  check Alcotest.bool "obj_id beyond field width rejected" true
+    (raises (fun () ->
+         Runtime.Shadow.key ~obj_id:(Runtime.Shadow.max_obj_id + 1) ~slot:0));
+  check Alcotest.bool "max corner accepted" true
+    (Runtime.Shadow.key ~obj_id:Runtime.Shadow.max_obj_id
+       ~slot:Runtime.Shadow.max_slot
+    > 0)
+
+(* Regression (bugfix): tx_depth used to be checker-global, so one
+   client's open transaction misclassified another client's clean
+   re-flush as Persist_same_object_in_tx under set_thread
+   interleaving. *)
+let test_dynamic_tx_depth_per_thread () =
+  let pmem = Runtime.Pmem.create () in
+  let checker = Runtime.Dynamic.create ~model:Analysis.Model.Epoch () in
+  Runtime.Dynamic.attach checker pmem;
+  let tenv = Nvmir.Ty.env_create () in
+  let o =
+    Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  (* client 0 opens a transaction... *)
+  Runtime.Dynamic.set_thread checker 0;
+  Runtime.Pmem.tx_begin pmem ();
+  (* ...and client 1's clean re-flush inside its epoch must be reported
+     as a redundant write-back, not a same-transaction persist *)
+  Runtime.Dynamic.set_thread checker 1;
+  Runtime.Pmem.epoch_begin pmem ();
+  Runtime.Pmem.write pmem
+    { Runtime.Pmem.obj_id = o; slot = 0 }
+    (Runtime.Value.Vint 1);
+  Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+  Runtime.Pmem.fence pmem ();
+  Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+  Runtime.Pmem.fence pmem ();
+  Runtime.Pmem.epoch_end pmem ();
+  Runtime.Dynamic.set_thread checker 0;
+  Runtime.Pmem.tx_end pmem ();
+  let count rule =
+    List.length
+      (List.filter
+         (fun (w : Analysis.Warning.t) -> w.Analysis.Warning.rule = rule)
+         (Runtime.Dynamic.warnings checker))
+  in
+  check Alcotest.int "classified as redundant write-back" 1
+    (count Analysis.Warning.Multiple_flushes);
+  check Alcotest.int "not as persist-same-object-in-tx" 0
+    (count Analysis.Warning.Persist_same_object_in_tx)
+
+(* Regression (bugfix): the warning cap used to recompute List.length on
+   every emission (O(n^2) near the cap); the count is now explicit. The
+   observable contract: stored warnings stop at the cap, the summary
+   still counts every occurrence, and dropped = overflow. *)
+let test_dynamic_warning_count_exact () =
+  let pmem = Runtime.Pmem.create () in
+  let checker =
+    Runtime.Dynamic.create ~max_warnings:10 ~model:Analysis.Model.Epoch ()
+  in
+  Runtime.Dynamic.attach checker pmem;
+  let tenv = Nvmir.Ty.env_create () in
+  let o =
+    Runtime.Pmem.alloc pmem ~tenv ~persistent:true
+      (Nvmir.Ty.Array (Nvmir.Ty.Int, 8))
+  in
+  Runtime.Pmem.epoch_begin pmem ();
+  Runtime.Pmem.write pmem
+    { Runtime.Pmem.obj_id = o; slot = 0 }
+    (Runtime.Value.Vint 1);
+  Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+  Runtime.Pmem.fence pmem ();
+  for _ = 1 to 50 do
+    Runtime.Pmem.flush_range pmem ~obj_id:o ~first_slot:0 ~nslots:1 ();
+    Runtime.Pmem.fence pmem ()
+  done;
+  Runtime.Pmem.epoch_end pmem ();
+  let s = Runtime.Dynamic.summary checker in
+  check Alcotest.int "stored at cap" 10
+    (List.length (Runtime.Dynamic.warnings checker));
+  check Alcotest.int "every occurrence counted" 50
+    s.Runtime.Dynamic.warning_count;
+  check Alcotest.int "overflow recorded as dropped" 40 s.Runtime.Dynamic.dropped
+
 let suite =
   [
     tc "vclock: basics" `Quick test_vclock_basics;
@@ -262,4 +362,9 @@ let suite =
     tc "dynamic: untracked outside regions" `Quick
       test_dynamic_untracked_outside_regions;
     tc "dynamic: warning cap" `Quick test_dynamic_warning_cap;
+    tc "shadow: key range validation" `Quick test_shadow_key_range;
+    tc "dynamic: tx_depth is per-thread" `Quick
+      test_dynamic_tx_depth_per_thread;
+    tc "dynamic: warning count exact under cap" `Quick
+      test_dynamic_warning_count_exact;
   ]

@@ -172,6 +172,63 @@ let test_harness_checked_run_attaches_dynamic () =
     check Alcotest.bool "cells tracked" true (s.Runtime.Dynamic.tracked_cells > 0);
     check Alcotest.int "no races in well-fenced store" 0 s.Runtime.Dynamic.waw
 
+(* Concurrent mode gives each client its own heap from a disjoint
+   object-id range; the full transaction count is still executed and the
+   per-client stores stay consistent. *)
+let test_harness_concurrent_per_client_heaps () =
+  let txs_run = Atomic.make 0 in
+  let r =
+    Workloads.Harness.measure ~label:"t" ~execution:Workloads.Harness.Concurrent
+      ~clients:3 ~txs:100 ~checked:true ~repeats:1
+      ~setup:(fun pmem -> Workloads.Kvstore.create ~capacity:256 pmem)
+      ~op:(fun kv rng ~client ->
+        Atomic.incr txs_run;
+        ignore
+          (Workloads.Kvstore.set kv
+             (Workloads.Gen.uniform rng ~keyspace:50)
+             client))
+      ()
+  in
+  check Alcotest.int "every transaction executed" 100 (Atomic.get txs_run);
+  check Alcotest.int "3 clients" 3 r.Workloads.Harness.clients;
+  (match r.Workloads.Harness.dynamic with
+  | None -> Alcotest.fail "dynamic summary missing"
+  | Some s ->
+    check Alcotest.bool "cells tracked" true
+      (s.Runtime.Dynamic.tracked_cells > 0);
+    check Alcotest.int "well-fenced stores race-free" 0 s.Runtime.Dynamic.waw);
+  check Alcotest.bool "stores counted across heaps" true
+    (r.Workloads.Harness.stores > 0)
+
+(* The two execution modes agree on what the checker reports for a
+   deterministic, well-fenced workload (both race-free, both tracking
+   cells) even though Concurrent uses per-client heaps. *)
+let test_harness_modes_agree () =
+  let run execution =
+    let r =
+      Workloads.Harness.measure ~label:"t" ~execution ~clients:2 ~txs:120
+        ~checked:true ~repeats:1
+        ~setup:(fun pmem -> Workloads.Kvstore.create ~capacity:256 pmem)
+        ~op:(fun kv rng ~client ->
+          ignore
+            (Workloads.Kvstore.set kv
+               (Workloads.Gen.uniform rng ~keyspace:30)
+               client))
+        ()
+    in
+    match r.Workloads.Harness.dynamic with
+    | None -> Alcotest.fail "dynamic summary missing"
+    | Some s -> s
+  in
+  let si = run Workloads.Harness.Interleaved in
+  let sc = run Workloads.Harness.Concurrent in
+  check Alcotest.int "both race-free (waw)" si.Runtime.Dynamic.waw
+    sc.Runtime.Dynamic.waw;
+  check Alcotest.int "both race-free (raw)" si.Runtime.Dynamic.raw
+    sc.Runtime.Dynamic.raw;
+  check Alcotest.int "no unflushed writes either way"
+    si.Runtime.Dynamic.unflushed sc.Runtime.Dynamic.unflushed
+
 let test_mixes_well_formed () =
   let weights_positive mix =
     List.for_all (fun (_, w) -> w > 0) mix
@@ -211,5 +268,8 @@ let suite =
     tc "harness: measurement" `Quick test_harness_measures;
     tc "harness: dynamic attachment" `Quick
       test_harness_checked_run_attaches_dynamic;
+    tc "harness: concurrent per-client heaps" `Quick
+      test_harness_concurrent_per_client_heaps;
+    tc "harness: execution modes agree" `Quick test_harness_modes_agree;
     tc "benchmark mixes well-formed" `Quick test_mixes_well_formed;
   ]
