@@ -1,0 +1,29 @@
+# Developer entry points. The benches write their JSON artifacts into
+# the directory they run from, so bench-json runs from the repo root.
+
+.PHONY: all build test verify bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The one command a PR must pass: full build plus the unit, property,
+# differential and cram suites.
+verify:
+	dune build && dune runtest
+
+# Regenerate the three committed benchmark artifacts. Figure 12 numbers
+# are timing-dependent; the checker/inject matrices are deterministic
+# for a fixed DEEPMC_BENCH_SEED (default 1 for recall).
+bench-json:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- perf --json
+	dune exec bench/main.exe -- figure12 --json
+	dune exec bench/main.exe -- recall --json
+
+clean:
+	dune clean

@@ -14,6 +14,14 @@ let txs =
   | Some s -> (try int_of_string s with _ -> 60_000)
   | None -> 60_000
 
+(* One seed for every randomized path of the harness (client request
+   streams) and the injection campaign; DEEPMC_BENCH_SEED reproduces a
+   whole bench run. *)
+let bench_seed =
+  match Sys.getenv_opt "DEEPMC_BENCH_SEED" with
+  | Some s -> (try int_of_string s with _ -> Workloads.Harness.default_seed)
+  | None -> Workloads.Harness.default_seed
+
 let section title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -332,7 +340,7 @@ let figure12_scaling () =
   let label, _ = mix in
   let clients = 4 in
   let run n =
-    (Workloads.Memslap.comparison ~clients:n ~txs mix)
+    (Workloads.Memslap.comparison ~seed:bench_seed ~clients:n ~txs mix)
       .Workloads.Harness.baseline
       .Workloads.Harness.throughput
   in
@@ -348,15 +356,16 @@ let figure12 ?(json = false) () =
     [
       ( "Memcached", 4,
         List.map
-          (fun m -> Workloads.Memslap.comparison ~clients:4 ~txs m)
+          (fun m -> Workloads.Memslap.comparison ~seed:bench_seed ~clients:4 ~txs m)
           Workloads.Memslap.mixes );
       ( "Redis", 50,
         List.map
-          (fun m -> Workloads.Redis_bench.comparison ~clients:50 ~txs m)
+          (fun m ->
+            Workloads.Redis_bench.comparison ~seed:bench_seed ~clients:50 ~txs m)
           Workloads.Redis_bench.mixes );
       ( "NStore", 4,
         List.map
-          (fun m -> Workloads.Ycsb.comparison ~clients:4 ~txs m)
+          (fun m -> Workloads.Ycsb.comparison ~seed:bench_seed ~clients:4 ~txs m)
           Workloads.Ycsb.mixes );
     ]
   in
@@ -1014,6 +1023,29 @@ let perf ?(json = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Injection recall/precision: the mutation-based evaluation of all
+   three detectors (lib/inject).  `recall --json` writes
+   BENCH_inject.json for EXPERIMENTS.md / CI. *)
+
+let recall ?(json = false) () =
+  section "Injection campaign: per-operator x per-detector recall/precision";
+  let seed =
+    match Sys.getenv_opt "DEEPMC_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  let bases =
+    Inject.Evaluate.corpus_bases () @ Inject.Evaluate.exemplar_bases ()
+  in
+  let s = Inject.Evaluate.run ~seed bases in
+  Fmt.pr "%a" Inject.Evaluate.pp_summary s;
+  if json then begin
+    let oc = open_out "BENCH_inject.json" in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fmt.pf ppf "%a@." Deepmc.Json_report.pp (Inject.Evaluate.to_json s);
+    close_out oc;
+    Fmt.pr "wrote BENCH_inject.json@."
+  end
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -1037,6 +1069,7 @@ let sections : (string * (unit -> unit)) list =
     ("parallel", parallel);
     ("crashspace", crashspace);
     ("perf", perf ?json:None);
+    ("recall", recall ?json:None);
     ("micro", micro);
   ]
 
@@ -1045,6 +1078,7 @@ let () =
   | [| _ |] -> List.iter (fun (_, f) -> f ()) sections
   | [| _; "perf"; "--json" |] -> perf ~json:true ()
   | [| _; "figure12"; "--json" |] -> figure12 ~json:true ()
+  | [| _; "recall"; "--json" |] -> recall ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name sections with
     | Some f -> f ()

@@ -116,6 +116,14 @@ let suppressions_term =
 let json_term =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
+(* One seed for every randomized path (crash-image sampling, generator
+   workloads, the bug injector): any run is reproducible from it. *)
+let seed_term =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Seed for every randomized component (deterministic).")
+
 let html_term =
   Arg.(
     value
@@ -166,8 +174,24 @@ let materialized_term =
            differential oracle) instead of the default streaming engine.")
 
 let check_cmd =
+  let explore_term =
+    Arg.(
+      value & flag
+      & info [ "explore-crash-images" ]
+          ~doc:
+            "Additionally enumerate reachable crash images at every crash \
+             point (requires --entry).")
+  in
+  let crash_bound_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-bound" ] ~docv:"N"
+          ~doc:"Maximum images per crash point for --explore-crash-images.")
+  in
   let run () model file entry clients no_dynamic field_insensitive
-      suppressions json pmem_roots html domains stats materialized =
+      suppressions json pmem_roots html domains stats materialized explore
+      crash_bound seed =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
@@ -186,7 +210,7 @@ let check_cmd =
     in
     let report =
       Deepmc.Driver.analyze driver ~persistent_roots:pmem_roots ?entry ~clients
-        prog
+        ~explore_crash_images:explore ?crash_bound ~seed prog
     in
     if stats then begin
       let s = report.Deepmc.Driver.static in
@@ -238,7 +262,8 @@ let check_cmd =
         (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
        $ clients_term $ no_dynamic_term $ field_insensitive_term
        $ suppressions_term $ json_term $ pmem_roots_term $ html_term
-       $ domains_term $ stats_term $ materialized_term))
+       $ domains_term $ stats_term $ materialized_term $ explore_term
+       $ crash_bound_term $ seed_term))
 
 (* Mixed-model checking: a map file with one "function model" pair per
    line assigns each analysis root its intended persistency model. *)
@@ -565,11 +590,6 @@ let crash_explore_cmd =
             "Maximum images per crash point: exhaustive below, sampled \
              above.")
   in
-  let seed_term =
-    Arg.(
-      value & opt int 1
-      & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed (deterministic).")
-  in
   let domains_term =
     Arg.(
       value
@@ -628,6 +648,132 @@ let fmt_cmd =
   let doc = "Canonically format a textual IR file (parse and pretty-print)." in
   Cmd.v (Cmd.info "fmt" ~doc) Term.(term_result (const run $ file_arg $ in_place_term))
 
+(* Mutation-based fault injection with recall/precision evaluation: the
+   corpus (post-autofix) and optional generator programs are mutated by
+   the Table 4/5 operator catalog and every detector tier is measured
+   against the mutants' ground truth. *)
+let inject_cmd =
+  let framework_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "framework" ] ~docv:"NAME"
+          ~doc:"Restrict to one corpus framework (pmdk, pmfs, nvm-direct, \
+                mnemosyne).")
+  in
+  let name_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME" ~doc:"Restrict to one corpus program.")
+  in
+  let synth_term =
+    Arg.(
+      value & opt int 0
+      & info [ "synth" ] ~docv:"N"
+          ~doc:"Also mutate N clean generator programs (seeded from --seed).")
+  in
+  let operator_term =
+    Arg.(
+      value & opt_all string []
+      & info [ "operator" ] ~docv:"OP"
+          ~doc:
+            "Mutation operator to apply (repeatable; default: all). One of \
+             delete-flush, delete-fence, reorder-fence, hoist-write, \
+             duplicate-flush, widen-flush, drop-tx-add, split-strand.")
+  in
+  let no_crash_term =
+    Arg.(
+      value & flag
+      & info [ "no-crash" ] ~doc:"Skip the crash-space explorer tier.")
+  in
+  let crash_bound_term =
+    Arg.(
+      value & opt int 192
+      & info [ "crash-bound" ] ~docv:"N"
+          ~doc:"Maximum images per crash point for the explorer tier.")
+  in
+  let save_fn_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-fn" ] ~docv:"DIR"
+          ~doc:
+            "Persist mutants their expected detector tier missed as .nvmir \
+             files (the false-negative corpus).")
+  in
+  let run () framework name synth operators no_dynamic no_crash crash_bound
+      save_fn seed domains json =
+    let ( let* ) = Result.bind in
+    Option.iter Pool.set_default_size domains;
+    let* framework =
+      match framework with
+      | None -> Ok None
+      | Some f -> (
+        match
+          List.find_opt
+            (fun fw ->
+              String.equal
+                (String.lowercase_ascii (Corpus.Types.framework_name fw))
+                (String.lowercase_ascii f))
+            Corpus.Types.all_frameworks
+        with
+        | Some fw -> Ok (Some fw)
+        | None -> Error (`Msg (Fmt.str "unknown framework %S" f)))
+    in
+    let* operators =
+      match operators with
+      | [] -> Ok Inject.Mutation.all_operators
+      | names ->
+        List.fold_right
+          (fun n acc ->
+            let* acc = acc in
+            match Inject.Mutation.operator_of_string n with
+            | Some op -> Ok (op :: acc)
+            | None -> Error (`Msg (Fmt.str "unknown operator %S" n)))
+          names (Ok [])
+    in
+    let corpus = Inject.Evaluate.corpus_bases ?framework ?name () in
+    let* () =
+      if corpus = [] && name <> None then
+        Error (`Msg "no such corpus program (see deepmc corpus)")
+      else Ok ()
+    in
+    let bases =
+      corpus
+      @ (if framework = None && name = None then
+           Inject.Evaluate.exemplar_bases ()
+         else [])
+      @
+      if synth > 0 then
+        Inject.Evaluate.synth_bases ~seed ~count:synth ~nfuncs:8
+      else []
+    in
+    let summary =
+      Inject.Evaluate.run ?domains ~operators ~seed ~dynamic:(not no_dynamic)
+        ~crash:(not no_crash) ~crash_bound bases
+    in
+    (match save_fn with
+    | None -> ()
+    | Some dir ->
+      let paths = Inject.Evaluate.save_false_negatives ~dir summary in
+      Fmt.epr "wrote %d false negative(s) to %s@." (List.length paths) dir);
+    if json then
+      Fmt.pr "%a@." Deepmc.Json_report.pp (Inject.Evaluate.to_json summary)
+    else Fmt.pr "%a" Inject.Evaluate.pp_summary summary;
+    Ok ()
+  in
+  let doc =
+    "Inject persistency bugs into warning-clean programs and measure \
+     per-operator detector recall/precision."
+  in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ framework_term $ name_term $ synth_term
+       $ operator_term $ no_dynamic_term $ no_crash_term $ crash_bound_term
+       $ save_fn_term $ seed_term $ domains_term $ json_term))
+
 let rules_cmd =
   let run () =
     List.iter
@@ -650,7 +796,7 @@ let main_cmd =
   Cmd.group info
     [
       check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
-      fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
+      inject_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

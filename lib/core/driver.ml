@@ -77,7 +77,10 @@ let run_dynamic_analysis (t : t) ?entry ?args ?(clients = 1) prog =
         Pool.map ~domains:clients ~chunk:1 (Pool.default ())
           (fun c ->
             let pmem =
-              Runtime.Pmem.create ~first_obj_id:(c * client_obj_id_stride) ()
+              Runtime.Pmem.create
+                ~first_obj_id:(c * client_obj_id_stride)
+                ~obj_id_limit:((c + 1) * client_obj_id_stride)
+                ()
             in
             Runtime.Dynamic.attach_client checker ~thread:c pmem;
             let interp = Runtime.Interp.create ~pmem prog in
@@ -103,7 +106,7 @@ let run_dynamic_analysis (t : t) ?entry ?args ?(clients = 1) prog =
    annotations: (function, variable) pairs known to reference NVM.
    [entry]/[args] drive the optional dynamic run. *)
 let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
-    ?(explore_crash_images = false) ?crash_bound prog : report =
+    ?(explore_crash_images = false) ?crash_bound ?seed prog : report =
   Log.info (fun m ->
       m "analyzing %d function(s) against the %a model (%a)"
         (List.length (Nvmir.Prog.funcs prog))
@@ -142,7 +145,7 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
       if Nvmir.Prog.find_func prog entry = None then None
       else begin
         let r =
-          Crash_sweep.explore_program ?bound:crash_bound ~entry
+          Crash_sweep.explore_program ?bound:crash_bound ?seed ~entry
             ?args prog
         in
         Log.info (fun m ->

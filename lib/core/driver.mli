@@ -36,6 +36,7 @@ val analyze :
   ?clients:int ->
   ?explore_crash_images:bool ->
   ?crash_bound:int ->
+  ?seed:int ->
   Nvmir.Prog.t ->
   report
 (** [persistent_roots] are the user's interface annotations;
@@ -46,7 +47,7 @@ val analyze :
     ordered regardless of interleaving. [explore_crash_images] (default
     false) additionally runs {!Crash_sweep.explore_program} with the
     sequential oracle, capped at [crash_bound] images per crash
-    point. *)
+    point; [seed] makes its sampling reproducible. *)
 
 val baseline_compile : Nvmir.Prog.t -> float
 (** The Table 9 baseline: a full front-end pass (emit, re-parse,

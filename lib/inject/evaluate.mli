@@ -1,0 +1,102 @@
+(** Recall/precision evaluation of the detectors over a mutant
+    population (DESIGN.md §6d).
+
+    Base programs are made warning-clean first (corpus programs via
+    {!Deepmc.Autofix.fix_until_clean}; synthetic programs are generated
+    clean), every {!Mutation.operator} is applied at every sound site,
+    and the static checker, the dynamic checker and the crash-space
+    explorer run over the population in parallel on {!Pool}. Detection
+    is measured against the mutants' machine-readable ground truth:
+
+    - static: a delta warning (not in the base program's residual
+      warning set) matching the truth's rule set at its file:line;
+    - dynamic: a delta warning matching rule and file (the online
+      checker reports at observation sites, so lines are not pinned);
+    - crash explorer: strictly more inconsistent crash images than the
+      base program under the same seed and bound. *)
+
+type base = {
+  bname : string;
+  model : Analysis.Model.t;
+  prog : Nvmir.Prog.t;  (** warning-clean (up to refused autofixes) *)
+  roots : string list;
+  entry : string option;
+  entry_args : int list;
+  static_baseline : (Analysis.Warning.rule_id * string * int) list;
+  dynamic_baseline : (Analysis.Warning.rule_id * string) list;
+}
+
+val corpus_bases :
+  ?framework:Corpus.Types.framework -> ?name:string -> unit -> base list
+(** Corpus programs (optionally one framework or one program), each
+    parsed and pushed through [Autofix.fix_until_clean] under its
+    framework's model; refused repairs stay in [static_baseline]. *)
+
+val synth_bases : seed:int -> count:int -> nfuncs:int -> base list
+(** [count] clean generator programs seeded [seed, seed+1, ...]. *)
+
+val exemplar_bases : unit -> base list
+(** The hand-written strand-model program ({!Exemplar}). *)
+
+(** Per-detector outcome for one mutant. *)
+type detection = {
+  applicable : bool;  (** detector could run (e.g. entry point exists) *)
+  hit : bool;
+  fp : int;  (** delta warnings matching neither primary nor collateral *)
+}
+
+type mutant_result = {
+  mutant : Mutation.mutant;
+  static_d : detection;
+  dynamic_d : detection;
+  crash_d : detection;
+}
+
+type cell = { applicable : int; detected : int; fp : int }
+
+val cell_recall : cell -> float option
+val cell_precision : cell -> float option
+
+(** One matrix row: an operator crossed with the three detectors. *)
+type row = {
+  operator : Mutation.operator;
+  mutants : int;
+  static_c : cell;
+  dynamic_c : cell;
+  crash_c : cell;
+}
+
+type summary = {
+  seed : int;
+  bases : int;
+  total_mutants : int;
+  rows : row list;
+  static_tier_mutants : int;
+  static_tier_detected : int;
+  static_tier_recall : float;  (** 1.0 when the tier has no mutants *)
+  results : mutant_result list;
+}
+
+val run :
+  ?domains:int ->
+  ?operators:Mutation.operator list ->
+  ?seed:int ->
+  ?dynamic:bool ->
+  ?crash:bool ->
+  ?crash_bound:int ->
+  base list ->
+  summary
+(** Mutate every base and evaluate the enabled detectors over the whole
+    population on the domain pool. [seed] (default 1) drives crash-image
+    sampling; static and dynamic evaluation are deterministic, so the
+    summary is a pure function of (bases, operators, seed, bound). *)
+
+val false_negatives : summary -> mutant_result list
+(** Mutants missed by their expected tier's detector. *)
+
+val save_false_negatives : dir:string -> summary -> string list
+(** Persist each false negative as a parseable .nvmir file (ground
+    truth in header comments); returns the paths written. *)
+
+val to_json : summary -> Deepmc.Json_report.json
+val pp_summary : summary Fmt.t

@@ -1,0 +1,64 @@
+(* Strand-model exemplar program.
+
+   The curated corpus programs all target strict or epoch persistency,
+   so the strand-splitting operator would have no injection sites; this
+   hand-written ring logger is warning-clean under the strand model and
+   carries the idioms Split_strand needs: strands with internally
+   ordered (overlapping) writes, disjoint across strands. *)
+
+let name = "strand_ring"
+let model = Analysis.Model.Strand
+let roots = [ "ring_driver"; "index_driver" ]
+let entry = "main"
+
+let program () =
+  let prog = Nvmir.Prog.create () in
+  let open Nvmir.Builder in
+  struct_ prog "ring"
+    [ ("head", Nvmir.Ty.Int); ("tail", Nvmir.Ty.Int); ("len", Nvmir.Ty.Int) ];
+  (* strand 1 republishes head (two ordered writes to one line), strand
+     2 independently persists tail: disjoint, so the strands commute *)
+  let _ =
+    func prog ~file:"ring.c" "ring_append"
+      [ ("r", Nvmir.Ty.Ptr (Nvmir.Ty.Named "ring")) ]
+      (fun fb ->
+        strand_begin fb ~line:10 1;
+        store fb ~line:11 (fld "r" "head") (i 1);
+        store fb ~line:12 (fld "r" "head") (i 2);
+        persist fb ~line:13 (fld "r" "head");
+        strand_end fb ~line:14 1;
+        strand_begin fb ~line:20 2;
+        store fb ~line:21 (fld "r" "tail") (i 7);
+        persist fb ~line:22 (fld "r" "tail");
+        strand_end fb ~line:23 2;
+        ret fb ())
+  in
+  let _ =
+    func prog ~file:"ring.c" "ring_index"
+      [ ("r", Nvmir.Ty.Ptr (Nvmir.Ty.Named "ring")) ]
+      (fun fb ->
+        strand_begin fb ~line:40 1;
+        store fb ~line:41 (fld "r" "len") (i 3);
+        store fb ~line:42 (fld "r" "len") (i 4);
+        persist fb ~line:43 (fld "r" "len");
+        strand_end fb ~line:44 1;
+        ret fb ())
+  in
+  let driver fname worker =
+    let _ =
+      func prog ~file:"ring_driver.c" fname [] (fun fb ->
+          palloc fb "r" (Nvmir.Ty.Named "ring");
+          call fb worker [ v "r" ];
+          ret fb ())
+    in
+    ()
+  in
+  driver "ring_driver" "ring_append";
+  driver "index_driver" "ring_index";
+  let _ =
+    func prog ~file:"ring_driver.c" "main" [] (fun fb ->
+        call fb "ring_driver" [];
+        call fb "index_driver" [];
+        ret fb ())
+  in
+  prog

@@ -65,6 +65,11 @@ type t = {
   fence_count : int Atomic.t; (* global persist-barrier counter *)
   stored : int Atomic.t; (* warnings stored across all threads *)
   mutable default_pmem : Pmem.t option;
+  ranges_lock : Mutex.t; (* guards [ranges] *)
+  mutable ranges : (int * int option) list;
+      (* object-id windows of every attached heap; overlapping windows
+         would silently alias shadow-segment keys across clients, so
+         attachment rejects them up front *)
 }
 
 let fresh_thread id =
@@ -98,6 +103,8 @@ let create ?(max_warnings = 10_000) ?shards ~model () =
     fence_count = Atomic.make 0;
     stored = Atomic.make 0;
     default_pmem = None;
+    ranges_lock = Mutex.create ();
+    ranges = [];
   }
 
 let thread t id =
@@ -352,9 +359,39 @@ let listener t : Pmem.listener =
     on_epoch_end = (fun loc -> on_epoch_end t t.current loc);
   }
 
+(* Shadow-segment keys are (obj_id, slot), so two heaps handing out the
+   same object ids under one checker would silently merge their cells —
+   a write by client A could mask, or race with, client B's. Reject the
+   overlap at attachment time instead. Windows are [first, limit) with
+   [None] = unbounded. *)
+let register_range t pm =
+  let first, limit = Pmem.id_range pm in
+  let below a = function None -> true | Some lim -> a < lim in
+  let overlaps (first', limit') = below first limit' && below first' limit in
+  Mutex.lock t.ranges_lock;
+  let clash = List.find_opt overlaps t.ranges in
+  (match clash with
+  | None -> t.ranges <- (first, limit) :: t.ranges
+  | Some _ -> ());
+  Mutex.unlock t.ranges_lock;
+  match clash with
+  | None -> ()
+  | Some (first', limit') ->
+    let pp_lim ppf = function
+      | None -> Fmt.string ppf "inf"
+      | Some l -> Fmt.int ppf l
+    in
+    invalid_arg
+      (Fmt.str
+         "Dynamic.attach: heap object-id window [%d, %a) overlaps an \
+          already-attached heap's [%d, %a); give each client heap a \
+          disjoint ?first_obj_id/?obj_id_limit window"
+         first pp_lim limit first' pp_lim limit')
+
 (* Attach the checker to a heap; subsequent operations are monitored,
    attributed via [set_thread]. *)
 let attach t pm =
+  register_range t pm;
   t.default_pmem <- Some pm;
   Pmem.add_listener pm (listener t)
 
@@ -362,6 +399,7 @@ let attach t pm =
    [thread], with no shared mutable attribution state — the heap may be
    driven from its own domain. *)
 let attach_client t ~thread:id pm =
+  register_range t pm;
   let ts = thread t id in
   ts.pmem <- Some pm;
   Pmem.add_listener pm (bound_listener t ts)

@@ -22,13 +22,18 @@ val create :
 val attach : t -> Pmem.t -> unit
 (** Register the checker as a listener; subsequent operations are
     monitored and attributed to the thread selected by {!set_thread}.
-    Single-domain (interleaved replay) use only. *)
+    Single-domain (interleaved replay) use only.
+    @raise Invalid_argument if the heap's object-id window (see
+    {!Pmem.id_range}) overlaps an already-attached heap's — overlapping
+    windows would silently alias shadow-segment keys across clients. *)
 
 val attach_client : t -> thread:int -> Pmem.t -> unit
 (** Register a listener bound to client [thread]: every event of this
     heap is attributed to that client, with no shared attribution state,
     so the heap may be driven from its own domain concurrently with
-    other clients'. *)
+    other clients'.
+    @raise Invalid_argument on an overlapping object-id window, as with
+    {!attach}. *)
 
 val set_thread : t -> int -> unit
 (** Interleaved multi-client replay switches the active thread before

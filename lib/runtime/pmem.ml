@@ -92,6 +92,8 @@ type tx = { tx_id : int; mutable undo : undo_entry list }
 type t = {
   config : Config.t;
   objects : (int, obj) Hashtbl.t;
+  first_id : int;
+  id_limit : int option; (* exclusive upper bound on object ids, if any *)
   mutable next_id : int;
   mutable listeners : listener list;
   stats : stats;
@@ -106,11 +108,19 @@ type t = {
          keeps fences O(outstanding flushes) instead of O(heap) *)
 }
 
-let create ?(config = Config.default) ?(first_obj_id = 0) () =
+let create ?(config = Config.default) ?(first_obj_id = 0) ?obj_id_limit () =
   if first_obj_id < 0 then invalid_arg "Pmem.create: negative first_obj_id";
+  (match obj_id_limit with
+  | Some lim when lim <= first_obj_id ->
+    invalid_arg
+      (Fmt.str "Pmem.create: obj_id_limit %d <= first_obj_id %d" lim
+         first_obj_id)
+  | _ -> ());
   {
     config;
     objects = Hashtbl.create 64;
+    first_id = first_obj_id;
+    id_limit = obj_id_limit;
     next_id = first_obj_id;
     listeners = [];
     stats = fresh_stats ();
@@ -142,9 +152,19 @@ let object_count t = Hashtbl.length t.objects
 let live_objects t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort Int.compare
 
+let id_range t = (t.first_id, t.id_limit)
+
 let alloc t ?name ~tenv ~persistent ty =
   let size = max 1 (Nvmir.Ty.size_slots tenv ty) in
   let id = t.next_id in
+  (match t.id_limit with
+  | Some lim when id >= lim ->
+    invalid_arg
+      (Fmt.str
+         "Pmem.alloc: object-id window [%d, %d) exhausted; widen the \
+          client's id range"
+         t.first_id lim)
+  | _ -> ());
   t.next_id <- id + 1;
   let o =
     {

@@ -48,10 +48,19 @@ type stats = {
 
 type t
 
-val create : ?config:Config.t -> ?first_obj_id:int -> unit -> t
+val create :
+  ?config:Config.t -> ?first_obj_id:int -> ?obj_id_limit:int -> unit -> t
 (** [first_obj_id] offsets object-id allocation so heaps created for
     concurrent clients never hand out the same id — shadow-segment keys
-    stay globally unique when one checker observes many heaps. *)
+    stay globally unique when one checker observes many heaps.
+    [obj_id_limit] is the exclusive end of the heap's id window:
+    {!alloc} raises [Invalid_argument] instead of spilling into the
+    next client's range, and {!Dynamic.attach_client} uses the window
+    to reject overlapping client heaps.
+    @raise Invalid_argument if the window is empty or negative. *)
+
+val id_range : t -> int * int option
+(** The heap's object-id window [(first, limit)]; [None] = unbounded. *)
 
 val stats : t -> stats
 val config : t -> Config.t

@@ -66,7 +66,11 @@ let finish ~label ~txs ~clients ~checked ~checker ~pmems ~elapsed_s =
    transaction. The dynamic checker (epoch model: all three applications
    use epoch-style persistence) is attached before the run when
    [checked] is set, mirroring the instrumented binaries of §5.2. *)
-let run_interleaved ~label ~model ~clients ~txs ~checked ~setup ~op =
+(* Every randomized path seeds from [seed] (default the historical
+   0xC0FFEE) so one CLI/bench --seed reproduces the whole run. *)
+let default_seed = 0xC0FFEE
+
+let run_interleaved ~label ~model ~seed ~clients ~txs ~checked ~setup ~op =
   let pmem = Runtime.Pmem.create () in
   let checker =
     if checked then begin
@@ -77,7 +81,7 @@ let run_interleaved ~label ~model ~clients ~txs ~checked ~setup ~op =
     else None
   in
   let store = setup pmem in
-  let rng = Gen.rng 0xC0FFEE in
+  let rng = Gen.rng seed in
   let t0 = Deepmc.Clock.now () in
   for i = 0 to txs - 1 do
     let client = i mod clients in
@@ -93,14 +97,15 @@ let run_interleaved ~label ~model ~clients ~txs ~checked ~setup ~op =
    burns through its share of the transactions as one pool task, so the
    measured interval contains genuine multicore execution (on a 1-core
    host the pool degrades to running the tasks on the submitter). *)
-let run_concurrent ~label ~model ~clients ~txs ~checked ~setup ~op =
+let run_concurrent ~label ~model ~seed ~clients ~txs ~checked ~setup ~op =
   let checker =
     if checked then Some (Runtime.Dynamic.create ~model ()) else None
   in
   let contexts =
     List.init clients (fun c ->
         let pmem =
-          Runtime.Pmem.create ~first_obj_id:(c * obj_id_stride) ()
+          Runtime.Pmem.create ~first_obj_id:(c * obj_id_stride)
+            ~obj_id_limit:((c + 1) * obj_id_stride) ()
         in
         (match checker with
         | Some ck -> Runtime.Dynamic.attach_client ck ~thread:c pmem
@@ -113,7 +118,7 @@ let run_concurrent ~label ~model ~clients ~txs ~checked ~setup ~op =
   ignore
     (Pool.map ~domains:clients ~chunk:1 (Pool.default ())
        (fun (c, _pmem, store, share) ->
-         let rng = Gen.rng (0xC0FFEE + c) in
+         let rng = Gen.rng (seed + c) in
          for _ = 1 to share do
            op store rng ~client:c
          done)
@@ -122,18 +127,22 @@ let run_concurrent ~label ~model ~clients ~txs ~checked ~setup ~op =
   let pmems = List.map (fun (_, pm, _, _) -> pm) contexts in
   finish ~label ~txs ~clients ~checked ~checker ~pmems ~elapsed_s
 
-let run_once ~execution ~label ~model ~clients ~txs ~checked ~setup ~op =
+let run_once ~execution ~label ~model ~seed ~clients ~txs ~checked ~setup ~op =
   match execution with
-  | Interleaved -> run_interleaved ~label ~model ~clients ~txs ~checked ~setup ~op
-  | Concurrent -> run_concurrent ~label ~model ~clients ~txs ~checked ~setup ~op
+  | Interleaved ->
+    run_interleaved ~label ~model ~seed ~clients ~txs ~checked ~setup ~op
+  | Concurrent ->
+    run_concurrent ~label ~model ~seed ~clients ~txs ~checked ~setup ~op
 
 (* Best of [repeats] runs: wall-clock noise (GC pauses, scheduler) only
    ever slows a run down, so the fastest run is the cleanest signal. *)
 let measure ~label ?(model = Analysis.Model.Epoch) ?(repeats = 3)
-    ?(execution = Concurrent) ~clients ~txs ~checked ~setup ~op () =
+    ?(execution = Concurrent) ?(seed = default_seed) ~clients ~txs ~checked
+    ~setup ~op () =
   let runs =
     List.init (max 1 repeats) (fun _ ->
-        run_once ~execution ~label ~model ~clients ~txs ~checked ~setup ~op)
+        run_once ~execution ~label ~model ~seed ~clients ~txs ~checked ~setup
+          ~op)
   in
   List.fold_left
     (fun best r -> if r.elapsed_s < best.elapsed_s then r else best)
@@ -147,15 +156,15 @@ type comparison = {
   overhead_pct : float;
 }
 
-let compare_checked ~label ?model ?repeats ?execution ~clients ~txs ~setup ~op
-    () =
+let compare_checked ~label ?model ?repeats ?execution ?seed ~clients ~txs
+    ~setup ~op () =
   let baseline =
-    measure ~label ?model ?repeats ?execution ~clients ~txs ~checked:false
-      ~setup ~op ()
+    measure ~label ?model ?repeats ?execution ?seed ~clients ~txs
+      ~checked:false ~setup ~op ()
   in
   let with_checker =
-    measure ~label ?model ?repeats ?execution ~clients ~txs ~checked:true
-      ~setup ~op ()
+    measure ~label ?model ?repeats ?execution ?seed ~clients ~txs
+      ~checked:true ~setup ~op ()
   in
   let overhead_pct =
     100. *. (1. -. (with_checker.throughput /. baseline.throughput))

@@ -15,6 +15,9 @@ type execution = Interleaved | Concurrent
 val obj_id_stride : int
 (** Object-id range reserved per client in [Concurrent] mode. *)
 
+val default_seed : int
+(** Seed used when [?seed] is omitted (the historical 0xC0FFEE). *)
+
 type result = {
   label : string;
   txs : int;
@@ -34,6 +37,7 @@ val measure :
   ?model:Analysis.Model.t ->
   ?repeats:int ->
   ?execution:execution ->
+  ?seed:int ->
   clients:int ->
   txs:int ->
   checked:bool ->
@@ -42,7 +46,9 @@ val measure :
   unit ->
   result
 (** Best of [repeats] runs (default 3): wall-clock noise only slows runs
-    down, so the fastest run is the cleanest signal. In [Concurrent]
+    down, so the fastest run is the cleanest signal. [seed] drives every
+    randomized choice the clients make (client [c] uses [seed + c]), so
+    a run is reproducible end to end from the one value. In [Concurrent]
     mode [setup] runs once per client (each on its own heap) and [op]
     must not share mutable state across clients. *)
 
@@ -57,6 +63,7 @@ val compare_checked :
   ?model:Analysis.Model.t ->
   ?repeats:int ->
   ?execution:execution ->
+  ?seed:int ->
   clients:int ->
   txs:int ->
   setup:(Runtime.Pmem.t -> 'st) ->

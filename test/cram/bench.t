@@ -52,3 +52,25 @@ the paper's band, and the client-domain scaling measurement:
   "speedup"
   $ grep -o '"pool_domains"' BENCH_dynamic.json
   "pool_domains"
+
+The recall section replays the injection campaign over the corpus and
+the strand exemplar; with --json it writes BENCH_inject.json with one
+row per operator (8), three detector cells per row, and the
+campaign-level acceptance fields. DEEPMC_BENCH_SEED drives every
+randomized path:
+
+  $ DEEPMC_BENCH_SEED=1 deepmc-bench recall --json > /dev/null
+  $ grep -c '"operator"' BENCH_inject.json
+  18
+  $ grep -c '"recall"' BENCH_inject.json
+  24
+  $ grep -c '"precision"' BENCH_inject.json
+  24
+  $ grep -o '"seed": 1' BENCH_inject.json
+  "seed": 1
+  $ grep -o '"static_tier_recall"' BENCH_inject.json
+  "static_tier_recall"
+  $ grep -o '"static_tier_target_met": true' BENCH_inject.json
+  "static_tier_target_met": true
+  $ grep -o '"false_negatives"' BENCH_inject.json
+  "false_negatives"

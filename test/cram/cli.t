@@ -196,3 +196,58 @@ HTML report generation (scan-build style):
   <title>nvm_lock.nvmir</title>
   $ grep -c "class=\"hit\"" report.html
   1
+
+Persistency-bug injection: mutate the warning-clean corpus with the
+Table 4/5 operator catalog and score every detector against the
+machine-readable ground truth. The PMDK slice is the acceptance bar:
+static-tier recall 1.000 (target 0.90). Trailing padding is stripped;
+the matrix itself is deterministic:
+
+  $ deepmc inject --framework pmdk --no-dynamic --no-crash | sed -E 's/ +$//'
+  Injection recall/precision matrix (seed 1, 7 base program(s), 129 mutant(s))
+  operator         tier   n     static                 dynamic                crash
+  delete-flush     static 31    31/31 r=1.00 fp=0      -                      -
+  delete-fence     static 2     2/2 r=1.00 fp=0        -                      -
+  reorder-fence    static 2     2/2 r=1.00 fp=0        -                      -
+  hoist-write      static 41    41/41 r=1.00 fp=0      -                      -
+  duplicate-flush  static 31    31/31 r=1.00 fp=0      -                      -
+  widen-flush      static 17    17/17 r=1.00 fp=0      -                      -
+  drop-tx-add      static 5     5/5 r=1.00 fp=0        -                      -
+  split-strand     dynamic 0     -                      -                      -
+  static-tier recall: 129/129 = 1.000 (target 0.90 met)
+
+The same seed always produces the same matrix, bit for bit:
+
+  $ deepmc inject --seed 5 --no-crash --json > run1.json 2>/dev/null
+  $ deepmc inject --seed 5 --no-crash --json > run2.json 2>/dev/null
+  $ diff run1.json run2.json
+
+The JSON report carries one row per operator (three detector cells
+each) plus the campaign-level acceptance fields:
+
+  $ deepmc inject --framework pmdk --no-dynamic --no-crash --json > inject.json 2>/dev/null
+  $ grep -c '"recall"' inject.json
+  24
+  $ grep -c '"precision"' inject.json
+  24
+  $ grep -o '"static_tier_recall": 1.0' inject.json
+  "static_tier_recall": 1.0
+  $ grep -o '"static_tier_target_met": true' inject.json
+  "static_tier_target_met": true
+  $ grep -o '"false_negatives": \[\]' inject.json
+  "false_negatives": []
+
+Missed mutants are persisted as a re-runnable corpus, each with its
+ground truth in header comments. The PMFS delete-fence mutants exercise
+a known static blind spot (stores reached through pointer-arithmetic
+aliases are invisible to the DSG), so two land in the corpus:
+
+  $ deepmc inject --framework pmfs --operator delete-fence --no-dynamic --no-crash --save-fn fn 2>&1 >/dev/null | grep wrote
+  wrote 2 false negative(s) to fn
+  $ ls fn
+  pmfs_journal_delete-fence_1.nvmir
+  pmfs_super_delete-fence_0.nvmir
+  $ head -3 fn/pmfs_super_delete-fence_0.nvmir
+  # false negative: pmfs_super/delete-fence/0
+  # operator: delete-fence  tier: static  model: epoch
+  # expected: missing-persist-barrier|unflushed-write @ super.c:581

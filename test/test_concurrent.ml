@@ -61,7 +61,9 @@ let run ~parallel ops_per_client =
       (fun c ops ->
         let pmem =
           Runtime.Pmem.create
-            ~first_obj_id:(c * Workloads.Harness.obj_id_stride) ()
+            ~first_obj_id:(c * Workloads.Harness.obj_id_stride)
+            ~obj_id_limit:((c + 1) * Workloads.Harness.obj_id_stride)
+            ()
         in
         Runtime.Dynamic.attach_client checker ~thread:c pmem;
         let tenv = Nvmir.Ty.env_create () in
@@ -204,10 +206,54 @@ let prop_parallel_matches_sequential =
           Runtime.Dynamic.pp_summary s_seq Runtime.Dynamic.pp_summary s_par;
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Overlapping client heap id windows must be rejected at attachment:
+   two heaps handing out the same object ids under one checker would
+   silently alias shadow-segment keys (client A's cells masking B's). *)
+
+let test_overlapping_heap_ranges_rejected () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  (* same window twice: rejected *)
+  let ck = Runtime.Dynamic.create ~model:Analysis.Model.Epoch () in
+  Runtime.Dynamic.attach_client ck ~thread:0 (Runtime.Pmem.create ());
+  check Alcotest.bool "identical unbounded windows rejected" true
+    (raises (fun () ->
+         Runtime.Dynamic.attach_client ck ~thread:1 (Runtime.Pmem.create ())));
+  (* unbounded tail overlapping a later client's window: rejected *)
+  let ck = Runtime.Dynamic.create ~model:Analysis.Model.Epoch () in
+  Runtime.Dynamic.attach_client ck ~thread:0 (Runtime.Pmem.create ());
+  check Alcotest.bool "unbounded window swallows later stride" true
+    (raises (fun () ->
+         Runtime.Dynamic.attach_client ck ~thread:1
+           (Runtime.Pmem.create ~first_obj_id:1024 ~obj_id_limit:2048 ())));
+  (* disjoint strides: accepted *)
+  let ck = Runtime.Dynamic.create ~model:Analysis.Model.Epoch () in
+  List.iter
+    (fun c ->
+      Runtime.Dynamic.attach_client ck ~thread:c
+        (Runtime.Pmem.create ~first_obj_id:(c * 1024)
+           ~obj_id_limit:((c + 1) * 1024) ()))
+    [ 0; 1; 2; 3 ];
+  (* a bounded heap refuses to allocate past its window instead of
+     spilling into the neighbour's *)
+  let pm = Runtime.Pmem.create ~first_obj_id:0 ~obj_id_limit:2 () in
+  let tenv = Nvmir.Ty.env_create () in
+  ignore (Runtime.Pmem.alloc pm ~tenv ~persistent:true Nvmir.Ty.Int);
+  ignore (Runtime.Pmem.alloc pm ~tenv ~persistent:true Nvmir.Ty.Int);
+  check Alcotest.bool "alloc past the id window rejected" true
+    (raises (fun () ->
+         Runtime.Pmem.alloc pm ~tenv ~persistent:true Nvmir.Ty.Int))
+
 let suite =
   [
     tc "parallel == sequential (directed)" `Quick
       test_parallel_equals_sequential_directed;
+    tc "overlapping heap ranges rejected" `Quick
+      test_overlapping_heap_ranges_rejected;
     tc "parallel run deterministic" `Quick test_parallel_run_deterministic;
     tc "warnings aggregate across clients" `Quick
       test_warnings_aggregate_across_clients;

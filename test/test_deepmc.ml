@@ -29,4 +29,5 @@ let () =
       ("differential", Test_differential.suite);
       ("html", Test_html.suite);
       ("summary", Test_summary.suite);
+      ("inject", Test_inject.suite);
     ]
