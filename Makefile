@@ -1,7 +1,7 @@
 # Developer entry points. The benches write their JSON artifacts into
 # the directory they run from, so bench-json runs from the repo root.
 
-.PHONY: all build test verify bench-json clean
+.PHONY: all build test verify bench-json trace clean
 
 all: build
 
@@ -24,6 +24,18 @@ bench-json:
 	dune exec bench/main.exe -- perf --json
 	dune exec bench/main.exe -- figure12 --json
 	dune exec bench/main.exe -- recall --json
+
+# Telemetry artifacts for one corpus-slice check: a Chrome trace (open
+# _artifacts/trace.json in chrome://tracing or Perfetto) and the
+# metrics-registry snapshot. The leading '-' keeps make going: the
+# program has 3 known warnings, so deepmc exits non-zero by design.
+trace:
+	dune build
+	mkdir -p _artifacts
+	-dune exec bin/deepmc_cli.exe -- check examples/programs/pqueue.nvmir \
+	  --strict --no-dynamic \
+	  --metrics-json _artifacts/metrics.json --trace-out _artifacts/trace.json
+	@echo "wrote _artifacts/metrics.json and _artifacts/trace.json"
 
 clean:
 	dune clean

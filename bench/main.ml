@@ -409,6 +409,17 @@ let figure12 ?(json = false) () =
     in
     let band_lo = List.fold_left min infinity all_overheads
     and band_hi = List.fold_left max neg_infinity all_overheads in
+    (* a small telemetry-enabled probe run, separate from the measured
+       comparisons above so the shadow/lock counters cost nothing there *)
+    let telemetry =
+      Obs.Metrics.reset ();
+      Obs.set_enabled true;
+      ignore
+        (Workloads.Memslap.comparison ~seed:bench_seed ~clients:4
+           ~txs:(min txs 2000) (List.hd Workloads.Memslap.mixes));
+      Obs.set_enabled false;
+      Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ())
+    in
     let oc = open_out "BENCH_dynamic.json" in
     let mix_obj app (c : Workloads.Harness.comparison) =
       Fmt.str
@@ -437,10 +448,12 @@ let figure12 ?(json = false) () =
        \  \"overhead_band_pct\": {\"min\": %.2f, \"max\": %.2f},\n\
        \  \"paper_band_pct\": {\"min\": 1.7, \"max\": 16.1},\n\
        \  \"scaling\": {\"mix\": \"%s\", \"txs\": %d, \"clients\": %d, \
-       \"baseline_tps\": [%.0f, %.0f], \"speedup\": %.2f}\n\
+       \"baseline_tps\": [%.0f, %.0f], \"speedup\": %.2f},\n\
+       \  \"telemetry\": %s\n\
        }\n"
       txs (Pool.default_size ()) mixes_json (max 0. band_lo) band_hi scale_mix
-      txs scale_clients tps1 tpsn speedup;
+      txs scale_clients tps1 tpsn speedup
+      (Deepmc.Json_report.to_string telemetry);
     close_out oc;
     Fmt.pr "wrote BENCH_dynamic.json@."
   end
@@ -996,6 +1009,15 @@ let perf ?(json = false) () =
     Fmt.pr "WARNING: engines disagree on event counts (%d/%d/%d)@." legacy_ev
       s1_ev sd_ev;
   if json then begin
+    (* one untimed telemetry-enabled streaming sweep; kept out of the
+       measured runs so instrument cost never touches the numbers *)
+    let telemetry =
+      Obs.Metrics.reset ();
+      Obs.set_enabled true;
+      ignore (sweep Analysis.Config.Streaming);
+      Obs.set_enabled false;
+      Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ())
+    in
     let oc = open_out "BENCH_checker.json" in
     let bench label ev s peak =
       Fmt.str
@@ -1011,13 +1033,15 @@ let perf ?(json = false) () =
        %s,\n\
        %s,\n\
        \  \"speedup_vs_legacy\": %.2f,\n\
-       \  \"speedup_vs_1_domain\": %.2f\n\
+       \  \"speedup_vs_1_domain\": %.2f,\n\
+       \  \"telemetry\": %s\n\
        }\n"
       (List.length jobs) legacy_ev domains
       (bench "legacy_materialized_1_domain" legacy_ev legacy_s legacy_peak)
       (bench "streaming_1_domain" s1_ev s1_s s1_peak)
       (bench "streaming_default_domains" sd_ev sd_s sd_peak)
-      speedup_legacy speedup_1d;
+      speedup_legacy speedup_1d
+      (Deepmc.Json_report.to_string telemetry);
     close_out oc;
     Fmt.pr "wrote BENCH_checker.json@."
   end
@@ -1037,12 +1061,30 @@ let recall ?(json = false) () =
   let bases =
     Inject.Evaluate.corpus_bases () @ Inject.Evaluate.exemplar_bases ()
   in
+  if json then begin
+    (* telemetry rides along with the measured campaign: the scoring
+       latency histograms only exist if the instruments are live *)
+    Obs.Metrics.reset ();
+    Obs.set_enabled true
+  end;
   let s = Inject.Evaluate.run ~seed bases in
+  if json then Obs.set_enabled false;
   Fmt.pr "%a" Inject.Evaluate.pp_summary s;
   if json then begin
+    let j =
+      match Inject.Evaluate.to_json s with
+      | Deepmc.Json_report.Obj fields ->
+        Deepmc.Json_report.Obj
+          (fields
+          @ [
+              ( "telemetry",
+                Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ()) );
+            ])
+      | j -> j
+    in
     let oc = open_out "BENCH_inject.json" in
     let ppf = Format.formatter_of_out_channel oc in
-    Fmt.pf ppf "%a@." Deepmc.Json_report.pp (Inject.Evaluate.to_json s);
+    Fmt.pf ppf "%a@." Deepmc.Json_report.pp j;
     close_out oc;
     Fmt.pr "wrote BENCH_inject.json@."
   end

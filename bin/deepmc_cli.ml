@@ -116,6 +116,42 @@ let suppressions_term =
 let json_term =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
+(* Telemetry surface: either flag switches the Obs registry/tracer on
+   for the whole run; the files are written at the end, before the
+   warning count decides the exit code. *)
+let metrics_json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write the metrics-registry snapshot here \
+           as JSON.")
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write a Chrome trace_event file here \
+           (open in chrome://tracing or Perfetto; one track per domain).")
+
+let obs_setup ~metrics_json ~trace_out =
+  if metrics_json <> None || trace_out <> None then Obs.set_enabled true
+
+let obs_write ~metrics_json ~trace_out =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Fmt.pf ppf "%a@." Deepmc.Json_report.pp
+        (Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ()));
+      Format.pp_print_flush ppf ();
+      close_out oc)
+    metrics_json;
+  Option.iter Obs.Span.write_file trace_out
+
 (* One seed for every randomized path (crash-image sampling, generator
    workloads, the bug injector): any run is reproducible from it. *)
 let seed_term =
@@ -191,11 +227,12 @@ let check_cmd =
   in
   let run () model file entry clients no_dynamic field_insensitive
       suppressions json pmem_roots html domains stats materialized explore
-      crash_bound seed =
+      crash_bound seed metrics_json trace_out =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
     Option.iter Pool.set_default_size domains;
+    obs_setup ~metrics_json ~trace_out;
     let config =
       {
         Analysis.Config.default with
@@ -252,6 +289,7 @@ let check_cmd =
     if json then
       Fmt.pr "%a@." Deepmc.Json_report.pp (Deepmc.Json_report.of_report report)
     else Fmt.pr "%a@." Deepmc.Driver.pp_report report;
+    obs_write ~metrics_json ~trace_out;
     if warnings = [] then Ok ()
     else Error (`Msg (Fmt.str "%d warning(s)" (List.length warnings)))
   in
@@ -263,7 +301,7 @@ let check_cmd =
        $ clients_term $ no_dynamic_term $ field_insensitive_term
        $ suppressions_term $ json_term $ pmem_roots_term $ html_term
        $ domains_term $ stats_term $ materialized_term $ explore_term
-       $ crash_bound_term $ seed_term))
+       $ crash_bound_term $ seed_term $ metrics_json_term $ trace_out_term))
 
 (* Mixed-model checking: a map file with one "function model" pair per
    line assigns each analysis root its intended persistency model. *)
@@ -597,10 +635,11 @@ let crash_explore_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Worker domains for the crash-point fan-out.")
   in
-  let run () file entry bound seed domains json =
+  let run () file entry bound seed domains json metrics_json trace_out =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
+    obs_setup ~metrics_json ~trace_out;
     match Nvmir.Prog.find_func prog entry with
     | None -> Error (`Msg (Fmt.str "entry %s not defined" entry))
     | Some _ ->
@@ -611,6 +650,7 @@ let crash_explore_cmd =
         Fmt.pr "%a@." Deepmc.Json_report.pp
           (Deepmc.Json_report.of_crash_space r)
       else Fmt.pr "%a@." Runtime.Crash_space.pp_report r;
+      obs_write ~metrics_json ~trace_out;
       if r.Runtime.Crash_space.inconsistent > 0 then
         Error
           (`Msg
@@ -627,7 +667,8 @@ let crash_explore_cmd =
     Term.(
       term_result
         (const run $ setup_logs_term $ file_arg $ entry_req $ bound_term
-       $ seed_term $ domains_term $ json_term))
+       $ seed_term $ domains_term $ json_term $ metrics_json_term
+       $ trace_out_term))
 
 let fmt_cmd =
   let in_place_term =
@@ -703,9 +744,10 @@ let inject_cmd =
              files (the false-negative corpus).")
   in
   let run () framework name synth operators no_dynamic no_crash crash_bound
-      save_fn seed domains json =
+      save_fn seed domains json metrics_json trace_out =
     let ( let* ) = Result.bind in
     Option.iter Pool.set_default_size domains;
+    obs_setup ~metrics_json ~trace_out;
     let* framework =
       match framework with
       | None -> Ok None
@@ -761,6 +803,7 @@ let inject_cmd =
     if json then
       Fmt.pr "%a@." Deepmc.Json_report.pp (Inject.Evaluate.to_json summary)
     else Fmt.pr "%a" Inject.Evaluate.pp_summary summary;
+    obs_write ~metrics_json ~trace_out;
     Ok ()
   in
   let doc =
@@ -772,7 +815,8 @@ let inject_cmd =
       term_result
         (const run $ setup_logs_term $ framework_term $ name_term $ synth_term
        $ operator_term $ no_dynamic_term $ no_crash_term $ crash_bound_term
-       $ save_fn_term $ seed_term $ domains_term $ json_term))
+       $ save_fn_term $ seed_term $ domains_term $ json_term
+       $ metrics_json_term $ trace_out_term))
 
 let rules_cmd =
   let run () =
@@ -790,6 +834,23 @@ let rules_cmd =
   let doc = "Print the checking-rule catalog (Tables 4 and 5)." in
   Cmd.v (Cmd.info "rules" ~doc) Term.(term_result (const run $ const ()))
 
+let stats_cmd =
+  let run () =
+    List.iter
+      (fun (m : Obs.Metrics.meta) ->
+        Fmt.pr "%-26s %-9s %s@." m.Obs.Metrics.m_name
+          (Obs.Metrics.kind_name m.Obs.Metrics.m_kind)
+          m.Obs.Metrics.m_desc)
+      (Obs.Metrics.catalog ());
+    Ok ()
+  in
+  let doc =
+    "Print the telemetry instrument catalog (name, kind, description). \
+     Values are collected per run with --metrics-json on check, \
+     crash-explore and inject."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(term_result (const run $ const ()))
+
 let main_cmd =
   let doc = "detect deep memory persistency bugs in NVM programs" in
   let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
@@ -797,6 +858,7 @@ let main_cmd =
     [
       check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
       inject_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
+      stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -23,25 +23,58 @@ type result = {
   dsg : Dsa.Dsg.t;
 }
 
+let m_roots =
+  Obs.Metrics.counter "checker.roots_checked"
+    ~desc:"analysis roots run through the rule set"
+
+let m_warnings =
+  Obs.Metrics.counter "checker.warning_total"
+    ~desc:"deduplicated warnings (labelled rule=R,model=M)"
+
+let m_root_ns =
+  Obs.Metrics.histogram "checker.root_latency_ns"
+    ~desc:"per-root check latency (streaming engine), nanoseconds"
+
+let m_peak =
+  Obs.Metrics.gauge "trace.peak_live_paths"
+    ~desc:"high-water mark of simultaneously-live paths across roots"
+
+let note_warnings warnings =
+  if Obs.enabled () then
+    List.iter
+      (fun (w : Warning.t) ->
+        Obs.Metrics.add_labelled m_warnings
+          (Fmt.str "rule=%s,model=%s"
+             (Warning.rule_name w.Warning.rule)
+             (Model.to_string w.Warning.model))
+          1)
+      warnings
+
 (* Deduplicate as warnings stream out: first occurrence wins, order
    kept — the same result [Warning.dedup] computes on the concatenated
    list, without retaining duplicates in the meantime. *)
 let check_root_streaming ctx (src : Trace.source) =
-  let seen = Hashtbl.create 16 in
-  let rev_warnings = ref [] in
-  Seq.iter
-    (fun trace ->
-      let st = Rules.Incremental.feed Rules.Incremental.start trace in
-      List.iter
-        (fun w ->
-          let k = Warning.dedup_key w in
-          if not (Hashtbl.mem seen k) then begin
-            Hashtbl.add seen k ();
-            rev_warnings := w :: !rev_warnings
-          end)
-        (Rules.Incremental.finish ctx st))
-    src.Trace.traces;
-  List.rev !rev_warnings
+  Obs.Span.with_ ~name:"check-root" (fun () ->
+      Obs.Metrics.incr m_roots;
+      let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
+      let seen = Hashtbl.create 16 in
+      let rev_warnings = ref [] in
+      Seq.iter
+        (fun trace ->
+          let st = Rules.Incremental.feed Rules.Incremental.start trace in
+          List.iter
+            (fun w ->
+              let k = Warning.dedup_key w in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.add seen k ();
+                rev_warnings := w :: !rev_warnings
+              end)
+            (Rules.Incremental.finish ctx st))
+        src.Trace.traces;
+      if Obs.enabled () then
+        Obs.Metrics.observe m_root_ns
+          (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+      List.rev !rev_warnings)
 
 let check ?(config = Config.default) ?(field_sensitive = true)
     ?(persistent_roots = []) ?roots ~model (prog : Nvmir.Prog.t) : result =
@@ -55,10 +88,15 @@ let check ?(config = Config.default) ?(field_sensitive = true)
       List.concat_map (Rules.check_trace ctx) traces
       |> Warning.dedup |> Warning.sort
     in
+    note_warnings warnings;
     let event_count =
       List.fold_left (fun acc t -> acc + Trace.length t) 0 traces
     in
     (* every materialized trace is live at once *)
+    if Obs.enabled () then begin
+      Obs.Metrics.incr m_roots;
+      Obs.Metrics.set_max m_peak (List.length traces)
+    end;
     {
       model;
       warnings;
@@ -78,6 +116,7 @@ let check ?(config = Config.default) ?(field_sensitive = true)
     let warnings =
       List.concat per_root |> Warning.dedup |> Warning.sort
     in
+    note_warnings warnings;
     let trace_count, event_count, peak_paths =
       List.fold_left
         (fun (t, e, p) (src : Trace.source) ->
@@ -86,6 +125,7 @@ let check ?(config = Config.default) ?(field_sensitive = true)
             max p src.Trace.s_stats.Trace.peak_live ))
         (0, 0, 0) sources
     in
+    if Obs.enabled () then Obs.Metrics.set_max m_peak peak_paths;
     { model; warnings; trace_count; event_count; peak_paths; dsg }
 
 (* Mixed-model checking — lifting the limitation §4.5 states ("DeepMC

@@ -741,7 +741,15 @@ let meta_of id = List.find (fun m -> m.id = id) catalog
 let applicable_rules model =
   List.filter (fun m -> List.exists (Model.equal model) m.models) catalog
 
+(* One [run_all] serves both engines ([check_trace] and
+   [Incremental.finish]), so this counter covers every rule evaluation
+   the checker performs regardless of engine. *)
+let m_rules_fired =
+  Obs.Metrics.counter "rules.fired"
+    ~desc:"rule evaluations (one per rule per completed trace)"
+
 let run_all ctx scoped =
+  Obs.Metrics.add m_rules_fired 7;
   List.concat
     [
       check_unflushed_write ctx scoped;

@@ -24,6 +24,22 @@
 
 type t = Event.t list
 
+(* Registry instruments, shared by both engines. "Paths expanded" are
+   fully-merged root paths (what the rules consume); memo hits/misses
+   count call-site lookups against the interprocedural memo, eager and
+   lazy alike. *)
+let m_paths =
+  Obs.Metrics.counter "trace.paths_expanded"
+    ~desc:"fully-expanded root paths handed to the rules"
+
+let m_memo_hits =
+  Obs.Metrics.counter "trace.memo_hits"
+    ~desc:"call-site expansions served from the interprocedural memo"
+
+let m_memo_misses =
+  Obs.Metrics.counter "trace.memo_misses"
+    ~desc:"call-site lookups that had to build (or lacked) a memo entry"
+
 (* Events of one instruction, in order. [Persist] lowers to flush;fence. *)
 let events_of_instr dsg ~fname (i : Nvmir.Instr.t) : Event.t list =
   let ev kind = Event.make ~fname ~loc:i.loc kind in
@@ -300,6 +316,7 @@ let expand_with (config : Config.t) ~memo (trace : t) : t list =
       let rests = take cap (expand_trace rest) in
       match Hashtbl.find_opt memo callee with
       | Some callee_traces when callee_traces <> [] ->
+        Obs.Metrics.incr m_memo_hits;
         let callee_traces = take config.expansion_fanout callee_traces in
         take cap
           (List.concat_map
@@ -310,7 +327,9 @@ let expand_with (config : Config.t) ~memo (trace : t) : t list =
                    @ (Event.make ~fname ~loc (Event.Ret_mark callee) :: r))
                  rests)
              callee_traces)
-      | Some _ | None -> List.map (fun r -> ev :: r) rests)
+      | Some _ | None ->
+        Obs.Metrics.incr m_memo_misses;
+        List.map (fun r -> ev :: r) rests)
     | ev :: rest -> List.map (fun r -> ev :: r) (expand_trace rest)
   in
   take cap (expand_trace trace)
@@ -377,19 +396,25 @@ type lazy_memo = {
 
 let rec lazy_entry lm name : t Seq.t option =
   match Hashtbl.find_opt lm.lz_seqs name with
-  | Some s -> Some s
+  | Some s ->
+    Obs.Metrics.incr m_memo_hits;
+    Some s
   | None -> (
     match Hashtbl.find_opt lm.lz_cyclic name with
-    | Some ts -> Some (List.to_seq ts)
+    | Some ts ->
+      Obs.Metrics.incr m_memo_hits;
+      Some (List.to_seq ts)
     | None when Hashtbl.mem lm.lz_cyc_set name ->
       (* cyclic entry not built yet (later in the postorder pass): the
          eager build would find no memo entry and keep the call mark —
          expanding lazily here would recurse through the cycle forever *)
+      Obs.Metrics.incr m_memo_misses;
       None
     | None -> (
       match Hashtbl.find_opt lm.lz_intra name with
       | None -> None
       | Some own ->
+        Obs.Metrics.incr m_memo_misses;
         let s =
           Seq.memoize
             (Seq.take lm.lz_config.Config.max_paths
@@ -523,7 +548,10 @@ let collect ?(config = Config.default) ?roots dsg prog :
   let cg, memo, _ = build_memo config dsg prog ~skip:[] in
   let roots = resolve_roots ~roots cg prog in
   List.map
-    (fun r -> (r, Option.value ~default:[] (Hashtbl.find_opt memo r)))
+    (fun r ->
+      let ts = Option.value ~default:[] (Hashtbl.find_opt memo r) in
+      if Obs.enabled () then Obs.Metrics.add m_paths (List.length ts);
+      (r, ts))
     roots
 
 (* ------------------------------------------------------------------ *)
@@ -559,6 +587,7 @@ let stream ?(config = Config.default) ?roots dsg prog : source list =
     (fun r ->
       let s_stats = fresh_stats () in
       let count tr =
+        Obs.Metrics.incr m_paths;
         s_stats.paths <- s_stats.paths + 1;
         s_stats.events <-
           s_stats.events

@@ -113,8 +113,10 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
         Analysis.Model.pp t.model Analysis.Config.pp t.config);
   let t0 = Clock.now () in
   let static =
-    Analysis.Checker.check ~config:t.config ~field_sensitive:t.field_sensitive
-      ~persistent_roots ?roots ~model:t.model prog
+    Obs.Span.with_ ~name:"static-check" (fun () ->
+        Analysis.Checker.check ~config:t.config
+          ~field_sensitive:t.field_sensitive ~persistent_roots ?roots
+          ~model:t.model prog)
   in
   let t1 = Clock.now () in
   Log.info (fun m ->
@@ -123,7 +125,9 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
         (List.length static.Analysis.Checker.warnings)
         (Clock.span_s t0 t1 *. 1000.));
   let dynamic, dyn_warnings =
-    if t.run_dynamic then run_dynamic_analysis t ?entry ?args ?clients prog
+    if t.run_dynamic then
+      Obs.Span.with_ ~name:"dynamic-check" (fun () ->
+          run_dynamic_analysis t ?entry ?args ?clients prog)
     else (Dynamic_skipped "dynamic analysis disabled", [])
   in
   let t2 = Clock.now () in
@@ -145,8 +149,9 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
       if Nvmir.Prog.find_func prog entry = None then None
       else begin
         let r =
-          Crash_sweep.explore_program ?bound:crash_bound ?seed ~entry
-            ?args prog
+          Obs.Span.with_ ~name:"crash-explore" (fun () ->
+              Crash_sweep.explore_program ?bound:crash_bound ?seed ~entry
+                ?args prog)
         in
         Log.info (fun m ->
             m "crash space: %a" Runtime.Crash_space.pp_report r);

@@ -143,6 +143,21 @@ let render ?(title = "DeepMC report") prog (report : Driver.report) : string =
   end
   else Buffer.add_string buf "<p>No warnings: the program implements its persistency model.</p>\n";
   render_listing buf prog report.Driver.warnings;
+  (* Telemetry instruments, when the run was traced (--metrics-json /
+     --trace-out turn the registry on); invisible otherwise. *)
+  (match Obs.Metrics.snapshot () with
+  | [] -> ()
+  | samples ->
+    Buffer.add_string buf
+      "<h2>Telemetry</h2>\n<table>\n<tr><th>instrument</th><th>value</th></tr>\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf
+          (Fmt.str "<tr><td><code>%s</code></td><td>%s</td></tr>\n"
+             (escape name)
+             (escape (Fmt.str "%a" Obs.Metrics.pp_value v))))
+      samples;
+    Buffer.add_string buf "</table>\n");
   Buffer.add_string buf
     "<footer>Generated by DeepMC — deep memory persistency bug detection \
      (PPoPP'22 reproduction).</footer>\n</body></html>\n";

@@ -110,6 +110,26 @@ let of_crash_space (r : Runtime.Crash_space.report) =
         List (List.map of_crash_witness r.Runtime.Crash_space.witnesses) );
     ]
 
+(* Telemetry snapshot encoding: counters and gauges become bare ints,
+   histograms an object with count/sum and the non-empty log2 buckets.
+   Empty object when telemetry never ran. *)
+let of_metric_value = function
+  | Obs.Metrics.Count n | Obs.Metrics.Level n -> Int n
+  | Obs.Metrics.Dist h ->
+    Obj
+      [
+        ("count", Int h.Obs.Metrics.h_count);
+        ("sum", Int h.Obs.Metrics.h_sum);
+        ( "buckets",
+          List
+            (List.map
+               (fun (lo, n) -> Obj [ ("lo", Int lo); ("n", Int n) ])
+               h.Obs.Metrics.h_buckets) );
+      ]
+
+let of_metrics samples =
+  Obj (List.map (fun (name, v) -> (name, of_metric_value v)) samples)
+
 let of_report (r : Driver.report) =
   Obj
     [
@@ -136,6 +156,7 @@ let of_report (r : Driver.report) =
         match r.Driver.crash_space with
         | Some cs -> of_crash_space cs
         | None -> Null );
+      ("metrics", of_metrics (Obs.Metrics.snapshot ()));
     ]
 
 let of_score (s : Report.score) =

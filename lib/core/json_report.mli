@@ -13,6 +13,10 @@ type json =
 val pp : json Fmt.t
 val to_string : json -> string
 
+val of_metrics : (string * Obs.Metrics.value) list -> json
+(** Encode a registry snapshot: counters/gauges as ints, histograms as
+    [{count; sum; buckets: [{lo; n}]}]. *)
+
 val of_warning : Analysis.Warning.t -> json
 val of_dynamic_summary : Runtime.Dynamic.summary -> json
 val of_crash_space : Runtime.Crash_space.report -> json

@@ -207,8 +207,29 @@ type summary = {
   static_tier_mutants : int;
   static_tier_detected : int;
   static_tier_recall : float;
+  known_blind_spot : int;
   results : mutant_result list;
 }
+
+(* The documented DSG limitation: stores reached through
+   pointer-arithmetic aliases are invisible to the static rules, so
+   fence-ordering mutants behind such aliases are expected static-tier
+   misses. Tracking them as a metric keeps the blind spot's size pinned
+   — growth or shrinkage is a behavior change, not noise. *)
+let is_known_blind_spot (r : mutant_result) =
+  (match r.mutant.Mutation.truth.Mutation.operator with
+  | Mutation.Delete_fence | Mutation.Reorder_fence -> true
+  | _ -> false)
+  && r.mutant.Mutation.truth.Mutation.tier = Mutation.Static_tier
+  && not r.static_d.hit
+
+let m_score_ns =
+  Obs.Metrics.histogram "inject.scoring_latency_ns"
+    ~desc:"per-mutant static+dynamic scoring latency (labelled op=O)"
+
+let m_blind_spot =
+  Obs.Metrics.gauge "inject.blind_spot_fns"
+    ~desc:"static-tier fence FNs behind pointer-arith aliases (known DSG gap)"
 
 let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
     ?(dynamic = true) ?(crash = true) ?(crash_bound = 192) bases =
@@ -225,8 +246,16 @@ let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
   let sd =
     Pool.map ?domains ~chunk:1 (Pool.default ())
       (fun (b, m) ->
+        let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
         let s = eval_static b m in
         let d = if dynamic then eval_dynamic b m else not_applicable in
+        if Obs.enabled () then begin
+          let dt = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
+          Obs.Metrics.observe m_score_ns dt;
+          Obs.Metrics.observe_labelled m_score_ns
+            ("op=" ^ Mutation.operator_name m.Mutation.truth.Mutation.operator)
+            dt
+        end;
         (s, d))
       mutants
   in
@@ -341,6 +370,8 @@ let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
   in
   let detected = List.filter (fun r -> r.static_d.hit) static_tier in
   let nt = List.length static_tier and nd = List.length detected in
+  let blind = List.length (List.filter is_known_blind_spot results) in
+  Obs.Metrics.set m_blind_spot blind;
   {
     seed;
     bases = List.length bases;
@@ -350,6 +381,7 @@ let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
     static_tier_detected = nd;
     static_tier_recall =
       (if nt = 0 then 1.0 else float_of_int nd /. float_of_int nt);
+    known_blind_spot = blind;
     results;
   }
 
@@ -393,6 +425,56 @@ let save_false_negatives ~dir s =
       path)
     (false_negatives s)
 
+(* Re-derive the blind-spot count from a persisted FN corpus by parsing
+   the ground-truth header comments — the cross-check that the summary
+   counter and the saved corpus agree. Only the leading comment block is
+   read. *)
+let known_blind_spot_of_corpus ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Array.fold_left
+      (fun acc f ->
+        if not (Filename.check_suffix f ".nvmir") then acc
+        else begin
+          let ic = open_in (Filename.concat dir f) in
+          let matched = ref false in
+          let prefix = "# operator: " in
+          let plen = String.length prefix in
+          (try
+             let rec scan () =
+               let line = input_line ic in
+               if String.length line > 0 && line.[0] = '#' then begin
+                 if
+                   String.length line >= plen
+                   && String.equal (String.sub line 0 plen) prefix
+                 then begin
+                   let rest =
+                     String.sub line plen (String.length line - plen)
+                   in
+                   let toks =
+                     List.filter
+                       (fun s -> s <> "")
+                       (String.split_on_char ' ' rest)
+                   in
+                   match toks with
+                   | op :: "tier:" :: tier :: _ -> (
+                     match Mutation.operator_of_string op with
+                     | Some (Mutation.Delete_fence | Mutation.Reorder_fence)
+                       when String.equal tier "static" ->
+                       matched := true
+                     | _ -> ())
+                   | _ -> ()
+                 end;
+                 scan ()
+               end
+             in
+             scan ()
+           with End_of_file -> ());
+          close_in ic;
+          if !matched then acc + 1 else acc
+        end)
+      0 (Sys.readdir dir)
+
 (* ------------------------------------------------------------------ *)
 
 let json_of_opt_float = function None -> J.Null | Some f -> J.Float f
@@ -434,6 +516,7 @@ let to_json s =
       ("static_tier_detected", J.Int s.static_tier_detected);
       ("static_tier_recall", J.Float s.static_tier_recall);
       ("static_tier_target_met", J.Bool (s.static_tier_recall >= 0.9));
+      ("known_blind_spot", J.Int s.known_blind_spot);
       ( "false_negatives",
         J.List
           (List.map
@@ -478,6 +561,8 @@ let pp_summary ppf s =
   Fmt.pf ppf "static-tier recall: %d/%d = %.3f (target 0.90 %s)@."
     s.static_tier_detected s.static_tier_mutants s.static_tier_recall
     (if s.static_tier_recall >= 0.9 then "met" else "MISSED");
+  Fmt.pf ppf "known blind spot (pointer-arith fence aliases): %d mutant(s)@."
+    s.known_blind_spot;
   let fns = false_negatives s in
   if fns <> [] then
     Fmt.pf ppf "false negatives: %s@."

@@ -74,8 +74,15 @@ type summary = {
   static_tier_mutants : int;
   static_tier_detected : int;
   static_tier_recall : float;  (** 1.0 when the tier has no mutants *)
+  known_blind_spot : int;
+      (** static-tier fence mutants (delete-fence / reorder-fence)
+          missed by the static checker — the documented DSG
+          pointer-arith alias gap, tracked so regressions in either
+          direction are visible *)
   results : mutant_result list;
 }
+
+val is_known_blind_spot : mutant_result -> bool
 
 val run :
   ?domains:int ->
@@ -97,6 +104,12 @@ val false_negatives : summary -> mutant_result list
 val save_false_negatives : dir:string -> summary -> string list
 (** Persist each false negative as a parseable .nvmir file (ground
     truth in header comments); returns the paths written. *)
+
+val known_blind_spot_of_corpus : dir:string -> int
+(** Recount the blind spot from a corpus persisted by
+    {!save_false_negatives}, by parsing the ground-truth headers — the
+    independent source the [known_blind_spot] field is checked
+    against. 0 when [dir] does not exist. *)
 
 val to_json : summary -> Deepmc.Json_report.json
 val pp_summary : summary Fmt.t

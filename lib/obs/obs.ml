@@ -1,0 +1,419 @@
+(* Process-wide observability. See obs.mli for the contract; the two
+   invariants that matter here are (a) the disabled path touches no
+   mutable state beyond one atomic load, and (b) cells survive a
+   [reset] only through re-interning, so a reset genuinely returns the
+   registry to "nothing allocated". *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let now_ns () : int64 = Monotonic_clock.now ()
+
+module Metrics = struct
+  type kind = Counter | Gauge | Histogram
+
+  let kind_name = function
+    | Counter -> "counter"
+    | Gauge -> "gauge"
+    | Histogram -> "histogram"
+
+  type hist_cell = {
+    hc_count : int Atomic.t;
+    hc_sum : int Atomic.t;
+    hc_buckets : int Atomic.t array;
+  }
+
+  type cell =
+    | Ccounter of int Atomic.t
+    | Cgauge of int Atomic.t
+    | Chist of hist_cell
+
+  (* Registry: cells keyed by full instrument name; the catalog keyed
+     by declared name. [generation] invalidates the per-handle cell
+     caches across [reset] so a stale cache can never resurrect a
+     dropped cell. *)
+  let reg_lock = Mutex.create ()
+  let cells : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+  type meta = { m_name : string; m_kind : kind; m_desc : string }
+
+  let metas : (string, meta) Hashtbl.t = Hashtbl.create 64
+  let generation = Atomic.make 0
+
+  type counter = { c_name : string; mutable c_cell : (int * int Atomic.t) option }
+  type gauge = { g_name : string; mutable g_cell : (int * int Atomic.t) option }
+  type histogram = { h_name : string; mutable h_cell : (int * hist_cell) option }
+
+  let register_meta name kind desc =
+    Mutex.lock reg_lock;
+    if not (Hashtbl.mem metas name) then
+      Hashtbl.replace metas name { m_name = name; m_kind = kind; m_desc = desc };
+    Mutex.unlock reg_lock
+
+  let counter ?(desc = "") name =
+    register_meta name Counter desc;
+    { c_name = name; c_cell = None }
+
+  let gauge ?(desc = "") name =
+    register_meta name Gauge desc;
+    { g_name = name; g_cell = None }
+
+  let histogram ?(desc = "") name =
+    register_meta name Histogram desc;
+    { h_name = name; h_cell = None }
+
+  let n_buckets = 62
+
+  let new_hist_cell () =
+    {
+      hc_count = Atomic.make 0;
+      hc_sum = Atomic.make 0;
+      hc_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    }
+
+  (* Find-or-create under the registry lock. Interning is idempotent,
+     so the per-handle cache write outside the lock is a benign race:
+     both racers end up caching the same cell. *)
+  let intern name mk =
+    Mutex.lock reg_lock;
+    let c =
+      match Hashtbl.find_opt cells name with
+      | Some c -> c
+      | None ->
+        let c = mk () in
+        Hashtbl.replace cells name c;
+        c
+    in
+    Mutex.unlock reg_lock;
+    c
+
+  let counter_cell name =
+    match intern name (fun () -> Ccounter (Atomic.make 0)) with
+    | Ccounter a -> a
+    | _ -> invalid_arg ("Obs.Metrics: " ^ name ^ " is not a counter")
+
+  let gauge_cell name =
+    match intern name (fun () -> Cgauge (Atomic.make 0)) with
+    | Cgauge a -> a
+    | _ -> invalid_arg ("Obs.Metrics: " ^ name ^ " is not a gauge")
+
+  let hist_cell name =
+    match intern name (fun () -> Chist (new_hist_cell ())) with
+    | Chist h -> h
+    | _ -> invalid_arg ("Obs.Metrics: " ^ name ^ " is not a histogram")
+
+  let counter_resolve (c : counter) =
+    let gen = Atomic.get generation in
+    match c.c_cell with
+    | Some (g, a) when g = gen -> a
+    | _ ->
+      let a = counter_cell c.c_name in
+      c.c_cell <- Some (gen, a);
+      a
+
+  let gauge_resolve (g : gauge) =
+    let gen = Atomic.get generation in
+    match g.g_cell with
+    | Some (gn, a) when gn = gen -> a
+    | _ ->
+      let a = gauge_cell g.g_name in
+      g.g_cell <- Some (gen, a);
+      a
+
+  let hist_resolve (h : histogram) =
+    let gen = Atomic.get generation in
+    match h.h_cell with
+    | Some (gn, c) when gn = gen -> c
+    | _ ->
+      let c = hist_cell h.h_name in
+      h.h_cell <- Some (gen, c);
+      c
+
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add (counter_resolve c) n)
+  let incr c = add c 1
+  let labelled_name name label = name ^ "{" ^ label ^ "}"
+
+  let add_labelled c label n =
+    if enabled () then
+      ignore (Atomic.fetch_and_add (counter_cell (labelled_name c.c_name label)) n)
+
+  let set g v = if enabled () then Atomic.set (gauge_resolve g) v
+
+  let rec max_into a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then max_into a v
+
+  let set_max g v = if enabled () then max_into (gauge_resolve g) v
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else begin
+      let i = ref 0 and x = ref v in
+      while !x > 1 && !i < n_buckets - 1 do
+        i := !i + 1;
+        x := !x lsr 1
+      done;
+      !i
+    end
+
+  let hist_observe hc v =
+    ignore (Atomic.fetch_and_add hc.hc_count 1);
+    ignore (Atomic.fetch_and_add hc.hc_sum v);
+    ignore (Atomic.fetch_and_add hc.hc_buckets.(bucket_of v) 1)
+
+  let observe h v = if enabled () then hist_observe (hist_resolve h) v
+
+  let observe_labelled h label v =
+    if enabled () then hist_observe (hist_cell (labelled_name h.h_name label)) v
+
+  type hist = { h_count : int; h_sum : int; h_buckets : (int * int) list }
+  type value = Count of int | Level of int | Dist of hist
+
+  let read_hist hc =
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let n = Atomic.get hc.hc_buckets.(i) in
+      if n > 0 then buckets := ((if i = 0 then 0 else 1 lsl i), n) :: !buckets
+    done;
+    {
+      h_count = Atomic.get hc.hc_count;
+      h_sum = Atomic.get hc.hc_sum;
+      h_buckets = !buckets;
+    }
+
+  let snapshot () =
+    Mutex.lock reg_lock;
+    let out =
+      Hashtbl.fold
+        (fun name cell acc ->
+          let v =
+            match cell with
+            | Ccounter a -> Count (Atomic.get a)
+            | Cgauge a -> Level (Atomic.get a)
+            | Chist hc -> Dist (read_hist hc)
+          in
+          (name, v) :: acc)
+        cells []
+    in
+    Mutex.unlock reg_lock;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) out
+
+  let find samples name = List.assoc_opt name samples
+
+  let int_of_value = function
+    | Count n | Level n -> n
+    | Dist h -> h.h_count
+
+  let diff ~before after =
+    List.map
+      (fun (name, v) ->
+        match (v, find before name) with
+        | Count a, Some (Count b) -> (name, Count (a - b))
+        | Dist a, Some (Dist b) ->
+          let buckets =
+            List.map
+              (fun (lo, n) ->
+                let prev =
+                  match List.assoc_opt lo b.h_buckets with
+                  | Some p -> p
+                  | None -> 0
+                in
+                (lo, n - prev))
+              a.h_buckets
+            |> List.filter (fun (_, n) -> n <> 0)
+          in
+          ( name,
+            Dist
+              {
+                h_count = a.h_count - b.h_count;
+                h_sum = a.h_sum - b.h_sum;
+                h_buckets = buckets;
+              } )
+        | v, _ -> (name, v))
+      after
+
+  let live_instruments () =
+    Mutex.lock reg_lock;
+    let n = Hashtbl.length cells in
+    Mutex.unlock reg_lock;
+    n
+
+  let reset () =
+    Mutex.lock reg_lock;
+    Hashtbl.reset cells;
+    Atomic.incr generation;
+    Mutex.unlock reg_lock
+
+  let catalog () =
+    Mutex.lock reg_lock;
+    let out = Hashtbl.fold (fun _ m acc -> m :: acc) metas [] in
+    Mutex.unlock reg_lock;
+    List.sort (fun a b -> String.compare a.m_name b.m_name) out
+
+  let pp_value ppf = function
+    | Count n -> Fmt.pf ppf "%d" n
+    | Level n -> Fmt.pf ppf "%d" n
+    | Dist h ->
+      Fmt.pf ppf "count=%d sum=%d mean=%.1f" h.h_count h.h_sum
+        (if h.h_count = 0 then 0. else float_of_int h.h_sum /. float_of_int h.h_count)
+end
+
+module Span = struct
+  type phase = Begin | End
+
+  type event = {
+    ev_name : string;
+    ev_ph : phase;
+    ev_ts_ns : int64;
+    ev_tid : int;
+    ev_args : (string * string) list;
+  }
+
+  (* One buffer per domain, registered on first use; the owner appends
+     without synchronization (newest first), readers take [bufs_lock]
+     and are only exact when the owners are quiescent. *)
+  type buf = {
+    b_tid : int;
+    mutable b_events : event list;  (* reversed *)
+    mutable b_track : string option;
+  }
+
+  let bufs_lock = Mutex.create ()
+  let bufs : buf list ref = ref []
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b =
+          { b_tid = (Domain.self () :> int); b_events = []; b_track = None }
+        in
+        Mutex.lock bufs_lock;
+        bufs := b :: !bufs;
+        Mutex.unlock bufs_lock;
+        b)
+
+  let with_ ?(args = []) ~name f =
+    if not (enabled ()) then f ()
+    else begin
+      let b = Domain.DLS.get key in
+      b.b_events <-
+        {
+          ev_name = name;
+          ev_ph = Begin;
+          ev_ts_ns = now_ns ();
+          ev_tid = b.b_tid;
+          ev_args = args;
+        }
+        :: b.b_events;
+      Fun.protect
+        ~finally:(fun () ->
+          (* Unconditional: keeps B/E balanced even if telemetry was
+             switched off while the span was open. *)
+          b.b_events <-
+            {
+              ev_name = name;
+              ev_ph = End;
+              ev_ts_ns = now_ns ();
+              ev_tid = b.b_tid;
+              ev_args = [];
+            }
+            :: b.b_events)
+        f
+    end
+
+  let set_track_name name =
+    if enabled () then (Domain.DLS.get key).b_track <- Some name
+
+  let tracks () =
+    Mutex.lock bufs_lock;
+    let bs = !bufs in
+    Mutex.unlock bufs_lock;
+    List.sort (fun a b -> compare a.b_tid b.b_tid) bs
+
+  let events () =
+    List.concat_map (fun b -> List.rev b.b_events) (tracks ())
+
+  let reset () =
+    Mutex.lock bufs_lock;
+    List.iter
+      (fun b ->
+        b.b_events <- [];
+        b.b_track <- None)
+      !bufs;
+    Mutex.unlock bufs_lock
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_json () =
+    let tracks = tracks () in
+    let origin =
+      List.fold_left
+        (fun acc b ->
+          List.fold_left (fun acc e -> min acc e.ev_ts_ns) acc b.b_events)
+        Int64.max_int tracks
+    in
+    let origin = if origin = Int64.max_int then 0L else origin in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\": [";
+    let first = ref true in
+    let emit s =
+      if not !first then Buffer.add_string buf ",\n  " else Buffer.add_string buf "\n  ";
+      first := false;
+      Buffer.add_string buf s
+    in
+    List.iter
+      (fun b ->
+        (match b.b_track with
+        | Some name ->
+          emit
+            (Printf.sprintf
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+                \"tid\": %d, \"args\": {\"name\": \"%s\"}}"
+               b.b_tid (escape name))
+        | None -> ());
+        List.iter
+          (fun e ->
+            let ts_us =
+              Int64.to_float (Int64.sub e.ev_ts_ns origin) /. 1_000.
+            in
+            let args =
+              match e.ev_args with
+              | [] -> ""
+              | kvs ->
+                let fields =
+                  List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v))
+                    kvs
+                in
+                Printf.sprintf ", \"args\": {%s}" (String.concat ", " fields)
+            in
+            emit
+              (Printf.sprintf
+                 "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \
+                  \"pid\": 1, \"tid\": %d%s}"
+                 (escape e.ev_name)
+                 (match e.ev_ph with Begin -> "B" | End -> "E")
+                 ts_us e.ev_tid args))
+          (List.rev b.b_events))
+      tracks;
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+
+  let write_file path =
+    let oc = open_out path in
+    output_string oc (to_json ());
+    close_out oc
+end

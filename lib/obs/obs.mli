@@ -1,0 +1,136 @@
+(** Process-wide observability: a lock-free metrics registry and a
+    per-domain span tracer.
+
+    Instrument handles are declared once at module initialization; the
+    backing cells are interned lazily, on the first touch while
+    telemetry is enabled. With telemetry disabled (the default) every
+    hot-path call is a single atomic load and a branch — no allocation,
+    no clock read, no lock — so instrumented code can stay instrumented
+    in production builds. *)
+
+val enabled : unit -> bool
+(** Global telemetry switch, off by default. *)
+
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. Callers pay for the syscall, so gate
+    clock reads on [enabled]. *)
+
+module Metrics : sig
+  type kind = Counter | Gauge | Histogram
+
+  type counter
+  type gauge
+  type histogram
+
+  (** Declaring a handle registers its (name, kind, description) in the
+      instrument catalog immediately; no mutable state is allocated
+      until the instrument is first touched while telemetry is on. *)
+
+  val counter : ?desc:string -> string -> counter
+  val gauge : ?desc:string -> string -> gauge
+  val histogram : ?desc:string -> string -> histogram
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+
+  val add_labelled : counter -> string -> int -> unit
+  (** [add_labelled c label n] bumps the child instrument
+      ["name{label}"]. Children appear in snapshots, not the catalog. *)
+
+  val set : gauge -> int -> unit
+
+  val set_max : gauge -> int -> unit
+  (** High-water mark: CAS loop, keeps the maximum ever set. *)
+
+  val observe : histogram -> int -> unit
+  (** Record one sample. Buckets are log2-scaled: bucket [i] holds
+      samples in [[2^i, 2^(i+1))] (non-positive samples land in bucket
+      0). *)
+
+  val observe_labelled : histogram -> string -> int -> unit
+
+  (** Snapshots. *)
+
+  type hist = {
+    h_count : int;
+    h_sum : int;
+    h_buckets : (int * int) list;  (** (bucket lower bound, count) *)
+  }
+
+  type value = Count of int | Level of int | Dist of hist
+
+  val snapshot : unit -> (string * value) list
+  (** Every live instrument (including labelled children), sorted by
+      name. Concurrent updates may be mid-flight; each cell is read
+      atomically but the snapshot as a whole is not a consistent cut. *)
+
+  val diff :
+    before:(string * value) list ->
+    (string * value) list ->
+    (string * value) list
+  (** Counter and histogram entries become deltas; gauges keep the
+      [after] value. Instruments only present in [after] pass through. *)
+
+  val find : (string * value) list -> string -> value option
+
+  val int_of_value : value -> int
+  (** Count/Level payload, or a histogram's sample count. *)
+
+  val live_instruments : unit -> int
+  (** Number of interned cells — 0 proves the disabled path allocated
+      no instrument state. *)
+
+  val reset : unit -> unit
+  (** Drop all cells (handles re-intern on next touch). Call only when
+      no instrumented code is running. *)
+
+  type meta = { m_name : string; m_kind : kind; m_desc : string }
+
+  val catalog : unit -> meta list
+  (** Every declared instrument, sorted by name — available whether or
+      not telemetry ever ran. *)
+
+  val kind_name : kind -> string
+  val pp_value : value Fmt.t
+end
+
+module Span : sig
+  (** Chrome trace_event-format span tracing. Each domain appends to
+      its own buffer (no sharing, no locks on the hot path), giving one
+      track per domain with per-track monotone timestamps and balanced
+      B/E pairs by construction. *)
+
+  type phase = Begin | End
+
+  type event = {
+    ev_name : string;
+    ev_ph : phase;
+    ev_ts_ns : int64;  (** absolute monotonic stamp *)
+    ev_tid : int;  (** domain id *)
+    ev_args : (string * string) list;
+  }
+
+  val with_ : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  (** Runs [f] inside a span. Disabled: tail-calls [f]. The End event
+      is emitted even if [f] raises, and even if telemetry is switched
+      off mid-span, so tracks stay balanced. *)
+
+  val set_track_name : string -> unit
+  (** Label the calling domain's track (rendered via a thread_name
+      metadata record). No-op while disabled. *)
+
+  val events : unit -> event list
+  (** All buffered events, grouped by track, oldest first per track. *)
+
+  val reset : unit -> unit
+  (** Clear every track's buffer. Call only when no spans are open. *)
+
+  val to_json : unit -> string
+  (** The Chrome [{"traceEvents": [...]}] document: B/E phase records,
+      [ts] in microseconds relative to the earliest event, [pid] 1,
+      [tid] = domain id. Load in chrome://tracing or Perfetto. *)
+
+  val write_file : string -> unit
+end

@@ -24,9 +24,39 @@
      submission point with its original backtrace. The pool itself
      survives and is reusable afterwards.
 
-   The pool is deliberately free of any project dependency so that both
-   the analysis layer (per-function collection, per-root checking) and
-   the core layer (corpus sweeps, crash sweeps) can share one instance. *)
+   The pool depends only on [Obs] (which sits below every project
+   layer) so that both the analysis layer (per-function collection,
+   per-root checking) and the core layer (corpus sweeps, crash sweeps)
+   can share one instance. *)
+
+(* Registry instruments. Per-chunk claim counts are always maintained
+   in the per-domain records below (owner-only writes, one add per
+   chunk); clock reads and labelled registry updates are gated on
+   [Obs.enabled]. "Steals" counts every chunk claim from a submission
+   descriptor, submitter claims included — on a one-core host the
+   submitter is the only domain draining, and its claims are the same
+   scheduling event. *)
+let m_jobs = Obs.Metrics.counter "pool.jobs" ~desc:"parallel map submissions completed"
+
+let m_steals =
+  Obs.Metrics.counter "pool.steals"
+    ~desc:"chunk claims from submission descriptors (submitter included)"
+
+let m_queue_depth =
+  Obs.Metrics.gauge "pool.queue_depth"
+    ~desc:"high-water mark of submissions open to workers at once"
+
+let m_chunk_ns =
+  Obs.Metrics.histogram "pool.chunk_run_ns"
+    ~desc:"per-chunk execution latency, nanoseconds"
+
+let m_worker_busy =
+  Obs.Metrics.counter "pool.worker_busy_ns"
+    ~desc:"per-domain busy time in chunks, nanoseconds (labelled domain=N)"
+
+let m_worker_claims =
+  Obs.Metrics.counter "pool.worker_claims"
+    ~desc:"per-domain chunk claims (labelled domain=N)"
 
 type stats = {
   size : int;  (** target number of worker domains *)
@@ -34,6 +64,18 @@ type stats = {
   spawned_total : int;  (** workers ever spawned (reuse indicator) *)
   jobs : int;  (** submissions completed *)
   chunks : int;  (** chunks executed across all jobs *)
+}
+
+type worker_stat = { domain : int; claims : int; busy_ns : int64 }
+
+(* Per-domain accounting. Claims are always counted (owner-only writes,
+   cheap); busy_ns accrues only while telemetry is enabled, because it
+   needs two clock reads per chunk. *)
+type worker_rec = {
+  wr_domain : int;
+  wr_label : string;
+  mutable wr_claims : int;
+  mutable wr_busy_ns : int64;
 }
 
 (* One parallel-map submission: a bag of [nchunks] chunks claimed via
@@ -62,6 +104,8 @@ type t = {
   q_cond : Condition.t; (* signaled on submission / shutdown *)
   jobs_done : int Atomic.t;
   chunks_run : int Atomic.t;
+  w_mutex : Mutex.t; (* guards worker_tbl lookups/inserts only *)
+  worker_tbl : (int, worker_rec) Hashtbl.t;
 }
 
 let recommended_size () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
@@ -71,9 +115,31 @@ let exhausted d =
 
 let finished d = exhausted d && Atomic.get d.inflight = 0
 
+let worker_rec pool =
+  let id = (Domain.self () :> int) in
+  Mutex.lock pool.w_mutex;
+  let wr =
+    match Hashtbl.find_opt pool.worker_tbl id with
+    | Some wr -> wr
+    | None ->
+      let wr =
+        {
+          wr_domain = id;
+          wr_label = "domain=" ^ string_of_int id;
+          wr_claims = 0;
+          wr_busy_ns = 0L;
+        }
+      in
+      Hashtbl.replace pool.worker_tbl id wr;
+      wr
+  in
+  Mutex.unlock pool.w_mutex;
+  wr
+
 (* Claim and run chunks of [d] until it is exhausted. Runs on workers
    and on the submitting domain alike. *)
 let drain pool d =
+  let wr = worker_rec pool in
   let rec loop () =
     if Atomic.get d.failure <> None then ()
     else begin
@@ -87,11 +153,21 @@ let drain pool d =
         Mutex.unlock d.d_mutex
       end
       else begin
+        wr.wr_claims <- wr.wr_claims + 1;
+        Obs.Metrics.incr m_steals;
+        let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
         (match d.run_chunk i with
         | () -> ()
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set d.failure None (Some (e, bt))));
+        if Obs.enabled () then begin
+          let dt = Int64.sub (Obs.now_ns ()) t0 in
+          wr.wr_busy_ns <- Int64.add wr.wr_busy_ns dt;
+          Obs.Metrics.observe m_chunk_ns (Int64.to_int dt);
+          Obs.Metrics.add_labelled m_worker_busy wr.wr_label (Int64.to_int dt);
+          Obs.Metrics.add_labelled m_worker_claims wr.wr_label 1
+        end;
         Atomic.incr pool.chunks_run;
         Atomic.decr d.inflight;
         Mutex.lock d.d_mutex;
@@ -146,6 +222,8 @@ let create ?size () =
     q_cond = Condition.create ();
     jobs_done = Atomic.make 0;
     chunks_run = Atomic.make 0;
+    w_mutex = Mutex.create ();
+    worker_tbl = Hashtbl.create 8;
   }
 
 (* Spawn missing workers, up to [target - 1]: the submitting domain is
@@ -196,6 +274,21 @@ let stats pool =
     chunks = Atomic.get pool.chunks_run;
   }
 
+(* Per-domain counters, sorted by domain id. Reads race with owner
+   updates; each field is a single word, so values are merely slightly
+   stale, never torn. *)
+let worker_stats pool =
+  Mutex.lock pool.w_mutex;
+  let out =
+    Hashtbl.fold
+      (fun _ wr acc ->
+        { domain = wr.wr_domain; claims = wr.wr_claims; busy_ns = wr.wr_busy_ns }
+        :: acc)
+      pool.worker_tbl []
+  in
+  Mutex.unlock pool.w_mutex;
+  List.sort (fun a b -> compare a.domain b.domain) out
+
 (* Parallel map preserving submission order. [domains] caps the number
    of domains cooperating on this job (submitter included); it defaults
    to the pool size. [chunk] is the number of consecutive items per
@@ -243,6 +336,8 @@ let map ?domains ?chunk pool (f : 'a -> 'b) (items : 'a list) : 'b list =
       ensure_workers pool;
       Mutex.lock pool.q_mutex;
       pool.pending <- pool.pending @ [ d ];
+      if Obs.enabled () then
+        Obs.Metrics.set_max m_queue_depth (List.length pool.pending);
       Condition.broadcast pool.q_cond;
       Mutex.unlock pool.q_mutex
     end;
@@ -254,6 +349,7 @@ let map ?domains ?chunk pool (f : 'a -> 'b) (items : 'a list) : 'b list =
     Mutex.unlock d.d_mutex;
     if d.max_helpers > 0 then remove_pending pool d;
     Atomic.incr pool.jobs_done;
+    Obs.Metrics.incr m_jobs;
     match Atomic.get d.failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

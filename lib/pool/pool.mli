@@ -17,6 +17,14 @@ type stats = {
   chunks : int;  (** chunks executed across all jobs *)
 }
 
+type worker_stat = {
+  domain : int;  (** Domain.self of the draining domain *)
+  claims : int;  (** chunks claimed by this domain (always counted) *)
+  busy_ns : int64;
+      (** time spent inside chunks; accrues only while [Obs.enabled] is
+          on (it costs two clock reads per chunk) *)
+}
+
 val recommended_size : unit -> int
 (** [max 1 (min 8 (recommended_domain_count - 1))]. *)
 
@@ -45,6 +53,15 @@ val shutdown : t -> unit
     respawns them. *)
 
 val stats : t -> stats
+(** Aggregate counters; kept as-is for existing callers. The same
+    numbers (and more) flow through the [Obs] registry as
+    [pool.jobs] / [pool.steals] / [pool.queue_depth] /
+    [pool.chunk_run_ns] when telemetry is enabled. *)
+
+val worker_stats : t -> worker_stat list
+(** Per-domain claim/busy breakdown, sorted by domain id. Also exposed
+    through the registry as [pool.worker_claims{domain=N}] and
+    [pool.worker_busy_ns{domain=N}] while telemetry is enabled. *)
 
 val default : unit -> t
 (** The process-wide shared pool (created on first use; joined in an

@@ -164,8 +164,24 @@ let enumerate ~bound ~seed ncand =
       true )
   end
 
+let m_enumerated =
+  Obs.Metrics.counter "crash.images_enumerated"
+    ~desc:"write-back subsets enumerated across crash points"
+
+let m_pruned =
+  Obs.Metrics.counter "crash.images_pruned"
+    ~desc:"enumerated subsets collapsed by persistence-equivalence pruning"
+
+let m_sampled =
+  Obs.Metrics.counter "crash.points_sampled"
+    ~desc:"crash points whose subset space was sampled, not exhaustive"
+
+let m_points =
+  Obs.Metrics.counter "crash.points_explored" ~desc:"crash points explored"
+
 let explore_task ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
     ?(oracle = Sequential) ~task prog : point_result =
+  Obs.Span.with_ ~name:"crash-point" (fun () ->
   let pmem, writes, _crashed = run_to ?config ?entry ?args ~task prog in
   let candidates = Pmem.inflight_lines pmem in
   let cand = Array.of_list candidates in
@@ -216,6 +232,12 @@ let explore_task ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
             :: !witnesses
       end)
     subs;
+  if Obs.enabled () then begin
+    Obs.Metrics.incr m_points;
+    Obs.Metrics.add m_enumerated !enumerated;
+    Obs.Metrics.add m_pruned (!enumerated - Hashtbl.length seen);
+    if sampled then Obs.Metrics.incr m_sampled
+  end;
   {
     task;
     candidate_lines = ncand;
@@ -223,7 +245,7 @@ let explore_task ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
     distinct_images = Hashtbl.length seen;
     sampled;
     witnesses = List.rev !witnesses;
-  }
+  })
 
 let summarize ~crash_points (points : point_result list) : report =
   let images_enumerated =

@@ -174,10 +174,19 @@ let strand_of_region ts =
   | In_epoch -> Some (-1 - ts.thread_id) (* epochs race only across threads *)
   | No_region -> None
 
+let m_waw_checks =
+  Obs.Metrics.counter "dynamic.waw_checks"
+    ~desc:"tracked writes checked for WAW/RAW conflicts"
+
+let m_raw_checks =
+  Obs.Metrics.counter "dynamic.raw_checks"
+    ~desc:"tracked reads checked for RAW conflicts"
+
 let on_write t ts addr loc =
   match strand_of_region ts with
   | None -> ()
   | Some strand ->
+    Obs.Metrics.incr m_waw_checks;
     (* epoch-boundary volatility reporting only applies to epochs;
        strand regions defer barriers by design *)
     if ts.region = In_epoch then
@@ -216,6 +225,7 @@ let on_read t ts addr loc =
   match strand_of_region ts with
   | None -> ()
   | Some strand -> (
+    Obs.Metrics.incr m_raw_checks;
     let access =
       { Shadow.strand; fence_at = Atomic.get t.fence_count; loc }
     in

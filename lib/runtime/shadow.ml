@@ -60,6 +60,26 @@ type shard = {
   cells : (int, cell) Hashtbl.t;
 }
 
+let m_writes =
+  Obs.Metrics.counter "shadow.writes" ~desc:"shadow-segment write records"
+
+let m_reads =
+  Obs.Metrics.counter "shadow.reads" ~desc:"shadow-segment read records"
+
+let m_contention =
+  Obs.Metrics.counter "shadow.lock_contention"
+    ~desc:"shard-lock acquisitions that found the lock held"
+
+(* Telemetry-aware shard lock: a failed [try_lock] is exactly one
+   contended acquisition. Disabled, this is a plain [Mutex.lock]. *)
+let lock_shard (m : Mutex.t) =
+  if not (Obs.enabled ()) then Mutex.lock m
+  else if Mutex.try_lock m then ()
+  else begin
+    Obs.Metrics.incr m_contention;
+    Mutex.lock m
+  end
+
 type t = {
   shards : shard array; (* length is a power of two *)
   mask : int;
@@ -116,7 +136,8 @@ let record_write t ~obj_id ~slot ~begin_fence (a : access) :
   let key = key ~obj_id ~slot in
   let shard = shard_of t key in
   Atomic.incr t.tracked_writes;
-  Mutex.lock shard.lock;
+  Obs.Metrics.incr m_writes;
+  lock_shard shard.lock;
   let c = cell_locked shard key in
   let conflicts = ref [] in
   (match c.last_write with
@@ -141,7 +162,8 @@ let record_read t ~obj_id ~slot ~begin_fence (a : access) :
   let key = key ~obj_id ~slot in
   let shard = shard_of t key in
   Atomic.incr t.tracked_reads;
-  Mutex.lock shard.lock;
+  Obs.Metrics.incr m_reads;
+  lock_shard shard.lock;
   let c = cell_locked shard key in
   c.reads <- a :: c.reads;
   let conflict =
@@ -159,7 +181,7 @@ let record_read t ~obj_id ~slot ~begin_fence (a : access) :
 let ever_written t ~obj_id ~slot =
   let key = key ~obj_id ~slot in
   let shard = shard_of t key in
-  Mutex.lock shard.lock;
+  lock_shard shard.lock;
   let r =
     match Hashtbl.find_opt shard.cells key with
     | Some c -> c.last_write <> None

@@ -31,6 +31,8 @@ speedup ratios:
   "speedup_vs_1_domain"
   $ grep -o '"domains"' BENCH_checker.json
   "domains"
+  $ grep -o '"telemetry"' BENCH_checker.json
+  "telemetry"
 
 The figure12 section drives the pool-backed concurrent workloads; with
 --json it writes BENCH_dynamic.json with one record per operation mix
@@ -52,6 +54,8 @@ the paper's band, and the client-domain scaling measurement:
   "speedup"
   $ grep -o '"pool_domains"' BENCH_dynamic.json
   "pool_domains"
+  $ grep -o '"telemetry"' BENCH_dynamic.json
+  "telemetry"
 
 The recall section replays the injection campaign over the corpus and
 the strand exemplar; with --json it writes BENCH_inject.json with one
@@ -74,3 +78,7 @@ randomized path:
   "static_tier_target_met": true
   $ grep -o '"false_negatives"' BENCH_inject.json
   "false_negatives"
+  $ grep -o '"known_blind_spot": 10' BENCH_inject.json
+  "known_blind_spot": 10
+  $ grep -o '"telemetry"' BENCH_inject.json
+  "telemetry"

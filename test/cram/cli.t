@@ -215,6 +215,7 @@ the matrix itself is deterministic:
   drop-tx-add      static 5     5/5 r=1.00 fp=0        -                      -
   split-strand     dynamic 0     -                      -                      -
   static-tier recall: 129/129 = 1.000 (target 0.90 met)
+  known blind spot (pointer-arith fence aliases): 0 mutant(s)
 
 The same seed always produces the same matrix, bit for bit:
 
@@ -234,6 +235,8 @@ each) plus the campaign-level acceptance fields:
   "static_tier_recall": 1.0
   $ grep -o '"static_tier_target_met": true' inject.json
   "static_tier_target_met": true
+  $ grep -o '"known_blind_spot": 0' inject.json
+  "known_blind_spot": 0
   $ grep -o '"false_negatives": \[\]' inject.json
   "false_negatives": []
 

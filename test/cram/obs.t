@@ -1,0 +1,91 @@
+Telemetry surface. The instrument catalog is registered at module
+initialization, so `deepmc stats` is a complete, stable inventory of
+everything --metrics-json can report:
+
+  $ deepmc stats
+  checker.root_latency_ns    histogram per-root check latency (streaming engine), nanoseconds
+  checker.roots_checked      counter   analysis roots run through the rule set
+  checker.warning_total      counter   deduplicated warnings (labelled rule=R,model=M)
+  crash.images_enumerated    counter   write-back subsets enumerated across crash points
+  crash.images_pruned        counter   enumerated subsets collapsed by persistence-equivalence pruning
+  crash.points_explored      counter   crash points explored
+  crash.points_sampled       counter   crash points whose subset space was sampled, not exhaustive
+  dynamic.raw_checks         counter   tracked reads checked for RAW conflicts
+  dynamic.waw_checks         counter   tracked writes checked for WAW/RAW conflicts
+  inject.blind_spot_fns      gauge     static-tier fence FNs behind pointer-arith aliases (known DSG gap)
+  inject.scoring_latency_ns  histogram per-mutant static+dynamic scoring latency (labelled op=O)
+  pool.chunk_run_ns          histogram per-chunk execution latency, nanoseconds
+  pool.jobs                  counter   parallel map submissions completed
+  pool.queue_depth           gauge     high-water mark of submissions open to workers at once
+  pool.steals                counter   chunk claims from submission descriptors (submitter included)
+  pool.worker_busy_ns        counter   per-domain busy time in chunks, nanoseconds (labelled domain=N)
+  pool.worker_claims         counter   per-domain chunk claims (labelled domain=N)
+  rules.fired                counter   rule evaluations (one per rule per completed trace)
+  shadow.lock_contention     counter   shard-lock acquisitions that found the lock held
+  shadow.reads               counter   shadow-segment read records
+  shadow.writes              counter   shadow-segment write records
+  trace.memo_hits            counter   call-site expansions served from the interprocedural memo
+  trace.memo_misses          counter   call-site lookups that had to build (or lacked) a memo entry
+  trace.paths_expanded       counter   fully-expanded root paths handed to the rules
+  trace.peak_live_paths      gauge     high-water mark of simultaneously-live paths across roots
+
+--metrics-json enables the registry for the run and writes the
+snapshot; pqueue has memoized call sites, so the memo counters are
+live. Single-domain keeps the worker labels stable. The key schema
+(names, not timing-dependent values) is pinned; histogram bucket keys
+collapse under sort -u:
+
+  $ deepmc check ../../examples/programs/pqueue.nvmir --strict --no-dynamic --domains 1 --metrics-json m.json --trace-out t.json >/dev/null 2>&1
+  [124]
+  $ grep -o '"[a-zA-Z0-9._{}=,-]*":' m.json | sort -u
+  "buckets":
+  "checker.root_latency_ns":
+  "checker.roots_checked":
+  "checker.warning_total{rule=semantic-mismatch,model=strict}":
+  "count":
+  "lo":
+  "n":
+  "pool.chunk_run_ns":
+  "pool.jobs":
+  "pool.steals":
+  "pool.worker_busy_ns{domain=0}":
+  "pool.worker_claims{domain=0}":
+  "rules.fired":
+  "sum":
+  "trace.memo_hits":
+  "trace.memo_misses":
+  "trace.paths_expanded":
+  "trace.peak_live_paths":
+
+The counting instruments are deterministic for a fixed program and
+model -- the acceptance floor is that none of these are zero:
+
+  $ grep -o '"trace.paths_expanded": [0-9]*' m.json
+  "trace.paths_expanded": 4
+  $ grep -o '"trace.memo_hits": [0-9]*' m.json
+  "trace.memo_hits": 3
+  $ grep -o '"rules.fired": [0-9]*' m.json
+  "rules.fired": 28
+  $ grep -o '"pool.steals": [0-9]*' m.json
+  "pool.steals": 1
+
+--trace-out writes the Chrome trace_event document: one track per
+domain, balanced B/E pairs (here the static-check phase span and one
+check-root span inside it):
+
+  $ grep -c '"traceEvents"' t.json
+  1
+  $ grep -c '"ph": "B"' t.json
+  2
+  $ grep -c '"ph": "E"' t.json
+  2
+  $ grep -o '"name": "static-check", "ph": "B"' t.json
+  "name": "static-check", "ph": "B"
+
+crash-explore reports its enumeration economy through the same flag:
+
+  $ deepmc crash-explore ../../examples/programs/hashmap.nvmir --metrics-json cm.json >/dev/null 2>&1
+  $ grep -o '"crash.points_explored": [0-9]*' cm.json
+  "crash.points_explored": 7
+  $ grep -o '"crash.images_enumerated": [0-9]*' cm.json
+  "crash.images_enumerated": 11

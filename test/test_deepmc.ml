@@ -30,4 +30,5 @@ let () =
       ("html", Test_html.suite);
       ("summary", Test_summary.suite);
       ("inject", Test_inject.suite);
+      ("obs", Test_obs.suite);
     ]
