@@ -1,7 +1,7 @@
 # Developer entry points. The benches write their JSON artifacts into
 # the directory they run from, so bench-json runs from the repo root.
 
-.PHONY: all build test verify bench-json trace clean
+.PHONY: all build test verify fuzz bench-json trace clean
 
 all: build
 
@@ -12,9 +12,17 @@ test:
 	dune runtest
 
 # The one command a PR must pass: full build plus the unit, property,
-# differential and cram suites.
+# differential and cram suites, and the fuzzer's guided-vs-random
+# acceptance over the false-negative corpus.
 verify:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) fuzz
+
+# Deterministic, CI-safe smoke of the interleaving fuzzer: seed-1
+# campaigns over the injection campaign's known misses (sub-second at
+# the default budget; raise DEEPMC_FUZZ_BUDGET to fuzz harder).
+fuzz:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- fuzz
 
 # Regenerate the three committed benchmark artifacts. Figure 12 numbers
 # are timing-dependent; the checker/inject matrices are deterministic
@@ -24,6 +32,7 @@ bench-json:
 	dune exec bench/main.exe -- perf --json
 	dune exec bench/main.exe -- figure12 --json
 	dune exec bench/main.exe -- recall --json
+	dune exec bench/main.exe -- fuzz --json
 
 # Telemetry artifacts for one corpus-slice check: a Chrome trace (open
 # _artifacts/trace.json in chrome://tracing or Perfetto) and the

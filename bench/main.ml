@@ -1089,6 +1089,149 @@ let recall ?(json = false) () =
     Fmt.pr "wrote BENCH_inject.json@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* Interleaving fuzzer vs random scheduling over the false-negative
+   corpus (lib/fuzz).  `fuzz --json` writes BENCH_fuzz.json; the
+   headline is how many of the injection campaign's known misses the
+   coverage-guided campaign recovers vs a random-schedule ablation
+   under the same budget. *)
+
+let fuzz_bench ?(json = false) () =
+  section "Interleaving fuzzer: recovery of known misses, guided vs random";
+  let seed =
+    match Sys.getenv_opt "DEEPMC_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  let budget =
+    match Sys.getenv_opt "DEEPMC_FUZZ_BUDGET" with
+    | Some s -> (try int_of_string s with _ -> 24)
+    | None -> 24
+  in
+  let bases =
+    Inject.Evaluate.corpus_bases () @ Inject.Evaluate.exemplar_bases ()
+  in
+  (* re-derive the false-negative corpus: mutants the expected tier's
+     detector misses (the crash explorer is irrelevant to tier misses
+     and only costs time here) *)
+  let s = Inject.Evaluate.run ~crash:false ~seed bases in
+  let fns = Inject.Evaluate.false_negatives s in
+  if json then begin
+    Obs.Metrics.reset ();
+    Obs.set_enabled true
+  end;
+  let rows =
+    List.filter_map
+      (fun (mr : Inject.Evaluate.mutant_result) ->
+        let m = mr.Inject.Evaluate.mutant in
+        match
+          List.find_opt
+            (fun (b : Inject.Evaluate.base) ->
+              String.equal b.Inject.Evaluate.bname m.Inject.Mutation.base)
+            bases
+        with
+        | Some b when b.Inject.Evaluate.entry <> None ->
+          let entry = Option.get b.Inject.Evaluate.entry in
+          let target prog tname =
+            {
+              Fuzz.Campaign.tname;
+              prog;
+              model = m.Inject.Mutation.model;
+              entry;
+              entry_args = b.Inject.Evaluate.entry_args;
+              clients = 1;
+            }
+          in
+          let campaign mode prog tname =
+            Fuzz.Campaign.run ~seed ~budget ~mode (target prog tname)
+          in
+          let score mode =
+            (* the base program's campaign under the same parameters
+               subtracts pre-existing noise, so a recovery is a warning
+               the mutation itself exposed *)
+            let base_o =
+              campaign mode b.Inject.Evaluate.prog m.Inject.Mutation.base
+            in
+            let o = campaign mode m.Inject.Mutation.prog m.Inject.Mutation.id in
+            ( Fuzz.Campaign.recovers ~truth:m.Inject.Mutation.truth
+                ~base:base_o o,
+              o )
+          in
+          let guided_hit, guided_o = score Fuzz.Campaign.Guided in
+          let random_hit, random_o = score Fuzz.Campaign.Random in
+          Some (m, guided_hit, guided_o, random_hit, random_o)
+        | _ -> None)
+      fns
+  in
+  if json then Obs.set_enabled false;
+  Fmt.pr "budget: %d schedules per campaign, seed %d@." budget seed;
+  Fmt.pr "%-34s %-14s %6s %8s %8s@." "mutant" "operator" "bnds" "guided"
+    "random";
+  hr ();
+  List.iter
+    (fun ((m : Inject.Mutation.mutant), g, go, r, _) ->
+      Fmt.pr "%-34s %-14s %6d %8s %8s@." m.Inject.Mutation.id
+        (Inject.Mutation.operator_name m.Inject.Mutation.truth.operator)
+        go.Fuzz.Campaign.nboundaries
+        (if g then "HIT" else "miss")
+        (if r then "HIT" else "miss"))
+    rows;
+  hr ();
+  let count f = List.length (List.filter f rows) in
+  let guided_n = count (fun (_, g, _, _, _) -> g) in
+  let random_n = count (fun (_, _, _, r, _) -> r) in
+  Fmt.pr
+    "known misses recovered: guided %d/%d, random %d/%d -> fuzzer finds \
+     strictly more: %b@."
+    guided_n (List.length rows) random_n (List.length rows)
+    (guided_n > random_n);
+  if json then begin
+    let j =
+      Deepmc.Json_report.Obj
+        [
+          ("seed", Deepmc.Json_report.Int seed);
+          ("budget", Deepmc.Json_report.Int budget);
+          ("fn_corpus", Deepmc.Json_report.Int (List.length fns));
+          ("fuzzed", Deepmc.Json_report.Int (List.length rows));
+          ("guided_recovered", Deepmc.Json_report.Int guided_n);
+          ("random_recovered", Deepmc.Json_report.Int random_n);
+          ("strictly_more", Deepmc.Json_report.Bool (guided_n > random_n));
+          ( "mutants",
+            Deepmc.Json_report.List
+              (List.map
+                 (fun ((m : Inject.Mutation.mutant), g, go, r, ro) ->
+                   Deepmc.Json_report.Obj
+                     [
+                       ("id", Deepmc.Json_report.String m.Inject.Mutation.id);
+                       ( "operator",
+                         Deepmc.Json_report.String
+                           (Inject.Mutation.operator_name
+                              m.Inject.Mutation.truth.operator) );
+                       ( "nboundaries",
+                         Deepmc.Json_report.Int go.Fuzz.Campaign.nboundaries );
+                       ("guided", Deepmc.Json_report.Bool g);
+                       ("random", Deepmc.Json_report.Bool r);
+                       ( "guided_novel_schedules",
+                         Deepmc.Json_report.Int go.Fuzz.Campaign.novel_schedules
+                       );
+                       ( "guided_pair_bits",
+                         Deepmc.Json_report.Int go.Fuzz.Campaign.pair_bits );
+                       ( "random_novel_schedules",
+                         Deepmc.Json_report.Int ro.Fuzz.Campaign.novel_schedules
+                       );
+                     ])
+                 rows) );
+          ( "telemetry",
+            Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ()) );
+        ]
+    in
+    let oc = open_out "BENCH_fuzz.json" in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fmt.pf ppf "%a@." Deepmc.Json_report.pp j;
+    close_out oc;
+    Fmt.pr "wrote BENCH_fuzz.json@."
+  end
+
 let sections : (string * (unit -> unit)) list =
   [
     ("table1", table1);
@@ -1112,6 +1255,7 @@ let sections : (string * (unit -> unit)) list =
     ("crashspace", crashspace);
     ("perf", perf ?json:None);
     ("recall", recall ?json:None);
+    ("fuzz", fuzz_bench ?json:None);
     ("micro", micro);
   ]
 
@@ -1121,6 +1265,7 @@ let () =
   | [| _; "perf"; "--json" |] -> perf ~json:true ()
   | [| _; "figure12"; "--json" |] -> figure12 ~json:true ()
   | [| _; "recall"; "--json" |] -> recall ~json:true ()
+  | [| _; "fuzz"; "--json" |] -> fuzz_bench ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name sections with
     | Some f -> f ()

@@ -851,14 +851,125 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(term_result (const run $ const ()))
 
+(* Coverage-guided interleaving fuzzing of one program: schedule
+   genomes (delay-injection probe + context switches at persistence
+   boundaries) are replayed deterministically; warnings come from the
+   dynamic checker plus the fuzzer's PMRace-style detectors. *)
+let fuzz_cmd =
+  let budget_term =
+    Arg.(
+      value & opt int 24
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Schedule executions to spend (the fixed-schedule baseline \
+             replay is not counted).")
+  in
+  let random_term =
+    Arg.(
+      value & flag
+      & info [ "random" ]
+          ~doc:
+            "Draw schedules uniformly instead of coverage-guided (the \
+             ablation baseline).")
+  in
+  let run () model file entry clients budget random seed domains json
+      metrics_json trace_out =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    Option.iter Pool.set_default_size domains;
+    obs_setup ~metrics_json ~trace_out;
+    let entry = Option.value entry ~default:"main" in
+    let* () =
+      if Nvmir.Prog.find_func prog entry <> None then Ok ()
+      else Error (`Msg (Fmt.str "entry %s not defined" entry))
+    in
+    let target =
+      {
+        Fuzz.Campaign.tname = Filename.basename file;
+        prog;
+        model;
+        entry;
+        entry_args = [];
+        clients;
+      }
+    in
+    let mode = if random then Fuzz.Campaign.Random else Fuzz.Campaign.Guided in
+    let o = Fuzz.Campaign.run ~seed ~budget ?domains ~mode target in
+    let baseline_keys =
+      List.map Analysis.Warning.dedup_key o.Fuzz.Campaign.baseline_warnings
+    in
+    let new_warnings =
+      List.filter
+        (fun w ->
+          not (List.mem (Analysis.Warning.dedup_key w) baseline_keys))
+        o.Fuzz.Campaign.warnings
+    in
+    if json then
+      Fmt.pr "%a@." Deepmc.Json_report.pp
+        (Deepmc.Json_report.Obj
+           [
+             ("file", Deepmc.Json_report.String file);
+             ("entry", Deepmc.Json_report.String entry);
+             ( "mode",
+               Deepmc.Json_report.String (Fuzz.Campaign.mode_name mode) );
+             ("seed", Deepmc.Json_report.Int seed);
+             ("budget", Deepmc.Json_report.Int budget);
+             ("clients", Deepmc.Json_report.Int clients);
+             ("executions", Deepmc.Json_report.Int o.Fuzz.Campaign.executions);
+             ( "nboundaries",
+               Deepmc.Json_report.Int o.Fuzz.Campaign.nboundaries );
+             ( "novel_schedules",
+               Deepmc.Json_report.Int o.Fuzz.Campaign.novel_schedules );
+             ("pair_bits", Deepmc.Json_report.Int o.Fuzz.Campaign.pair_bits);
+             ("aborted", Deepmc.Json_report.Int o.Fuzz.Campaign.aborted);
+             ( "coverage",
+               Deepmc.Json_report.String o.Fuzz.Campaign.coverage );
+             ( "baseline_warnings",
+               Deepmc.Json_report.List
+                 (List.map Deepmc.Json_report.of_warning
+                    o.Fuzz.Campaign.baseline_warnings) );
+             ( "new_warnings",
+               Deepmc.Json_report.List
+                 (List.map Deepmc.Json_report.of_warning new_warnings) );
+           ])
+    else begin
+      Fmt.pr
+        "fuzz %s: %s mode, %d execution(s) over %d boundaries, %d novel \
+         schedule(s), %d pair bit(s)@."
+        (Filename.basename file)
+        (Fuzz.Campaign.mode_name mode)
+        o.Fuzz.Campaign.executions o.Fuzz.Campaign.nboundaries
+        o.Fuzz.Campaign.novel_schedules o.Fuzz.Campaign.pair_bits;
+      match new_warnings with
+      | [] -> Fmt.pr "no schedule-dependent warnings beyond the baseline@."
+      | ws ->
+        Fmt.pr "%d warning(s) the fixed schedule misses:@." (List.length ws);
+        List.iter (fun w -> Fmt.pr "  %a@." Analysis.Warning.pp w) ws
+    end;
+    obs_write ~metrics_json ~trace_out;
+    Ok ()
+  in
+  let doc =
+    "Coverage-guided interleaving fuzzing of the dynamic tier: search \
+     delay-injection points and context switches at persistence boundaries \
+     for schedule-dependent persistency bugs."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
+       $ clients_term $ budget_term $ random_term $ seed_term $ domains_term
+       $ json_term $ metrics_json_term $ trace_out_term))
+
 let main_cmd =
   let doc = "detect deep memory persistency bugs in NVM programs" in
   let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
-      inject_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd;
-      stats_cmd;
+      inject_cmd; fuzz_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd;
+      rules_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,93 @@
+(* PM-aware coverage: a cheap fingerprint of what an execution touched,
+   persistency-wise. Two bitmaps, hashed splitmix-style:
+
+   - [map]: general features — slots accessed, boundary observations
+     (kind x global index x client), epoch-boundary crossings with the
+     volatile-slot count at the crossing;
+   - [pairs]: WAW/RAW pair identities (producer line x consumer line x
+     cross-client bit), kept separate so the energy schedule can favor
+     schedules that exposed new inter-thread dependence pairs without
+     drowning them in slot-touch noise.
+
+   The fingerprint is a digest of both maps; novelty is counted in bits
+   against an accumulated seen-map. Everything is deterministic: same
+   execution, same bits. *)
+
+let map_bytes = 512 (* 4096 general-feature bits *)
+let pair_bytes = 128 (* 1024 dependence-pair bits *)
+
+type t = { map : Bytes.t; pairs : Bytes.t }
+
+let create () =
+  { map = Bytes.make map_bytes '\000'; pairs = Bytes.make pair_bytes '\000' }
+
+(* splitmix64 finalizer over packed feature words *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash3 a b c =
+  let z =
+    Int64.add
+      (mix (Int64.of_int a))
+      (Int64.add
+         (Int64.mul (mix (Int64.of_int b)) 0x9E3779B97F4A7C15L)
+         (mix (Int64.of_int c)))
+  in
+  (* Int64.to_int keeps the low 63 bits, so bit 62 would land in the
+     OCaml sign bit; mask it off to keep bitmap indices non-negative *)
+  Int64.to_int (mix z) land max_int
+
+let set_bit buf nbits h =
+  let bit = h mod nbits in
+  let byte = bit lsr 3 and mask = 1 lsl (bit land 7) in
+  Bytes.unsafe_set buf byte
+    (Char.chr (Char.code (Bytes.unsafe_get buf byte) lor mask))
+
+let touch_access t ~obj_id ~slot =
+  set_bit t.map (map_bytes * 8) (hash3 1 obj_id slot)
+
+let touch_boundary t ~client ~kind ~index =
+  set_bit t.map (map_bytes * 8) (hash3 (2 + kind) client index)
+
+let touch_epoch t ~client ~volatile =
+  set_bit t.map (map_bytes * 8) (hash3 40 client volatile)
+
+let touch_pair t ~kind ~producer_line ~consumer_line =
+  set_bit t.pairs (pair_bytes * 8) (hash3 (50 + kind) producer_line consumer_line)
+
+let fingerprint t = Digest.to_hex (Digest.bytes (Bytes.cat t.map t.pairs))
+
+(* Accumulated seen-map for a campaign. [merge] ORs a run's coverage in
+   and reports how many bits were new, split general/pair. *)
+type seen = { smap : Bytes.t; spairs : Bytes.t }
+
+let seen_create () =
+  {
+    smap = Bytes.make map_bytes '\000';
+    spairs = Bytes.make pair_bytes '\000';
+  }
+
+let popcount_byte b =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go b 0
+
+let or_count ~into src =
+  let fresh = ref 0 in
+  for i = 0 to Bytes.length src - 1 do
+    let s = Char.code (Bytes.unsafe_get src i)
+    and d = Char.code (Bytes.unsafe_get into i) in
+    let nw = s land lnot d in
+    if nw <> 0 then begin
+      fresh := !fresh + popcount_byte nw;
+      Bytes.unsafe_set into i (Char.chr (d lor s))
+    end
+  done;
+  !fresh
+
+let merge seen t =
+  (or_count ~into:seen.smap t.map, or_count ~into:seen.spairs t.pairs)
+
+let seen_fingerprint seen =
+  Digest.to_hex (Digest.bytes (Bytes.cat seen.smap seen.spairs))

@@ -1,0 +1,30 @@
+(** PM-aware coverage: a cheap, deterministic fingerprint of what an
+    execution touched persistency-wise — slots accessed, boundary
+    observations, epoch crossings in one bitmap; WAW/RAW dependence
+    pair identities in a second, so the energy schedule can favor
+    schedules exposing new pairs. *)
+
+type t
+
+val create : unit -> t
+val touch_access : t -> obj_id:int -> slot:int -> unit
+val touch_boundary : t -> client:int -> kind:int -> index:int -> unit
+val touch_epoch : t -> client:int -> volatile:int -> unit
+
+val touch_pair : t -> kind:int -> producer_line:int -> consumer_line:int -> unit
+(** [kind] 0 = WAW, 1 = RAW, 2 = cross-client RAW. *)
+
+val fingerprint : t -> string
+(** Hex digest of both bitmaps; byte-identical across replays of the
+    same (program, genome, seed). *)
+
+(** Accumulated campaign seen-map. *)
+type seen
+
+val seen_create : unit -> seen
+
+val merge : seen -> t -> int * int
+(** OR a run's coverage into the seen-map; returns (new general bits,
+    new dependence-pair bits). *)
+
+val seen_fingerprint : seen -> string

@@ -1,0 +1,30 @@
+(** The fuzzer's two PMRace-style detectors plus per-run dependence
+    tracking feeding the coverage map.
+
+    - Synchronization-boundary durability (probe-gated): flushes still
+      unordered when the delay-injection point lands on a [tx_end] /
+      [epoch_end] boundary → [Missing_persist_barrier] at the flush.
+    - Inter-thread persistency inconsistency (schedule-gated): durable
+      state built on another client's unpersisted write →
+      [Strand_dependence] at the read, post-validated on the crash
+      image so benign re-reads are killed.
+
+    Existing rule ids are reused: the detectors refine where the rules
+    fire, not the taxonomy. *)
+
+type t
+
+val create : model:Analysis.Model.t -> cov:Coverage.t -> Runtime.Pmem.t -> t
+
+val attach : t -> unit
+(** Register the tracking listener on the heap. *)
+
+val set_client : t -> int -> unit
+val set_boundary : t -> Runtime.Interp.boundary option -> unit
+
+val probe : t -> Runtime.Interp.boundary -> Nvmir.Loc.t -> unit
+(** The genome's delay-injection point landed on this boundary (called
+    before the instruction executes). *)
+
+val warnings : t -> Analysis.Warning.t list
+(** Deduplicated, in firing order. *)

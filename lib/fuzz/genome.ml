@@ -1,0 +1,74 @@
+(* Schedule genomes: the fuzzer's search space is WHERE to preempt, not
+   what to execute. A genome carries one active delay-injection point
+   ([probe_at], PMRace injects a single delay per execution) plus a set
+   of context switches keyed by global boundary index. Replaying a
+   genome under the deterministic scheduler reproduces the interleaving
+   bit for bit. *)
+
+type switch = { at : int; target : int }
+(* At global boundary [at], hand the token to the client [target] hops
+   ahead of the yielding one (mod live clients). *)
+
+type t = { probe_at : int; switches : switch list }
+(* [switches] sorted by [at], at most one entry per index; [probe_at]
+   = -1 means no injection (plain replay). *)
+
+let initial = { probe_at = -1; switches = [] }
+let probe at = { probe_at = at; switches = [] }
+
+let set_switch switches sw =
+  List.sort
+    (fun a b -> Int.compare a.at b.at)
+    (sw :: List.filter (fun s -> s.at <> sw.at) switches)
+
+let switch_at ~at ~target = { probe_at = -1; switches = [ { at; target } ] }
+let find_switch t at = List.find_opt (fun s -> s.at = at) t.switches
+
+(* One mutation step, deterministic under [rng]. The operator mix keeps
+   the genome small: schedules that preempt everywhere explore the same
+   states as schedules that preempt once, but cost determinism-budget
+   to replay and are hard to attribute. *)
+let mutate rng ~nboundaries ~nclients t =
+  let nb = max 1 nboundaries in
+  let pick_at () = Workloads.Gen.next_int rng nb in
+  let reprobe t = { t with probe_at = pick_at () } in
+  let add_switch t =
+    if nclients < 2 then reprobe t
+    else
+      let at = pick_at () in
+      let target = 1 + Workloads.Gen.next_int rng (nclients - 1) in
+      { t with switches = set_switch t.switches { at; target } }
+  in
+  let drop_switch t =
+    match t.switches with
+    | [] -> reprobe t
+    | sws ->
+      let i = Workloads.Gen.next_int rng (List.length sws) in
+      { t with switches = List.filteri (fun j _ -> j <> i) sws }
+  in
+  let shift_switch t =
+    match t.switches with
+    | [] -> reprobe t
+    | sws ->
+      let i = Workloads.Gen.next_int rng (List.length sws) in
+      let delta = if Workloads.Gen.next_int rng 2 = 0 then 1 else -1 in
+      let sws' =
+        List.mapi
+          (fun j s ->
+            if j = i then { s with at = max 0 (min (nb - 1) (s.at + delta)) }
+            else s)
+          sws
+      in
+      { t with switches = List.fold_left set_switch [] sws' }
+  in
+  match Workloads.Gen.next_int rng 5 with
+  | 0 | 1 -> reprobe t
+  | 2 -> add_switch t
+  | 3 -> drop_switch t
+  | _ -> shift_switch t
+
+let pp ppf t =
+  Fmt.pf ppf "probe@%d" t.probe_at;
+  List.iter (fun s -> Fmt.pf ppf " sw@%d+%d" s.at s.target) t.switches
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,27 @@
+(** Schedule genomes: one active delay-injection point (PMRace injects
+    a single delay per execution) plus context switches keyed by global
+    boundary index. Replaying a genome under the deterministic
+    scheduler reproduces the interleaving bit for bit. *)
+
+type switch = { at : int; target : int }
+(** At global boundary [at], hand the token to the client [target] hops
+    ahead of the yielding one (mod live clients). *)
+
+type t = { probe_at : int; switches : switch list }
+(** [switches] sorted by [at], at most one per index; [probe_at] = -1
+    means no injection (plain fixed-schedule replay). *)
+
+val initial : t
+(** No probe, no switches: the fixed schedule the harness replays. *)
+
+val probe : int -> t
+val switch_at : at:int -> target:int -> t
+val find_switch : t -> int -> switch option
+
+val mutate :
+  Workloads.Gen.rng -> nboundaries:int -> nclients:int -> t -> t
+(** One mutation step (reprobe / add / drop / shift a switch),
+    deterministic under the stream. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -13,14 +13,43 @@ let error loc fmt = Fmt.kstr (fun m -> raise (Runtime_error (m, loc))) fmt
 
 type frame = { func : Nvmir.Func.t; vars : (string, Value.t) Hashtbl.t }
 
+(* Persistence-ordering boundaries: the instruction classes at which an
+   interleaving scheduler may preempt. The hook fires before the
+   instruction executes, so a scheduler observing [Bflush] preempts
+   between the store and its write-back — the window PMRace-style delay
+   injection needs. *)
+type boundary =
+  | Bflush
+  | Bfence
+  | Bpersist
+  | Btx_begin
+  | Btx_end
+  | Bepoch_begin
+  | Bepoch_end
+  | Bstrand_begin
+  | Bstrand_end
+
+let boundary_name = function
+  | Bflush -> "flush"
+  | Bfence -> "fence"
+  | Bpersist -> "persist"
+  | Btx_begin -> "tx-begin"
+  | Btx_end -> "tx-end"
+  | Bepoch_begin -> "epoch-begin"
+  | Bepoch_end -> "epoch-end"
+  | Bstrand_begin -> "strand-begin"
+  | Bstrand_end -> "strand-end"
+
 type t = {
   prog : Nvmir.Prog.t;
   pmem : Pmem.t;
   mutable fuel : int;
   mutable steps : int;
+  boundary_hook : (boundary -> Nvmir.Loc.t -> unit) option;
 }
 
-let create ?(fuel = 5_000_000) ~pmem prog = { prog; pmem; fuel; steps = 0 }
+let create ?(fuel = 5_000_000) ?boundary_hook ~pmem prog =
+  { prog; pmem; fuel; steps = 0; boundary_hook }
 
 let pmem t = t.pmem
 let steps t = t.steps
@@ -188,8 +217,27 @@ and goto t frame loc label =
   | Some b -> exec_block t frame b
   | None -> error loc "no block %s in %s" label frame.func.Nvmir.Func.fname
 
+and boundary_of_instr (i : Nvmir.Instr.t) =
+  match i.kind with
+  | Nvmir.Instr.Flush _ -> Some Bflush
+  | Nvmir.Instr.Fence -> Some Bfence
+  | Nvmir.Instr.Persist _ -> Some Bpersist
+  | Nvmir.Instr.Tx_begin -> Some Btx_begin
+  | Nvmir.Instr.Tx_end -> Some Btx_end
+  | Nvmir.Instr.Epoch_begin -> Some Bepoch_begin
+  | Nvmir.Instr.Epoch_end -> Some Bepoch_end
+  | Nvmir.Instr.Strand_begin _ -> Some Bstrand_begin
+  | Nvmir.Instr.Strand_end _ -> Some Bstrand_end
+  | _ -> None
+
 and exec_instr t frame (i : Nvmir.Instr.t) =
   tick t i.loc;
+  (match t.boundary_hook with
+  | None -> ()
+  | Some hook -> (
+    match boundary_of_instr i with
+    | Some b -> hook b i.loc
+    | None -> ()));
   let loc = i.loc in
   match i.kind with
   | Nvmir.Instr.Store { dst; src } ->
@@ -243,8 +291,13 @@ and exec_instr t frame (i : Nvmir.Instr.t) =
     | None -> error loc "call to undefined function %s" callee)
   | Nvmir.Instr.Comment _ -> ()
 
+(* Run [entry] with pre-built values (references included), for callers
+   that thread a shared allocation into several entry points. *)
+let run_values ?(entry = "main") ?(args = []) t : Value.t =
+  match Nvmir.Prog.find_func t.prog entry with
+  | None -> invalid_arg (Fmt.str "Interp.run_values: no function %s" entry)
+  | Some f -> exec_func t f args
+
 (* Run [entry] with integer arguments. *)
 let run ?(entry = "main") ?(args = []) t : Value.t =
-  match Nvmir.Prog.find_func t.prog entry with
-  | None -> invalid_arg (Fmt.str "Interp.run: no function %s" entry)
-  | Some f -> exec_func t f (List.map (fun n -> Value.Vint n) args)
+  run_values ~entry ~args:(List.map (fun n -> Value.Vint n) args) t

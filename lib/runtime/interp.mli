@@ -6,10 +6,36 @@
 exception Runtime_error of string * Nvmir.Loc.t
 exception Out_of_fuel
 
+(** Persistence-ordering boundaries — the instruction classes at which
+    an interleaving scheduler may preempt the executing thread. *)
+type boundary =
+  | Bflush
+  | Bfence
+  | Bpersist
+  | Btx_begin
+  | Btx_end
+  | Bepoch_begin
+  | Bepoch_end
+  | Bstrand_begin
+  | Bstrand_end
+
+val boundary_name : boundary -> string
+
 type t
 
-val create : ?fuel:int -> pmem:Pmem.t -> Nvmir.Prog.t -> t
-(** [fuel] bounds executed steps (default 5M). *)
+val create :
+  ?fuel:int ->
+  ?boundary_hook:(boundary -> Nvmir.Loc.t -> unit) ->
+  pmem:Pmem.t ->
+  Nvmir.Prog.t ->
+  t
+(** [fuel] bounds executed steps (default 5M). [boundary_hook] fires
+    {e before} each boundary instruction executes — so a hook observing
+    [Bflush] runs between the preceding stores and the write-back,
+    which is exactly the preemption window delay-injection schedulers
+    need. The hook may perform effects (the fuzzer yields to its
+    scheduler from it); the interpreter keeps no state across the
+    call. *)
 
 val pmem : t -> Pmem.t
 val steps : t -> int
@@ -19,3 +45,8 @@ val run : ?entry:string -> ?args:int list -> t -> Value.t
     @raise Runtime_error on ill-formed executions.
     @raise Out_of_fuel when the step budget is exhausted.
     @raise Invalid_argument when [entry] is undefined. *)
+
+val run_values : ?entry:string -> ?args:Value.t list -> t -> Value.t
+(** [run] with pre-built argument values (references included), for
+    callers that thread one shared allocation into several entry
+    points — the fuzzer's [fuzz_setup] convention. *)

@@ -6,6 +6,34 @@ type rng = { mutable state : int64 }
 
 let rng seed = { state = Int64.of_int seed }
 
+(* The splitmix64 output finalizer, used below to derive independent
+   stream seeds: it is a bijection with good avalanche, so distinct
+   (seed, purpose) pairs land on well-separated initial states. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Purpose-split streams. The historical pattern [rng (seed + c)] for
+   client [c] aliases across consumers: client c of campaign seed s is
+   the same stream as client 0 of seed s + c, and any other subsystem
+   seeding [rng] near s collides with some client. Deriving the state
+   as mix(mix(seed) ^ tag ^ mix(arg)) separates the client streams from
+   each other and from every other purpose while staying a pure
+   function of the one user-facing seed. *)
+type purpose = Client of int | Schedule of int
+
+let purpose_tag = function
+  | Client _ -> 0x436C69656E745F30L (* "Client_0" *)
+  | Schedule _ -> 0x5363686564756C65L (* "Schedule" *)
+
+let purpose_arg = function Client c -> c | Schedule i -> i
+
+let stream seed purpose =
+  let s = mix64 (Int64.of_int seed) in
+  let p = mix64 (Int64.of_int (purpose_arg purpose)) in
+  { state = mix64 (Int64.logxor (Int64.logxor s (purpose_tag purpose)) p) }
+
 (* splitmix64 *)
 let next_int64 r =
   r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;

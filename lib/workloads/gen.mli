@@ -5,6 +5,20 @@
 type rng
 
 val rng : int -> rng
+
+(** Purpose-split streams derived from one user-facing seed. [Client c]
+    is the request stream of harness client [c]; [Schedule i] is the
+    [i]-th delay-schedule stream of the interleaving fuzzer. Streams
+    for distinct purposes (or distinct arguments of one purpose) are
+    independent — unlike the historical [rng (seed + c)] pattern, where
+    client [c] of seed [s] aliased client [0] of seed [s + c] and any
+    other consumer seeding near [s]. *)
+type purpose = Client of int | Schedule of int
+
+val stream : int -> purpose -> rng
+(** [stream seed purpose] mixes [(seed, purpose)] through the splitmix
+    finalizer into a fresh stream state. *)
+
 val next_int64 : rng -> int64
 
 val next_int : rng -> int -> int

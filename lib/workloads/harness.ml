@@ -118,7 +118,10 @@ let run_concurrent ~label ~model ~seed ~clients ~txs ~checked ~setup ~op =
   ignore
     (Pool.map ~domains:clients ~chunk:1 (Pool.default ())
        (fun (c, _pmem, store, share) ->
-         let rng = Gen.rng (seed + c) in
+         (* purpose-split stream: client c's requests must not alias
+            another client's (or the fuzzer's delay schedules) when
+            campaign seeds are themselves sequential *)
+         let rng = Gen.stream seed (Gen.Client c) in
          for _ = 1 to share do
            op store rng ~client:c
          done)

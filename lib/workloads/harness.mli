@@ -47,8 +47,9 @@ val measure :
   result
 (** Best of [repeats] runs (default 3): wall-clock noise only slows runs
     down, so the fastest run is the cleanest signal. [seed] drives every
-    randomized choice the clients make (client [c] uses [seed + c]), so
-    a run is reproducible end to end from the one value. In [Concurrent]
+    randomized choice the clients make (client [c] draws from the
+    purpose-split stream [Gen.stream seed (Client c)]), so a run is
+    reproducible end to end from the one value. In [Concurrent]
     mode [setup] runs once per client (each on its own heap) and [op]
     must not share mutable state across clients. *)
 

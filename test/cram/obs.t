@@ -12,6 +12,11 @@ everything --metrics-json can report:
   crash.points_sampled       counter   crash points whose subset space was sampled, not exhaustive
   dynamic.raw_checks         counter   tracked reads checked for RAW conflicts
   dynamic.waw_checks         counter   tracked writes checked for WAW/RAW conflicts
+  fuzz.execs                 counter   schedule executions (one interleaved run of all clients)
+  fuzz.fp_killed             counter   inter-thread candidates killed by crash-image validation
+  fuzz.interthread_detections counter   validated inter-thread persistency inconsistencies
+  fuzz.novel_schedules       counter   schedules whose coverage added unseen bits to the campaign map
+  fuzz.probe_detections      counter   synchronization-boundary warnings fired at delay-injection points
   inject.blind_spot_fns      gauge     static-tier fence FNs behind pointer-arith aliases (known DSG gap)
   inject.scoring_latency_ns  histogram per-mutant static+dynamic scoring latency (labelled op=O)
   pool.chunk_run_ns          histogram per-chunk execution latency, nanoseconds

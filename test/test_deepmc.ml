@@ -31,4 +31,5 @@ let () =
       ("summary", Test_summary.suite);
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
