@@ -24,15 +24,16 @@ fuzz:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- fuzz
 
-# Regenerate the three committed benchmark artifacts. Figure 12 numbers
-# are timing-dependent; the checker/inject matrices are deterministic
-# for a fixed DEEPMC_BENCH_SEED (default 1 for recall).
+# Regenerate the committed benchmark artifacts. Figure 12 and serve
+# numbers are timing-dependent; the checker/inject matrices are
+# deterministic for a fixed DEEPMC_BENCH_SEED (default 1 for recall).
 bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- perf --json
 	dune exec bench/main.exe -- figure12 --json
 	dune exec bench/main.exe -- recall --json
 	dune exec bench/main.exe -- fuzz --json
+	dune exec bench/main.exe -- serve --json
 
 # Telemetry artifacts for one corpus-slice check: a Chrome trace (open
 # _artifacts/trace.json in chrome://tracing or Perfetto) and the

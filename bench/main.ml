@@ -1232,6 +1232,223 @@ let fuzz_bench ?(json = false) () =
     Fmt.pr "wrote BENCH_fuzz.json@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* Resident analyzer (lib/serve): the re-check-after-small-edit
+   workload.  Each round mutates one function of one corpus program
+   (lib/inject operators, so the edit is a real single-site change),
+   then re-checks the whole corpus twice: cold (parse + full check per
+   program) and warm (through one persistent [Serve.Cache], where the
+   untouched programs are request-cache hits and the edited program
+   re-runs only its stale roots).  Warnings must be byte-identical on
+   both paths every round.  `serve --json` writes BENCH_serve.json. *)
+
+let serve_bench ?(json = false) () =
+  section "Resident analyzer: re-check after a one-function edit";
+  let seed =
+    match Sys.getenv_opt "DEEPMC_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  let rounds =
+    match Sys.getenv_opt "DEEPMC_SERVE_ROUNDS" with
+    | Some s -> (try int_of_string s with _ -> 5)
+    | None -> 5
+  in
+  let bases =
+    Inject.Evaluate.corpus_bases ()
+    @ Inject.Evaluate.synth_bases ~seed ~count:2 ~nfuncs:60
+  in
+  let basea = Array.of_list bases in
+  let n = Array.length basea in
+  let text_of prog = Fmt.str "%a" Nvmir.Prog.pp prog in
+  let texts =
+    Array.map (fun (b : Inject.Evaluate.base) -> text_of b.prog) basea
+  in
+  let cache = Serve.Cache.create () in
+  let params (b : Inject.Evaluate.base) =
+    Serve.Cache.default_params b.Inject.Evaluate.model
+  in
+  let warm_sweep () =
+    Array.mapi
+      (fun i text ->
+        let b = basea.(i) in
+        Serve.Cache.check cache ~name:b.Inject.Evaluate.bname ~params:(params b)
+          ~text)
+      texts
+  in
+  let cold_sweep () =
+    Array.mapi
+      (fun i text ->
+        let b = basea.(i) in
+        let prog = Nvmir.Parser.parse ~file:b.Inject.Evaluate.bname text in
+        Analysis.Checker.check ~model:b.Inject.Evaluate.model prog)
+      texts
+  in
+  let render (w : Analysis.Warning.t) = Fmt.str "%a" Analysis.Warning.pp w in
+  let rng = Random.State.make [| seed; 0x5e7e |] in
+  let pick_mutation () =
+    (* rejection-sample a base that admits at least one sound injection
+       site; every corpus base does, so this terminates immediately *)
+    let rec go attempts =
+      if attempts > 4 * n then None
+      else
+        let i = Random.State.int rng n in
+        let b = basea.(i) in
+        match
+          Inject.Mutation.mutate ~base:b.Inject.Evaluate.bname
+            ~model:b.Inject.Evaluate.model ~roots:b.Inject.Evaluate.roots
+            b.Inject.Evaluate.prog
+        with
+        | [] -> go (attempts + 1)
+        | ms -> Some (i, List.nth ms (Random.State.int rng (List.length ms)))
+    in
+    go 0
+  in
+  ignore (warm_sweep ()) (* prime: first sight of every program is a miss *);
+  let cold_total = ref 0. and warm_total = ref 0. in
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  Fmt.pr "workload: %d programs, %d edit/re-check rounds, seed %d@." n rounds
+    seed;
+  Fmt.pr "%-5s %-28s %9s %9s %8s %-8s %5s %5s %5s@." "round" "edit" "cold ms"
+    "warm ms" "speedup" "level" "inval" "stale" "reuse";
+  hr ();
+  for round = 1 to rounds do
+    match pick_mutation () with
+    | None -> Fmt.pr "%-5d no sound injection site found; skipped@." round
+    | Some (i, m) ->
+      texts.(i) <- text_of m.Inject.Mutation.prog;
+      let t0 = Deepmc.Clock.now () in
+      let colds = cold_sweep () in
+      let cold_dt = Deepmc.Clock.elapsed_s t0 in
+      let t1 = Deepmc.Clock.now () in
+      let warms = warm_sweep () in
+      let warm_dt = Deepmc.Clock.elapsed_s t1 in
+      cold_total := !cold_total +. cold_dt;
+      warm_total := !warm_total +. warm_dt;
+      Array.iteri
+        (fun j outcome ->
+          match outcome with
+          | Error _ -> incr mismatches
+          | Ok (o : Serve.Cache.outcome) ->
+            let cold_w = List.map render colds.(j).Analysis.Checker.warnings in
+            let warm_w = List.map render o.Serve.Cache.summary.sm_warnings in
+            if not (List.equal String.equal cold_w warm_w) then
+              incr mismatches)
+        warms;
+      let level, inval, stale, reused =
+        match warms.(i) with
+        | Ok (o : Serve.Cache.outcome) ->
+          ( Serve.Cache.cache_level_name o.Serve.Cache.level,
+            List.length o.Serve.Cache.invalidated,
+            List.length o.Serve.Cache.stale,
+            List.length o.Serve.Cache.reused )
+        | Error _ -> ("error", 0, 0, 0)
+      in
+      Fmt.pr "%-5d %-28s %9.1f %9.1f %7.1fx %-8s %5d %5d %5d@." round
+        m.Inject.Mutation.id (cold_dt *. 1000.) (warm_dt *. 1000.)
+        (cold_dt /. warm_dt) level inval stale reused;
+      rows :=
+        (round, m, cold_dt, warm_dt, level, inval, stale, reused) :: !rows
+  done;
+  let rows = List.rev !rows in
+  hr ();
+  let speedup = !cold_total /. !warm_total in
+  let parks =
+    (* a dedicated 2-domain pool makes parking observable even on a
+       single-core host, where the default pool keeps zero workers *)
+    let p = Pool.create ~size:2 () in
+    ignore (Pool.map p (fun x -> x) [ 1; 2; 3; 4 ]);
+    Pool.quiesce p;
+    let total =
+      List.fold_left
+        (fun acc (w : Pool.worker_stat) -> acc + w.Pool.parks)
+        0 (Pool.worker_stats p)
+    in
+    Pool.shutdown p;
+    total
+  in
+  Fmt.pr
+    "totals: cold %.1f ms, warm %.1f ms -> %.1fx speedup (target >= 10x)@."
+    (!cold_total *. 1000.) (!warm_total *. 1000.) speedup;
+  Fmt.pr "warnings byte-identical on both paths: %b (%d mismatches)@."
+    (!mismatches = 0) !mismatches;
+  Fmt.pr "idle workers park on a blocking wait: %d parks (2-domain probe)@."
+    parks;
+  if json then begin
+    (* untimed instrumented probe on a fresh cache: one miss sweep, one
+       hit sweep — the counters tell the cache story without their cost
+       ever touching the measured rounds *)
+    let telemetry =
+      Obs.Metrics.reset ();
+      Obs.set_enabled true;
+      let probe = Serve.Cache.create () in
+      let probe_n = min 3 n in
+      let probe_sweep () =
+        for i = 0 to probe_n - 1 do
+          let b = basea.(i) in
+          ignore
+            (Serve.Cache.check probe ~name:b.Inject.Evaluate.bname
+               ~params:(params b) ~text:texts.(i))
+        done
+      in
+      probe_sweep ();
+      probe_sweep ();
+      Obs.set_enabled false;
+      Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ())
+    in
+    let j =
+      Deepmc.Json_report.Obj
+        [
+          ("seed", Deepmc.Json_report.Int seed);
+          ("rounds", Deepmc.Json_report.Int rounds);
+          ("programs", Deepmc.Json_report.Int n);
+          ("cold_ms_total", Deepmc.Json_report.Float (!cold_total *. 1000.));
+          ("warm_ms_total", Deepmc.Json_report.Float (!warm_total *. 1000.));
+          ("speedup", Deepmc.Json_report.Float speedup);
+          ("target_speedup", Deepmc.Json_report.Float 10.);
+          ("identical_warnings", Deepmc.Json_report.Bool (!mismatches = 0));
+          ("mismatches", Deepmc.Json_report.Int !mismatches);
+          ("worker_parks", Deepmc.Json_report.Int parks);
+          ( "rounds_detail",
+            Deepmc.Json_report.List
+              (List.map
+                 (fun ( round,
+                        (m : Inject.Mutation.mutant),
+                        cold_dt,
+                        warm_dt,
+                        level,
+                        inval,
+                        stale,
+                        reused ) ->
+                   Deepmc.Json_report.Obj
+                     [
+                       ("round", Deepmc.Json_report.Int round);
+                       ("edit", Deepmc.Json_report.String m.Inject.Mutation.id);
+                       ( "operator",
+                         Deepmc.Json_report.String
+                           (Inject.Mutation.operator_name
+                              m.Inject.Mutation.truth.operator) );
+                       ("cold_ms", Deepmc.Json_report.Float (cold_dt *. 1000.));
+                       ("warm_ms", Deepmc.Json_report.Float (warm_dt *. 1000.));
+                       ( "speedup",
+                         Deepmc.Json_report.Float (cold_dt /. warm_dt) );
+                       ("cache", Deepmc.Json_report.String level);
+                       ("functions_invalidated", Deepmc.Json_report.Int inval);
+                       ("roots_rechecked", Deepmc.Json_report.Int stale);
+                       ("roots_reused", Deepmc.Json_report.Int reused);
+                     ])
+                 rows) );
+          ("telemetry", telemetry);
+        ]
+    in
+    let oc = open_out "BENCH_serve.json" in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fmt.pf ppf "%a@." Deepmc.Json_report.pp j;
+    close_out oc;
+    Fmt.pr "wrote BENCH_serve.json@."
+  end
+
 let sections : (string * (unit -> unit)) list =
   [
     ("table1", table1);
@@ -1256,6 +1473,7 @@ let sections : (string * (unit -> unit)) list =
     ("perf", perf ?json:None);
     ("recall", recall ?json:None);
     ("fuzz", fuzz_bench ?json:None);
+    ("serve", serve_bench ?json:None);
     ("micro", micro);
   ]
 
@@ -1266,6 +1484,7 @@ let () =
   | [| _; "figure12"; "--json" |] -> figure12 ~json:true ()
   | [| _; "recall"; "--json" |] -> recall ~json:true ()
   | [| _; "fuzz"; "--json" |] -> fuzz_bench ~json:true ()
+  | [| _; "serve"; "--json" |] -> serve_bench ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name sections with
     | Some f -> f ()

@@ -209,6 +209,70 @@ let materialized_term =
           "Use the materialized trace engine (the streaming engine's \
            differential oracle) instead of the default streaming engine.")
 
+(* Client path: ship the program text to a resident `deepmc serve`
+   daemon instead of analyzing in-process. Static checking only — the
+   daemon has no harness to run entries under the dynamic checker. *)
+let connect_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Send the check to a resident analyzer daemon ($(b,deepmc serve \
+           --socket) SOCK) instead of analyzing in-process. Static analysis \
+           only; incompatible with --entry.")
+
+let run_connected ~sock ~file ~model ~field_sensitive ~pmem_roots ~json =
+  let ( let* ) = Result.bind in
+  let* text =
+    try
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error (`Msg m)
+  in
+  let* resp =
+    Result.map_error
+      (fun m -> `Msg m)
+      (Serve.Client.check ~sock ~name:file ~model ~field_sensitive
+         ~pmem_roots ~text ())
+  in
+  if json then Fmt.pr "%a@." Deepmc.Json_report.pp resp
+  else begin
+    let warnings =
+      match Serve.Protocol.member "warnings" resp with
+      | Some (Serve.Protocol.List ws) -> ws
+      | _ -> []
+    in
+    List.iter
+      (fun w ->
+        let s key =
+          Option.value ~default:"?" (Serve.Protocol.string_member key w)
+        in
+        let line =
+          Option.value ~default:0 (Serve.Protocol.int_member "line" w)
+        in
+        Fmt.pr "@[<hov 2>WARNING [%s] %s:%d (%s, %s model, %s):@ %s@]@."
+          (s "rule") (s "file") line (s "category") (s "model") (s "origin")
+          (s "message"))
+      warnings;
+    Fmt.pr "%d warning(s) [cache %s, %d function(s) invalidated]@."
+      (List.length warnings)
+      (Option.value ~default:"?"
+         (Serve.Protocol.string_member "cache" resp))
+      (Option.value ~default:0
+         (Serve.Protocol.int_member "functions_invalidated" resp))
+  end;
+  let nwarnings =
+    match Serve.Protocol.member "warnings" resp with
+    | Some (Serve.Protocol.List ws) -> List.length ws
+    | _ -> 0
+  in
+  if nwarnings = 0 then Ok ()
+  else Error (`Msg (Fmt.str "%d warning(s)" nwarnings))
+
 let check_cmd =
   let explore_term =
     Arg.(
@@ -227,8 +291,16 @@ let check_cmd =
   in
   let run () model file entry clients no_dynamic field_insensitive
       suppressions json pmem_roots html domains stats materialized explore
-      crash_bound seed metrics_json trace_out =
+      crash_bound seed metrics_json trace_out connect =
     let ( let* ) = Result.bind in
+    match connect with
+    | Some sock ->
+      if entry <> None then
+        Error (`Msg "--connect serves static checks only; drop --entry")
+      else
+        run_connected ~sock ~file ~model
+          ~field_sensitive:(not field_insensitive) ~pmem_roots ~json
+    | None ->
     let* prog = load file in
     let* prog = validated prog in
     Option.iter Pool.set_default_size domains;
@@ -301,7 +373,8 @@ let check_cmd =
        $ clients_term $ no_dynamic_term $ field_insensitive_term
        $ suppressions_term $ json_term $ pmem_roots_term $ html_term
        $ domains_term $ stats_term $ materialized_term $ explore_term
-       $ crash_bound_term $ seed_term $ metrics_json_term $ trace_out_term))
+       $ crash_bound_term $ seed_term $ metrics_json_term $ trace_out_term
+       $ connect_term))
 
 (* Mixed-model checking: a map file with one "function model" pair per
    line assigns each analysis root its intended persistency model. *)
@@ -962,14 +1035,104 @@ let fuzz_cmd =
        $ clients_term $ budget_term $ random_term $ seed_term $ domains_term
        $ json_term $ metrics_json_term $ trace_out_term))
 
+(* The resident analyzer: keeps the cross-run caches warm and answers
+   check/crash-explore/inject requests over a socket (or stdio), or
+   re-checks a watched directory. See lib/serve. *)
+let serve_cmd =
+  let socket_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at PATH.")
+  in
+  let stdio_term =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve line-delimited JSON requests from stdin to stdout \
+             (single deterministic client; used by the test suite).")
+  in
+  let watch_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:
+            "Poll DIR for .nvmir changes and re-check changed files, \
+             printing one line per re-check. The model flags select the \
+             model watched files are checked under.")
+  in
+  let once_term =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"With --watch: one scan pass, then exit.")
+  in
+  let interval_term =
+    Arg.(
+      value & opt int 200
+      & info [ "interval" ] ~docv:"MS"
+          ~doc:"Polling interval for --watch, milliseconds.")
+  in
+  let max_requests_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after N requests (watch re-checks included).")
+  in
+  let run () model socket stdio watch once interval max_requests
+      field_insensitive pmem_roots domains metrics_json trace_out =
+    Option.iter Pool.set_default_size domains;
+    obs_setup ~metrics_json ~trace_out;
+    let t = Serve.Daemon.create () in
+    let r =
+      match (socket, stdio, watch) with
+      | None, true, None ->
+        Serve.Daemon.serve_stdio ?max_requests t;
+        Ok ()
+      | Some path, false, None ->
+        Serve.Daemon.serve_socket ?max_requests t ~path;
+        Ok ()
+      | None, false, Some dir ->
+        let params =
+          Serve.Cache.default_params
+            ~field_sensitive:(not field_insensitive)
+            ~persistent_roots:pmem_roots model
+        in
+        Serve.Daemon.serve_watch ?max_requests ~interval_ms:interval ~once t
+          ~dir ~params;
+        Ok ()
+      | None, false, None ->
+        Error (`Msg "choose one of --socket PATH, --stdio, --watch DIR")
+      | _ -> Error (`Msg "choose exactly one of --socket, --stdio, --watch")
+    in
+    obs_write ~metrics_json ~trace_out;
+    r
+  in
+  let doc =
+    "Run the resident incremental analyzer: a long-lived daemon that keeps \
+     DSG summaries, interprocedural memo results and per-root warnings \
+     cached across requests, invalidating only the functions whose IR \
+     content hash changed."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ model_term $ socket_term $ stdio_term
+       $ watch_term $ once_term $ interval_term $ max_requests_term
+       $ field_insensitive_term $ pmem_roots_term $ domains_term
+       $ metrics_json_term $ trace_out_term))
+
 let main_cmd =
   let doc = "detect deep memory persistency bugs in NVM programs" in
   let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
-      inject_cmd; fuzz_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd;
-      rules_cmd; stats_cmd;
+      inject_cmd; fuzz_cmd; serve_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd;
+      corpus_cmd; rules_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

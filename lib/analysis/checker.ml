@@ -76,6 +76,64 @@ let check_root_streaming ctx (src : Trace.source) =
           (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
       List.rev !rev_warnings)
 
+(* Per-root streaming results: the unit of incremental reuse. A root's
+   warnings and stats depend only on its own call-graph closure, so a
+   resident analyzer can replay cached [per_root] values for untouched
+   roots and re-run only the stale ones, then [merge_roots] — the merge
+   reproduces exactly what a cold [check] computes, provided the list
+   is in the cold run's root order (cross-root dedup keeps the first
+   occurrence, so order is semantically visible). *)
+type per_root = {
+  pr_root : string;
+  pr_warnings : Warning.t list; (* per-root deduped, pre-sort *)
+  pr_paths : int;
+  pr_events : int;
+  pr_peak : int;
+}
+
+let check_roots ?(config = Config.default) ?(field_sensitive = true)
+    ?(persistent_roots = []) ?dsg ?roots ~model (prog : Nvmir.Prog.t) :
+    per_root list * Dsa.Dsg.t =
+  let dsg =
+    match dsg with
+    | Some d -> d
+    | None -> Dsa.Dsg.build ~field_sensitive ~persistent_roots prog
+  in
+  let ctx = { Rules.model; dsg; tenv = Nvmir.Prog.tenv prog } in
+  let sources = Trace.stream ~config ?roots dsg prog in
+  (* freeze the union-find: forcing the sources from worker domains
+     must not race on path compression *)
+  Dsa.Arena.compress (Dsa.Dsg.arena dsg);
+  let per_root =
+    Pool.map (Pool.default ())
+      (fun (src : Trace.source) ->
+        let ws = check_root_streaming ctx src in
+        (* the source is fully forced now, so its stats are final *)
+        {
+          pr_root = src.Trace.root;
+          pr_warnings = ws;
+          pr_paths = src.Trace.s_stats.Trace.paths;
+          pr_events = src.Trace.s_stats.Trace.events;
+          pr_peak = src.Trace.s_stats.Trace.peak_live;
+        })
+      sources
+  in
+  (per_root, dsg)
+
+let merge_roots ~model ~dsg (per_root : per_root list) : result =
+  let warnings =
+    List.concat_map (fun pr -> pr.pr_warnings) per_root
+    |> Warning.dedup |> Warning.sort
+  in
+  note_warnings warnings;
+  let trace_count, event_count, peak_paths =
+    List.fold_left
+      (fun (t, e, p) pr -> (t + pr.pr_paths, e + pr.pr_events, max p pr.pr_peak))
+      (0, 0, 0) per_root
+  in
+  if Obs.enabled () then Obs.Metrics.set_max m_peak peak_paths;
+  { model; warnings; trace_count; event_count; peak_paths; dsg }
+
 let check ?(config = Config.default) ?(field_sensitive = true)
     ?(persistent_roots = []) ?roots ~model (prog : Nvmir.Prog.t) : result =
   let dsg = Dsa.Dsg.build ~field_sensitive ~persistent_roots prog in
@@ -106,27 +164,11 @@ let check ?(config = Config.default) ?(field_sensitive = true)
       dsg;
     }
   | Config.Streaming ->
-    let sources = Trace.stream ~config ?roots dsg prog in
-    (* freeze the union-find: forcing the sources from worker domains
-       must not race on path compression *)
-    Dsa.Arena.compress (Dsa.Dsg.arena dsg);
-    let per_root =
-      Pool.map (Pool.default ()) (check_root_streaming ctx) sources
+    let per_root, dsg =
+      check_roots ~config ~field_sensitive ~persistent_roots ~dsg ?roots
+        ~model prog
     in
-    let warnings =
-      List.concat per_root |> Warning.dedup |> Warning.sort
-    in
-    note_warnings warnings;
-    let trace_count, event_count, peak_paths =
-      List.fold_left
-        (fun (t, e, p) (src : Trace.source) ->
-          ( t + src.Trace.s_stats.Trace.paths,
-            e + src.Trace.s_stats.Trace.events,
-            max p src.Trace.s_stats.Trace.peak_live ))
-        (0, 0, 0) sources
-    in
-    if Obs.enabled () then Obs.Metrics.set_max m_peak peak_paths;
-    { model; warnings; trace_count; event_count; peak_paths; dsg }
+    merge_roots ~model ~dsg per_root
 
 (* Mixed-model checking — lifting the limitation §4.5 states ("DeepMC
    currently does not support the scenario that part of a program uses

@@ -28,6 +28,40 @@ val check :
   Nvmir.Prog.t ->
   result
 
+(** {1 Per-root streaming results}
+
+    The unit of incremental reuse: a root's warnings and stats depend
+    only on its own call-graph closure, so a resident analyzer replays
+    cached [per_root] values for untouched roots, re-runs the stale
+    ones via [check_roots ~roots:stale], and [merge_roots] the lot. *)
+
+type per_root = {
+  pr_root : string;
+  pr_warnings : Warning.t list;
+      (** per-root deduplicated, pre-merge order *)
+  pr_paths : int;
+  pr_events : int;
+  pr_peak : int;
+}
+
+val check_roots :
+  ?config:Config.t ->
+  ?field_sensitive:bool ->
+  ?persistent_roots:(string * string) list ->
+  ?dsg:Dsa.Dsg.t ->
+  ?roots:string list ->
+  model:Model.t ->
+  Nvmir.Prog.t ->
+  per_root list * Dsa.Dsg.t
+(** Streaming-engine check of [roots] (default: all call-graph roots),
+    fanned out on the shared pool. [dsg] skips the DSG build when the
+    caller already holds one for exactly this program. *)
+
+val merge_roots : model:Model.t -> dsg:Dsa.Dsg.t -> per_root list -> result
+(** Cross-root dedup + sort. Byte-identical to a cold {!check} when the
+    list covers the same roots in the same order (dedup keeps the first
+    occurrence, so order is semantically visible). *)
+
 (** {1 Mixed-model checking}
 
     Lifts the §4.5 limitation: each analysis root carries its own

@@ -541,6 +541,11 @@ let resolve_roots ~roots cg prog =
     | [] -> Nvmir.Prog.func_names prog
     | rs -> rs)
 
+(* The root list a rootless [collect]/[stream] would enumerate, in that
+   same order — the serve cache keys its per-root entries off this. *)
+let default_roots prog =
+  resolve_roots ~roots:None (Graphs.Callgraph.of_prog prog) prog
+
 (* Collect fully expanded traces for the given root functions (defaults
    to the call-graph roots: functions never called from the program). *)
 let collect ?(config = Config.default) ?roots dsg prog :

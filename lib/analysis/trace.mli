@@ -33,6 +33,11 @@ val collect :
     to the call-graph roots (functions never called within the
     program). *)
 
+val default_roots : Nvmir.Prog.t -> string list
+(** The roots a rootless {!collect}/{!stream} enumerates, in the same
+    order: call-graph roots, or every function when all are called.
+    Incremental callers use this to key per-root cache entries. *)
+
 (** {1 Streaming engine} *)
 
 type stats = {

@@ -399,3 +399,32 @@ let pp_function_view ppf (t, fname) =
     (List.length nodes)
     Fmt.(list ~sep:(any "@ ") (fun ppf n -> Arena.pp_node t.arena ppf n))
     nodes
+
+(* Per-function summary hash: everything the rules can observe about
+   this function's slice of the DSG. Raw canonical ids go into the
+   digest deliberately — warning messages embed them via Aaddr.pp, so
+   two builds must agree on ids before any cached warning text may be
+   replayed (an id shift is a spurious miss, never a wrong hit). *)
+let summary_hash t ~fname =
+  let open Nvmir in
+  let fk h = function None -> Chash.add_string h "_" | Some f -> Chash.add_string h f in
+  List.fold_left
+    (fun h id ->
+      let n = Arena.canonical t.arena id in
+      let h = Chash.add_int h n.Arena.id in
+      let h =
+        match n.Arena.ty with
+        | None -> Chash.add_string h "?"
+        | Some ty -> Chash.add_string h (Fmt.str "%a" Ty.pp ty)
+      in
+      let h = Chash.add_int h (if n.Arena.persistent then 1 else 0) in
+      let h = List.fold_left fk h (List.sort compare n.Arena.mod_fields) in
+      let h = Chash.add_char h '/' in
+      let h = List.fold_left fk h (List.sort compare n.Arena.ref_fields) in
+      let h = Chash.add_char h '/' in
+      List.fold_left
+        (fun h (k, tgt) -> Chash.add_int (fk h k) (Arena.find t.arena tgt))
+        h
+        (List.sort compare n.Arena.edges))
+    (Chash.add_string Chash.empty fname)
+    (function_view t ~fname)

@@ -45,6 +45,14 @@ val function_view : t -> fname:string -> int list
 
 val pp_function_view : (t * string) Fmt.t
 
+val summary_hash : t -> fname:string -> Nvmir.Chash.t
+(** Content key over the function's DSG slice: every persistent node it
+    can reach, with canonical id, pointee type, persistence, sorted
+    mod/ref field sets, and outgoing edges. Raw canonical ids are
+    digested on purpose: warning text embeds them ({!Aaddr.pp}), so a
+    cached warning may only be replayed when ids match exactly — an id
+    shift across rebuilds is a spurious cache miss, never a wrong hit. *)
+
 (** {1 Phases} — exposed for tests; [build] runs them in order *)
 
 val local_phase : t -> unit

@@ -80,3 +80,8 @@ let iter_instrs f t =
 
 let instr_count t =
   List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 t.blocks
+
+(* The printed body is the canonical serialization (the parser
+   round-trips through it), so hashing it keys every cached artifact
+   derived from this function: same hash => same analysis inputs. *)
+let content_hash t = Chash.of_string (Fmt.str "%a" pp t)

@@ -40,3 +40,8 @@ val iter_instrs : (string -> Instr.t -> unit) -> t -> unit
 
 val instr_count : t -> int
 (** Instructions plus one terminator per block. *)
+
+val content_hash : t -> Chash.t
+(** FNV-1a 64 over the printed body (including source locations):
+    equal hashes mean the checker sees identical inputs for this
+    function, so every derived cache entry may be reused. *)

@@ -149,3 +149,19 @@ let pp ppf t =
 
 let total_instrs t =
   List.fold_left (fun acc f -> acc + Func.instr_count f) 0 (funcs t)
+
+let function_hashes t =
+  List.map (fun f -> (Func.name f, Func.content_hash f)) (funcs t)
+
+(* Struct layouts feed field resolution everywhere, so the whole-program
+   digest covers them alongside every function body, in declaration
+   order (order is analysis-visible: it fixes root enumeration). *)
+let digest t =
+  let h =
+    List.fold_left
+      (fun h sd -> Chash.add_string h (Fmt.str "%a" Ty.pp_struct sd))
+      Chash.empty t.struct_order
+  in
+  List.fold_left
+    (fun h (name, fh) -> Chash.combine (Chash.add_string h name) fh)
+    h (function_hashes t)

@@ -35,3 +35,11 @@ val pp : t Fmt.t
 (** Prints the textual form accepted by {!Parser.parse}. *)
 
 val total_instrs : t -> int
+
+val function_hashes : t -> (string * Chash.t) list
+(** [(name, Func.content_hash f)] in declaration order. *)
+
+val digest : t -> Chash.t
+(** Whole-program content hash: struct layouts plus every function
+    body in declaration order. Equal digests mean a checker run sees
+    byte-identical inputs. *)

@@ -58,6 +58,10 @@ let m_worker_claims =
   Obs.Metrics.counter "pool.worker_claims"
     ~desc:"per-domain chunk claims (labelled domain=N)"
 
+let m_parks =
+  Obs.Metrics.counter "pool.parks"
+    ~desc:"worker blocking waits entered with no pending submissions"
+
 type stats = {
   size : int;  (** target number of worker domains *)
   alive : int;  (** workers currently spawned *)
@@ -66,16 +70,17 @@ type stats = {
   chunks : int;  (** chunks executed across all jobs *)
 }
 
-type worker_stat = { domain : int; claims : int; busy_ns : int64 }
+type worker_stat = { domain : int; claims : int; busy_ns : int64; parks : int }
 
-(* Per-domain accounting. Claims are always counted (owner-only writes,
-   cheap); busy_ns accrues only while telemetry is enabled, because it
-   needs two clock reads per chunk. *)
+(* Per-domain accounting. Claims and parks are always counted
+   (owner-only writes, cheap); busy_ns accrues only while telemetry is
+   enabled, because it needs two clock reads per chunk. *)
 type worker_rec = {
   wr_domain : int;
   wr_label : string;
   mutable wr_claims : int;
   mutable wr_busy_ns : int64;
+  mutable wr_parks : int;
 }
 
 (* One parallel-map submission: a bag of [nchunks] chunks claimed via
@@ -100,8 +105,10 @@ type t = {
   mutable pending : desc list; (* open submissions, FIFO *)
   mutable shutdown : bool;
   mutable spawned_total : int;
+  mutable parked : int; (* workers blocked in Condition.wait right now *)
   q_mutex : Mutex.t;
   q_cond : Condition.t; (* signaled on submission / shutdown *)
+  idle_cond : Condition.t; (* signaled as workers park / pending drains *)
   jobs_done : int Atomic.t;
   chunks_run : int Atomic.t;
   w_mutex : Mutex.t; (* guards worker_tbl lookups/inserts only *)
@@ -128,6 +135,7 @@ let worker_rec pool =
           wr_label = "domain=" ^ string_of_int id;
           wr_claims = 0;
           wr_busy_ns = 0L;
+          wr_parks = 0;
         }
       in
       Hashtbl.replace pool.worker_tbl id wr;
@@ -182,9 +190,11 @@ let drain pool d =
 let remove_pending pool d =
   Mutex.lock pool.q_mutex;
   pool.pending <- List.filter (fun d' -> d' != d) pool.pending;
+  if pool.pending = [] then Condition.broadcast pool.idle_cond;
   Mutex.unlock pool.q_mutex
 
 let rec worker_loop pool =
+  let wr = worker_rec pool in
   Mutex.lock pool.q_mutex;
   let rec get () =
     if pool.shutdown then None
@@ -197,7 +207,15 @@ let rec worker_loop pool =
         d.helpers <- d.helpers + 1;
         Some d
       | None ->
+        (* Park: a blocking wait, not a spin — a resident daemon's
+           worker domains consume no CPU between requests. [parked]
+           lets [quiesce] observe full idleness. *)
+        pool.parked <- pool.parked + 1;
+        wr.wr_parks <- wr.wr_parks + 1;
+        Obs.Metrics.incr m_parks;
+        Condition.broadcast pool.idle_cond;
         Condition.wait pool.q_cond pool.q_mutex;
+        pool.parked <- pool.parked - 1;
         get ()
     end
   in
@@ -218,8 +236,10 @@ let create ?size () =
     pending = [];
     shutdown = false;
     spawned_total = 0;
+    parked = 0;
     q_mutex = Mutex.create ();
     q_cond = Condition.create ();
+    idle_cond = Condition.create ();
     jobs_done = Atomic.make 0;
     chunks_run = Atomic.make 0;
     w_mutex = Mutex.create ();
@@ -282,12 +302,37 @@ let worker_stats pool =
   let out =
     Hashtbl.fold
       (fun _ wr acc ->
-        { domain = wr.wr_domain; claims = wr.wr_claims; busy_ns = wr.wr_busy_ns }
+        {
+          domain = wr.wr_domain;
+          claims = wr.wr_claims;
+          busy_ns = wr.wr_busy_ns;
+          parks = wr.wr_parks;
+        }
         :: acc)
       pool.worker_tbl []
   in
   Mutex.unlock pool.w_mutex;
   List.sort (fun a b -> compare a.domain b.domain) out
+
+(* Block until the pool is fully idle: no open submissions and every
+   spawned worker parked in its blocking wait. A daemon calls this
+   between requests to guarantee ~0% CPU at idle (and tests use it to
+   assert the same). Spawned-but-not-yet-parked workers are waited
+   for; an empty pool quiesces immediately. *)
+let quiesce pool =
+  Mutex.lock pool.q_mutex;
+  while pool.pending <> [] || pool.parked < List.length pool.workers do
+    Condition.wait pool.idle_cond pool.q_mutex
+  done;
+  Mutex.unlock pool.q_mutex
+
+(* Pre-warm: spawn any missing workers and kick parked ones so the
+   first post-idle submission doesn't pay domain-spawn latency. *)
+let wake pool =
+  ensure_workers pool;
+  Mutex.lock pool.q_mutex;
+  Condition.broadcast pool.q_cond;
+  Mutex.unlock pool.q_mutex
 
 (* Parallel map preserving submission order. [domains] caps the number
    of domains cooperating on this job (submitter included); it defaults

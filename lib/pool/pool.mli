@@ -23,6 +23,9 @@ type worker_stat = {
   busy_ns : int64;
       (** time spent inside chunks; accrues only while [Obs.enabled] is
           on (it costs two clock reads per chunk) *)
+  parks : int;
+      (** blocking waits this domain entered with no pending work
+          (always counted) — a resident daemon's idle evidence *)
 }
 
 val recommended_size : unit -> int
@@ -59,9 +62,20 @@ val stats : t -> stats
     [pool.chunk_run_ns] when telemetry is enabled. *)
 
 val worker_stats : t -> worker_stat list
-(** Per-domain claim/busy breakdown, sorted by domain id. Also exposed
-    through the registry as [pool.worker_claims{domain=N}] and
-    [pool.worker_busy_ns{domain=N}] while telemetry is enabled. *)
+(** Per-domain claim/busy/park breakdown, sorted by domain id. Also
+    exposed through the registry as [pool.worker_claims{domain=N}] and
+    [pool.worker_busy_ns{domain=N}] while telemetry is enabled; parks
+    additionally aggregate into the always-counted [pool.parks]. *)
+
+val quiesce : t -> unit
+(** Block until the pool is fully idle: no open submissions and every
+    spawned worker parked in its blocking wait (consuming no CPU). An
+    unspawned pool quiesces immediately. The daemon calls this between
+    requests; tests use it to assert ~0% idle CPU via park counts. *)
+
+val wake : t -> unit
+(** Pre-warm: spawn missing workers up to the target and kick parked
+    ones, so the next submission pays no domain-spawn latency. *)
 
 val default : unit -> t
 (** The process-wide shared pool (created on first use; joined in an

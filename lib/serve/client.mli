@@ -1,0 +1,18 @@
+(** Thin socket client: one connection per request, line-delimited
+    JSON — the [deepmc check --connect] path. *)
+
+val request : sock:string -> Protocol.json -> (Protocol.json, string) result
+
+val check :
+  sock:string ->
+  name:string ->
+  model:Analysis.Model.t ->
+  ?field_sensitive:bool ->
+  ?pmem_roots:(string * string) list ->
+  text:string ->
+  unit ->
+  (Protocol.json, string) result
+(** Submit a check request; [Ok] is the full ok-status response
+    object, [Error] carries the server's (or transport's) message. *)
+
+val shutdown : sock:string -> (unit, string) result

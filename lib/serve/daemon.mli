@@ -1,0 +1,58 @@
+(** The resident analyzer daemon behind [deepmc serve].
+
+    Single-threaded request loop (parallelism lives inside a request,
+    fanned out on the shared pool), line-delimited JSON transport over
+    stdio or a Unix-domain socket, plus a directory watch loop. The
+    pool is quiesced between requests, so an idle daemon consumes ~0%
+    CPU. *)
+
+type t
+
+val create : unit -> t
+val served : t -> int
+(** Requests handled so far (watch re-checks included). *)
+
+val handle :
+  t -> Protocol.json -> [ `Reply of Protocol.json | `Quit of Protocol.json ]
+(** Dispatch one request (cmd = check | crash-explore | inject | stats
+    | shutdown). [`Quit] carries the shutdown acknowledgement. Handler
+    exceptions become error responses — a bad request never kills the
+    daemon. *)
+
+val handle_line : t -> string -> [ `Reply of string | `Quit of string ]
+(** {!handle} pre/post-composed with {!Protocol.parse}/{!Protocol.to_line}. *)
+
+val serve_stdio : ?max_requests:int -> t -> unit
+(** Serve requests from stdin to stdout until EOF, a shutdown request,
+    or [max_requests]. Deterministic: the cram transport. *)
+
+val serve_socket : ?max_requests:int -> t -> path:string -> unit
+(** Bind [path] (removing any stale socket), accept connections one at
+    a time, serve each until EOF; stop on shutdown / [max_requests].
+    The socket file is removed on exit. *)
+
+(** {1 Watch loop} *)
+
+type watch_state
+
+val watch_create : dir:string -> params:Cache.params -> watch_state
+
+val watch_scan :
+  t -> watch_state -> (string * (Cache.outcome, string) result) list
+(** One polling pass over [dir]'s [.nvmir] files: re-check every file
+    whose bytes changed since the previous pass (sorted path order);
+    unchanged files cost one digest each. *)
+
+val pp_watch_result : (string * (Cache.outcome, string) result) Fmt.t
+
+val serve_watch :
+  ?max_requests:int ->
+  ?interval_ms:int ->
+  ?once:bool ->
+  t ->
+  dir:string ->
+  params:Cache.params ->
+  unit
+(** Poll [dir] every [interval_ms] (default 200), printing one line
+    per re-checked file. [once] performs a single pass and returns —
+    the testable entry. *)

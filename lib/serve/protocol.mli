@@ -1,0 +1,32 @@
+(** Line-delimited JSON wire protocol: one request object per line in,
+    one response object per line out. The [json] type is
+    {!Deepmc.Json_report.json} (whose printer is pretty/multi-line);
+    {!to_line} renders it compactly so framing stays one-line-per-
+    message. The parser is a self-contained recursive descent — the
+    project's encoder side has no JSON dependency and neither does
+    this. *)
+
+type json = Deepmc.Json_report.json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_line : json -> string
+(** Compact single-line encoding (ASCII control characters escaped). *)
+
+val parse : string -> (json, string) result
+
+val member : string -> json -> json option
+val string_member : string -> json -> string option
+val int_member : string -> json -> int option
+val bool_member : string -> json -> bool option
+
+val error_response : ?id:int -> string -> json
+(** [{"id": id?, "status": "error", "error": msg}]. *)
+
+val ok_response : ?id:int -> (string * json) list -> json
+(** [{"id": id?, "status": "ok", ...fields}]. *)

@@ -21,11 +21,18 @@ everything --metrics-json can report:
   inject.scoring_latency_ns  histogram per-mutant static+dynamic scoring latency (labelled op=O)
   pool.chunk_run_ns          histogram per-chunk execution latency, nanoseconds
   pool.jobs                  counter   parallel map submissions completed
+  pool.parks                 counter   worker blocking waits entered with no pending submissions
   pool.queue_depth           gauge     high-water mark of submissions open to workers at once
   pool.steals                counter   chunk claims from submission descriptors (submitter included)
   pool.worker_busy_ns        counter   per-domain busy time in chunks, nanoseconds (labelled domain=N)
   pool.worker_claims         counter   per-domain chunk claims (labelled domain=N)
   rules.fired                counter   rule evaluations (one per rule per completed trace)
+  serve.cache_hits           counter   request-level cache hits (byte-identical resubmission, no re-analysis)
+  serve.cache_misses         counter   request-level cache misses (program text or parameters changed)
+  serve.functions_invalidated gauge     high-water mark of functions invalidated by a single edit
+  serve.request_latency_ns   histogram wall-clock latency per served check request, nanoseconds
+  serve.requests             counter   requests handled by the resident analyzer
+  serve.roots_reused         counter   per-root results replayed from the incremental cache on changed programs
   shadow.lock_contention     counter   shard-lock acquisitions that found the lock held
   shadow.reads               counter   shadow-segment read records
   shadow.writes              counter   shadow-segment write records

@@ -1,0 +1,133 @@
+The resident analyzer. `deepmc serve` keeps the interprocedural memo,
+DSG summaries and per-root warnings warm across requests; the stdio
+transport is a deterministic single client, so the request/response
+JSON schema is pinned byte-for-byte.
+
+The CLI surface:
+
+  $ deepmc serve --help=plain | head -5
+  NAME
+         deepmc-serve - Run the resident incremental analyzer: a long-lived
+         daemon that keeps DSG summaries, interprocedural memo results and
+         per-root warnings cached across requests, invalidating only the
+         functions whose IR content hash changed.
+
+Exactly one transport must be selected:
+
+  $ deepmc serve 2>&1 | head -1
+  deepmc: choose one of --socket PATH, --stdio, --watch DIR
+
+A check/edit/re-check conversation. The first sight of a program is a
+miss (every function fingerprinted cold); a byte-identical
+resubmission is a request-level hit (nothing is even parsed); an edit
+to one function invalidates that function only and re-checks only the
+root whose call-graph closure contains it -- the warnings text is
+byte-identical to a cold check throughout:
+
+  $ printf '%s\n' \
+  >  '{"cmd":"check","name":"edit.nvmir","model":"strict","program":"struct r { a: int, b: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 2 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
+  >  '{"cmd":"check","name":"edit.nvmir","model":"strict","program":"struct r { a: int, b: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 2 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
+  >  '{"cmd":"check","name":"edit.nvmir","model":"strict","program":"struct r { a: int, b: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 3 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
+  > | deepmc serve --stdio --domains 1 2>/dev/null
+  {"status":"ok","cache":"miss","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":2,"invalidated":["iso","main"],"roots_rechecked":["main","iso"],"roots_reused":[]}
+  {"status":"ok","cache":"hit","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":0,"invalidated":[],"roots_rechecked":[],"roots_reused":[]}
+  {"status":"ok","cache":"partial","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":1,"invalidated":["iso"],"roots_rechecked":["iso"],"roots_reused":["main"]}
+
+Injection requests run the mutation operators server-side and memoize
+by text; malformed input of any kind is an error response, never a
+dead daemon; shutdown echoes the request id:
+
+  $ printf '%s\n' \
+  >  '{"cmd":"inject","name":"edit.nvmir","model":"strict","operators":["delete-flush"],"program":"struct r { b: int }\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 2 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
+  >  'not json' \
+  >  '{"cmd":"frobnicate"}' \
+  >  '{"cmd":"check","name":"bad.nvmir","program":"func broken("}' \
+  >  '{"cmd":"shutdown","id":9}' \
+  > | deepmc serve --stdio --domains 1 2>/dev/null
+  {"status":"ok","cache":"miss","mutants":["edit.nvmir/delete-flush/0"],"mutant_count":1}
+  {"status":"error","error":"invalid literal at 0"}
+  {"status":"error","error":"unknown cmd \"frobnicate\""}
+  {"status":"error","error":"parse error at line 1: expected parameter name, got end of input"}
+  {"id":9,"status":"ok","bye":true}
+
+The stats request reports the served count, the shared pool (including
+worker parks: idle workers sit in a blocking wait, not a spin), and
+the live metrics registry; values are host-dependent, the schema is
+not:
+
+  $ printf '%s\n' '{"cmd":"stats"}' '{"cmd":"shutdown"}' \
+  > | deepmc serve --stdio --domains 1 2>/dev/null | sed -E 's/[0-9]+/N/g'
+  {"status":"ok","served":N,"pool":{"size":N,"alive":N,"jobs":N,"chunks":N,"parks":N},"metrics":{}}
+  {"status":"ok","bye":true}
+
+Watch mode polls a directory and re-checks only files whose content
+digest changed; --once does a single pass (every file is new to a
+fresh daemon), printing one line per re-check in sorted order:
+
+  $ mkdir wdir
+  $ cat > wdir/buggy.nvmir <<'EOF'
+  > struct r { a: int }
+  > func main() {
+  > entry:
+  >   p = alloc pmem r
+  >   store p->a, 1 @ m.c:10
+  >   ret
+  > }
+  > EOF
+  $ cat > wdir/clean.nvmir <<'EOF'
+  > struct r { b: int }
+  > func iso() {
+  > entry:
+  >   q = alloc pmem r
+  >   store q->b, 2 @ i.c:20
+  >   flush exact q->b @ i.c:21
+  >   fence @ i.c:22
+  >   ret
+  > }
+  > EOF
+  $ deepmc serve --watch wdir --once --strict 2>/dev/null
+  buggy.nvmir: 1 warning(s) [miss, 1 function(s) invalidated, 1/1 root(s) re-checked]
+  clean.nvmir: 0 warning(s) [miss, 1 function(s) invalidated, 1/1 root(s) re-checked]
+
+The socket transport serves `deepmc check --connect`: same warnings
+and exit code as a local check, and the daemon's cache persists across
+client processes -- the second client's resubmission is a hit.
+--max-requests 2 makes the daemon exit on its own afterwards:
+
+  $ deepmc serve --socket d.sock --domains 1 --max-requests 2 2>/dev/null &
+  $ for _ in $(seq 100); do [ -S d.sock ] && break; sleep 0.1; done
+  $ deepmc check wdir/buggy.nvmir --connect d.sock --strict
+  WARNING [unflushed-write] m.c:10 (model-violation, strict model, static):
+    write to n0.a is never flushed or logged before it must be durable
+  1 warning(s) [cache miss, 1 function(s) invalidated]
+  deepmc: 1 warning(s)
+  [124]
+  $ deepmc check wdir/buggy.nvmir --connect d.sock --strict --json 2>/dev/null | grep '"cache"'
+    "cache": "hit",
+  $ wait
+
+--connect refuses dynamic-analysis options the daemon does not serve:
+
+  $ deepmc check wdir/buggy.nvmir --connect d.sock --entry main 2>&1 | head -1
+  deepmc: --connect serves static checks only; drop --entry
+
+The serve benchmark replays an edit/re-check workload over the corpus
+(one random function mutated per round) and writes BENCH_serve.json;
+warm warnings must stay byte-identical to cold, and the measured
+speedup must clear the 10x acceptance floor:
+
+  $ DEEPMC_SERVE_ROUNDS=1 DEEPMC_BENCH_SEED=1 deepmc-bench serve --json > /dev/null
+  $ grep -o '"identical_warnings": true' BENCH_serve.json
+  "identical_warnings": true
+  $ grep -m1 -o '"speedup": [0-9.eE+]*' BENCH_serve.json | awk '{if ($2 + 0 >= 10) print "speedup >= 10x"}'
+  speedup >= 10x
+  $ grep -o '"worker_parks"' BENCH_serve.json
+  "worker_parks"
+  $ grep -o '"functions_invalidated"' BENCH_serve.json | head -1
+  "functions_invalidated"
+  $ grep -o '"serve.cache_hits"' BENCH_serve.json
+  "serve.cache_hits"
+  $ grep -o '"serve.cache_misses"' BENCH_serve.json
+  "serve.cache_misses"
+  $ grep -o '"telemetry"' BENCH_serve.json
+  "telemetry"

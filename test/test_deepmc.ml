@@ -32,4 +32,5 @@ let () =
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -290,6 +290,73 @@ let test_blind_spot_corpus_roundtrip () =
   check Alcotest.int "missing dir counts zero" 0
     (Inject.Evaluate.known_blind_spot_of_corpus ~dir:"no-such-dir")
 
+(* ------------------------------------------------------------------ *)
+(* Long-lived process regression: a resident daemon cycles telemetry
+   (enable -> serve requests -> snapshot -> reset -> disable) for its
+   whole lifetime. The generation-stamped handle caches must stay
+   valid across every cycle — a stale cell after [reset] would count
+   into a dead registry — and [live_instruments] must not grow with
+   request count: interning is per generation, not per request. *)
+
+let cycle_src =
+  {|
+struct cell_t { v: int }
+
+func main() {
+entry:
+  c = alloc pmem cell_t
+  store c->v, 1     @ cy.c:10
+  flush exact c->v  @ cy.c:11
+  fence             @ cy.c:12
+  ret
+}
+|}
+
+let test_serve_cycles_bound_instruments () =
+  let cache = Serve.Cache.create () in
+  let params = Serve.Cache.default_params Analysis.Model.Strict in
+  let serve_once () =
+    match Serve.Cache.check cache ~name:"cy.nvmir" ~params ~text:cycle_src with
+    | Ok o -> o
+    | Error e -> Alcotest.fail ("serve request failed: " ^ e)
+  in
+  ignore (serve_once ()) (* prime: later cycles are all request hits *);
+  let steady = ref (-1) in
+  for cycle = 1 to 12 do
+    Obs.Metrics.reset ();
+    Obs.set_enabled true;
+    (* several requests per cycle: live_instruments must depend on the
+       instrument set, never on the request count *)
+    for _ = 1 to 5 do
+      ignore (serve_once ());
+      Serve.Cache.observe_latency 1_000
+    done;
+    let live = Obs.Metrics.live_instruments () in
+    let s = Obs.Metrics.snapshot () in
+    Obs.set_enabled false;
+    if !steady < 0 then steady := live
+    else
+      check Alcotest.int
+        (Fmt.str "cycle %d: live instruments stable" cycle)
+        !steady live;
+    check Alcotest.bool "live instruments bounded" true (live <= 16);
+    (match Obs.Metrics.find s "serve.requests" with
+    | Some (Obs.Metrics.Count n) ->
+      check Alcotest.int
+        (Fmt.str "cycle %d: requests counted into the live generation" cycle)
+        5 n
+    | _ -> Alcotest.fail "serve.requests missing after re-enable");
+    match Obs.Metrics.find s "serve.request_latency_ns" with
+    | Some (Obs.Metrics.Dist d) ->
+      check Alcotest.int
+        (Fmt.str "cycle %d: latency observations counted" cycle)
+        5 d.Obs.Metrics.h_count
+    | _ -> Alcotest.fail "serve.request_latency_ns missing after re-enable"
+  done;
+  Obs.Metrics.reset ();
+  check Alcotest.int "nothing survives the final reset" 0
+    (Obs.Metrics.live_instruments ())
+
 let suite =
   [
     tc "registry basics" `Quick test_registry_basics;
@@ -300,4 +367,6 @@ let suite =
     tc "pool worker stats" `Quick test_pool_worker_stats;
     test_qcheck_concurrent_spans;
     tc "blind-spot corpus round-trip" `Quick test_blind_spot_corpus_roundtrip;
+    tc "serve cycles keep handle caches valid and instruments bounded" `Quick
+      test_serve_cycles_bound_instruments;
   ]
