@@ -1,7 +1,7 @@
 # Developer entry points. The benches write their JSON artifacts into
 # the directory they run from, so bench-json runs from the repo root.
 
-.PHONY: all build test verify fuzz bench-json trace clean
+.PHONY: all build test verify recall-gate fuzz bench-json trace clean
 
 all: build
 
@@ -12,10 +12,26 @@ test:
 	dune runtest
 
 # The one command a PR must pass: full build plus the unit, property,
-# differential and cram suites, and the fuzzer's guided-vs-random
-# acceptance over the false-negative corpus.
+# differential and cram suites, the fuzzer's guided-vs-random
+# acceptance over the false-negative corpus, and the injection recall
+# gate.
 verify:
-	dune build && dune runtest && $(MAKE) fuzz
+	dune build && dune runtest && $(MAKE) fuzz && $(MAKE) recall-gate
+
+# The recall gate: the seed-1 injection campaign must report a closed
+# pointer-arith blind spot (0 since the offset lattice) and static-tier
+# recall at or above the 209-mutant bar of the pre-offset population.
+recall-gate:
+	dune build bench/main.exe
+	DEEPMC_BENCH_SEED=1 dune exec bench/main.exe -- recall --json > /dev/null
+	grep -q '"known_blind_spot": 0' BENCH_inject.json
+	@detected=$$(sed -n 's/.*"static_tier_detected": \([0-9]*\).*/\1/p' BENCH_inject.json); \
+	mutants=$$(sed -n 's/.*"static_tier_mutants": \([0-9]*\).*/\1/p' BENCH_inject.json); \
+	if [ "$$detected" -lt 209 ] || [ "$$detected" -lt "$$mutants" ]; then \
+	  echo "recall gate FAILED: $$detected/$$mutants (need >= 209 and full recall)"; exit 1; \
+	else \
+	  echo "recall gate OK: $$detected/$$mutants detected, blind spot 0"; \
+	fi
 
 # Deterministic, CI-safe smoke of the interleaving fuzzer: seed-1
 # campaigns over the injection campaign's known misses (sub-second at

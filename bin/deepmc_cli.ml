@@ -816,8 +816,17 @@ let inject_cmd =
             "Persist mutants their expected detector tier missed as .nvmir \
              files (the false-negative corpus).")
   in
+  let ablate_offsets_term =
+    Arg.(
+      value & flag
+      & info [ "ablate-offsets" ]
+          ~doc:
+            "Disable the DSG offset lattice end-to-end (autofix, mutation \
+             admission and static scoring), reproducing the historical \
+             pointer-arithmetic blind spot.")
+  in
   let run () framework name synth operators no_dynamic no_crash crash_bound
-      save_fn seed domains json metrics_json trace_out =
+      save_fn ablate_offsets seed domains json metrics_json trace_out =
     let ( let* ) = Result.bind in
     Option.iter Pool.set_default_size domains;
     obs_setup ~metrics_json ~trace_out;
@@ -848,7 +857,10 @@ let inject_cmd =
             | None -> Error (`Msg (Fmt.str "unknown operator %S" n)))
           names (Ok [])
     in
-    let corpus = Inject.Evaluate.corpus_bases ?framework ?name () in
+    let offset_sensitive = not ablate_offsets in
+    let corpus =
+      Inject.Evaluate.corpus_bases ~offset_sensitive ?framework ?name ()
+    in
     let* () =
       if corpus = [] && name <> None then
         Error (`Msg "no such corpus program (see deepmc corpus)")
@@ -857,11 +869,12 @@ let inject_cmd =
     let bases =
       corpus
       @ (if framework = None && name = None then
-           Inject.Evaluate.exemplar_bases ()
+           Inject.Evaluate.exemplar_bases ~offset_sensitive ()
          else [])
       @
       if synth > 0 then
-        Inject.Evaluate.synth_bases ~seed ~count:synth ~nfuncs:8
+        Inject.Evaluate.synth_bases ~offset_sensitive ~seed ~count:synth
+          ~nfuncs:8 ()
       else []
     in
     let summary =
@@ -888,8 +901,8 @@ let inject_cmd =
       term_result
         (const run $ setup_logs_term $ framework_term $ name_term $ synth_term
        $ operator_term $ no_dynamic_term $ no_crash_term $ crash_bound_term
-       $ save_fn_term $ seed_term $ domains_term $ json_term
-       $ metrics_json_term $ trace_out_term))
+       $ save_fn_term $ ablate_offsets_term $ seed_term $ domains_term
+       $ json_term $ metrics_json_term $ trace_out_term))
 
 let rules_cmd =
   let run () =

@@ -92,12 +92,13 @@ type per_root = {
 }
 
 let check_roots ?(config = Config.default) ?(field_sensitive = true)
-    ?(persistent_roots = []) ?dsg ?roots ~model (prog : Nvmir.Prog.t) :
-    per_root list * Dsa.Dsg.t =
+    ?(offset_sensitive = true) ?(persistent_roots = []) ?dsg ?roots ~model
+    (prog : Nvmir.Prog.t) : per_root list * Dsa.Dsg.t =
   let dsg =
     match dsg with
     | Some d -> d
-    | None -> Dsa.Dsg.build ~field_sensitive ~persistent_roots prog
+    | None ->
+      Dsa.Dsg.build ~field_sensitive ~offset_sensitive ~persistent_roots prog
   in
   let ctx = { Rules.model; dsg; tenv = Nvmir.Prog.tenv prog } in
   let sources = Trace.stream ~config ?roots dsg prog in
@@ -135,8 +136,11 @@ let merge_roots ~model ~dsg (per_root : per_root list) : result =
   { model; warnings; trace_count; event_count; peak_paths; dsg }
 
 let check ?(config = Config.default) ?(field_sensitive = true)
-    ?(persistent_roots = []) ?roots ~model (prog : Nvmir.Prog.t) : result =
-  let dsg = Dsa.Dsg.build ~field_sensitive ~persistent_roots prog in
+    ?(offset_sensitive = true) ?(persistent_roots = []) ?roots ~model
+    (prog : Nvmir.Prog.t) : result =
+  let dsg =
+    Dsa.Dsg.build ~field_sensitive ~offset_sensitive ~persistent_roots prog
+  in
   let ctx = { Rules.model; dsg; tenv = Nvmir.Prog.tenv prog } in
   match config.Config.engine with
   | Config.Materialized ->
@@ -165,8 +169,8 @@ let check ?(config = Config.default) ?(field_sensitive = true)
     }
   | Config.Streaming ->
     let per_root, dsg =
-      check_roots ~config ~field_sensitive ~persistent_roots ~dsg ?roots
-        ~model prog
+      check_roots ~config ~field_sensitive ~offset_sensitive ~persistent_roots
+        ~dsg ?roots ~model prog
     in
     merge_roots ~model ~dsg per_root
 
@@ -184,9 +188,11 @@ type mixed_result = {
 }
 
 let check_mixed ?(config = Config.default) ?(field_sensitive = true)
-    ?(persistent_roots = []) ~model_of ~roots (prog : Nvmir.Prog.t) :
-    mixed_result =
-  let dsg = Dsa.Dsg.build ~field_sensitive ~persistent_roots prog in
+    ?(offset_sensitive = true) ?(persistent_roots = []) ~model_of ~roots
+    (prog : Nvmir.Prog.t) : mixed_result =
+  let dsg =
+    Dsa.Dsg.build ~field_sensitive ~offset_sensitive ~persistent_roots prog
+  in
   let per_root_traces = Trace.collect ~config ~roots dsg prog in
   let tenv = Nvmir.Prog.tenv prog in
   let per_root =

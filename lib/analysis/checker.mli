@@ -22,6 +22,7 @@ type result = {
 val check :
   ?config:Config.t ->
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?persistent_roots:(string * string) list ->
   ?roots:string list ->
   model:Model.t ->
@@ -47,6 +48,7 @@ type per_root = {
 val check_roots :
   ?config:Config.t ->
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?persistent_roots:(string * string) list ->
   ?dsg:Dsa.Dsg.t ->
   ?roots:string list ->
@@ -77,6 +79,7 @@ type mixed_result = {
 val check_mixed :
   ?config:Config.t ->
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?persistent_roots:(string * string) list ->
   model_of:(string -> Model.t) ->
   roots:string list ->

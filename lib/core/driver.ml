@@ -19,12 +19,13 @@ type t = {
   model : Analysis.Model.t;
   config : Analysis.Config.t;
   field_sensitive : bool;
+  offset_sensitive : bool;
   run_dynamic : bool;
 }
 
 let make ?(config = Analysis.Config.default) ?(field_sensitive = true)
-    ?(run_dynamic = true) model =
-  { model; config; field_sensitive; run_dynamic }
+    ?(offset_sensitive = true) ?(run_dynamic = true) model =
+  { model; config; field_sensitive; offset_sensitive; run_dynamic }
 
 type dynamic_outcome =
   | Dynamic_ok of Runtime.Dynamic.summary * Analysis.Warning.t list
@@ -115,7 +116,8 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
   let static =
     Obs.Span.with_ ~name:"static-check" (fun () ->
         Analysis.Checker.check ~config:t.config
-          ~field_sensitive:t.field_sensitive ~persistent_roots ?roots
+          ~field_sensitive:t.field_sensitive
+          ~offset_sensitive:t.offset_sensitive ~persistent_roots ?roots
           ~model:t.model prog)
   in
   let t1 = Clock.now () in

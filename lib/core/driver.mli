@@ -8,6 +8,7 @@ type t
 val make :
   ?config:Analysis.Config.t ->
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?run_dynamic:bool ->
   Analysis.Model.t ->
   t

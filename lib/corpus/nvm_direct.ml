@@ -114,7 +114,7 @@ let nvm_heap =
     description =
       "Heap management: Fig. 6 redundant write-back across caller and \
        callee, a flush of never-modified free-list metadata, and a \
-       benign flush the static analysis cannot prove covered";
+       pointer-arithmetic flush the offset lattice proves covered";
     entry = "nvm_heap_driver_all";
     entry_args = [];
     roots =
@@ -151,9 +151,9 @@ entry:
   ret
 }
 
-# False positive (Section 5.4): the size field is modified through
-# pointer arithmetic the static analysis cannot resolve, so the flush
-# looks like a write-back of unmodified data.
+# Resolved false positive (Section 5.4): q = heap + 0 aliases heap
+# under the offset lattice, so the flush is recognized as covering the
+# q-write — no warning any more.
 func nvm_heap_repair(heap: ptr nvm_heap_t) {
 entry:
   q = heap + 0
@@ -234,10 +234,9 @@ entry:
         exp ~rule:fu ~file:"nvm_heap.c" ~line:1675 ~is_new:true ~years:5.3
           ~kind:Deepmc.Report.Lib
           "Flushing unmodified fields of an object";
-        exp ~rule:fu ~file:"nvm_heap.c" ~line:1700 ~validated:false
-          ~kind:Deepmc.Report.Lib
-          "Benign: covered by a pointer-arithmetic write the static \
-           analysis cannot see";
+        (* nvm_heap.c:1700 used to carry a benign fu warning here: the
+           offset lattice now proves q = heap + 0 aliases heap, so the
+           flush is recognized as covering the q-write. *)
       ];
   }
 
@@ -248,7 +247,8 @@ let nvm_locks =
     description =
       "Lock records (Fig. 9/10): new_level update never flushed, an \
        empty durable transaction, a whole-record persist after a \
-       single-field update, and a benign empty-looking persist";
+       single-field update, and a benign whole-record write-back in the \
+       upgrade shim";
     entry = "nvm_locks_driver_all";
     entry_args = [];
     roots =
@@ -305,8 +305,10 @@ entry:
   ret
 }
 
-# False positive (Section 5.4): the owners field is updated through a
-# compatibility shim using pointer arithmetic, invisible statically.
+# Section 5.4 shim, resolved: q = mutex + 0 aliases mutex under the
+# offset lattice, so the shim write is visible statically. The persist
+# is no longer empty-looking; instead the whole-record write-back after
+# a single-field update draws a benign flushing-unmodified warning.
 func nvm_lock_upgrade(mutex: ptr nvm_amutex) {
 entry:
   q = mutex + 0
@@ -405,10 +407,11 @@ entry:
           "Durable transaction without persistent writes";
         exp ~rule:fu ~file:"nvm_locks.c" ~line:1411 ~is_new:true ~years:5.3
           ~kind:Deepmc.Report.Lib "Flushing unmodified fields of an object";
-        exp ~rule:dt ~file:"nvm_locks.c" ~line:910 ~validated:false
+        exp ~rule:fu ~file:"nvm_locks.c" ~line:910 ~validated:false
           ~kind:Deepmc.Report.Lib
-          "Benign: persist covers a shim write the static analysis cannot \
-           see";
+          "Benign: the upgrade shim persists the whole record after a \
+           single-field update (shim write now visible to the offset \
+           lattice)";
       ];
   }
 

@@ -248,8 +248,9 @@ entry:
   ret
 }
 
-# False positive (Section 5.4): the second persist covers a write made
-# through pointer arithmetic the static analysis cannot track.
+# Resolved false positive (Section 5.4): q = v + 0 aliases v under the
+# offset lattice, so the second persist is seen to cover the q-write —
+# no warning any more.
 func rbtree_map_update(v: ptr rb_node) {
 entry:
   store v->color, 1              @ rbtree_map.c:237
@@ -383,9 +384,9 @@ entry:
           "Redundant flush of the parent pointer";
         exp ~rule:fu ~file:"rbtree_map.c" ~line:259 ~is_new:true ~years:4.4
           "Flushing unmodified fields of tree node";
-        exp ~rule:mf ~file:"rbtree_map.c" ~line:240 ~validated:false
-          "Benign: second persist covers a pointer-arithmetic write the \
-           static analysis cannot see";
+        (* rbtree_map.c:240 used to carry a benign mf warning here: the
+           offset lattice now proves q = v + 0 aliases v, so the second
+           persist is recognized as covering the q-write. *)
       ];
   }
 

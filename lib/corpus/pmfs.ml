@@ -4,13 +4,15 @@
    journal.c additionally demonstrates the static/dynamic split of
    §5.1: the deferred-durability bug at line 632 sits on a path the
    driver does not execute (found statically), while the redundant
-   recovery flush at line 650 goes through pointer arithmetic the static
-   analysis cannot see and is found by the dynamic checker. *)
+   recovery flush at line 650 goes through pointer arithmetic and was
+   historically the dynamic checker's catch — the offset lattice now
+   resolves the alias, so the static tier reports it too. *)
 
 open Types
 
 let v1 = Analysis.Warning.Multiple_writes_at_once
 let v4 = Analysis.Warning.Missing_barrier_nested_tx
+let sm = Analysis.Warning.Semantic_mismatch
 let mf = Analysis.Warning.Multiple_flushes
 let fu = Analysis.Warning.Flush_unmodified
 
@@ -51,9 +53,11 @@ done:
   ret
 }
 
-# False positive (Section 5.4): the tail IS flushed in its own epoch,
-# but through pointer arithmetic the static analysis cannot resolve, so
-# the commit flush at 660 looks like deferred durability.
+# Section 5.4 site, resolved: q = j + 0 aliases j under the offset
+# lattice, so the tail flush at 657 is seen and the commit flush at 660
+# no longer looks like deferred durability. The whole-object commit
+# flush instead draws two benign performance warnings (flushing the
+# unmodified tail, and split updates across consecutive persist units).
 func journal_checkpoint(j: ptr journal_t) {
 entry:
   epoch_begin                    @ journal.c:654
@@ -70,8 +74,9 @@ entry:
   ret
 }
 
-# New bug, found dynamically: recovery flushes the tail again right
-# after the pointer-arithmetic flush already wrote it back.
+# New bug, found dynamically (and now also statically via the offset
+# lattice): recovery flushes the tail again right after the
+# pointer-arithmetic flush already wrote it back.
 func journal_recover(j: ptr journal_t) {
 entry:
   epoch_begin                    @ journal.c:644
@@ -163,10 +168,14 @@ entry:
         exp ~rule:v1 ~file:"journal.c" ~line:632 ~kind:Deepmc.Report.Lib
           "Flush redundant data when committing: epoch-1 tail made durable \
            together with the epoch-2 commit";
-        exp ~rule:v1 ~file:"journal.c" ~line:660 ~validated:false
+        exp ~rule:fu ~file:"journal.c" ~line:660 ~validated:false
           ~kind:Deepmc.Report.Lib
-          "Benign: the tail was already flushed in its own epoch through \
-           pointer arithmetic the static analysis cannot see";
+          "Benign: the whole-object commit flush writes back the tail, \
+           which the offset lattice proves was already durable";
+        exp ~rule:sm ~file:"journal.c" ~line:661 ~validated:false
+          ~kind:Deepmc.Report.Lib
+          "Benign: tail and commit are deliberately persisted in separate \
+           units (journaling makes the split crash-safe)";
         exp ~rule:mf ~file:"journal.c" ~line:650 ~is_new:true ~years:3.2
           ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
           "Redundant write-back of the journal tail during recovery";
@@ -432,10 +441,10 @@ entry:
   ret
 }
 
-# New bug, found dynamically: the recovery path flushes the root field
-# through a redundancy helper using pointer arithmetic; the static
-# analysis never sees the flush, the runtime sees an unmodified
-# write-back.
+# New bug, found dynamically (and now also statically): the recovery
+# path flushes the root field through a redundancy helper using pointer
+# arithmetic; the offset lattice resolves q = sb + 0, so both tiers see
+# the unmodified write-back.
 func pmfs_recover_super(sb: ptr pmfs_super) {
 entry:
   epoch_begin                    @ super.c:575
@@ -446,12 +455,10 @@ entry:
   ret
 }
 
-# False positive (Section 5.4): the repair path DOES modify the magic
-# field first, but through the same kind of pointer arithmetic, so the
-# flush at 584 looks unnecessary to the static checker. PMFS writes the
-# redundant copy back even when recovery succeeded — the paper validates
-# the super.c pattern as a real bug family, this particular flush is the
-# benign instance.
+# Resolved false positive (Section 5.4): the repair path modifies the
+# magic field through the same kind of pointer arithmetic, and the
+# offset lattice now proves q = sb + 0 aliases sb, so the flush at 584
+# is recognized as covering the modification — no warning any more.
 func pmfs_repair_super(sb: ptr pmfs_super) {
 entry:
   q = sb + 0
@@ -520,12 +527,11 @@ entry:
           ~kind:Deepmc.Report.Lib "Flushing unmodified fields of an object";
         exp ~rule:fu ~file:"super.c" ~line:579 ~is_new:true ~years:3.2
           ~kind:Deepmc.Report.Lib ~discovery:Dynamic_analysis
-          "Flushing unmodified fields of an object (runtime only: the \
-           flush goes through pointer arithmetic)";
-        exp ~rule:fu ~file:"super.c" ~line:584 ~validated:false
-          ~kind:Deepmc.Report.Lib
-          "Benign: repair path modifies the field through pointer \
-           arithmetic before flushing";
+          "Flushing unmodified fields of an object (the pointer-arithmetic \
+           flush, historically a runtime-only catch)";
+        (* super.c:584 used to carry a benign fu warning here: the offset
+           lattice now proves the repair path's pointer-arithmetic store
+           modifies the flushed field. *)
       ];
   }
 

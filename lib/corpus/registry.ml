@@ -11,11 +11,12 @@ let find name = List.find_opt (fun p -> String.equal p.name name) all
 let by_framework fw = List.filter (fun p -> p.framework = fw) all
 
 (* Analyze one corpus program with the full pipeline and score it. *)
-let analyze ?(field_sensitive = true) ?(run_dynamic = true)
-    ?(config = Analysis.Config.default) (p : program) =
+let analyze ?(field_sensitive = true) ?(offset_sensitive = true)
+    ?(run_dynamic = true) ?(config = Analysis.Config.default) (p : program) =
   let prog = parse p in
   let driver =
-    Deepmc.Driver.make ~config ~field_sensitive ~run_dynamic (model p)
+    Deepmc.Driver.make ~config ~field_sensitive ~offset_sensitive ~run_dynamic
+      (model p)
   in
   let report =
     Deepmc.Driver.analyze driver ~roots:p.roots ~entry:p.entry

@@ -9,6 +9,7 @@ val by_framework : framework -> program list
 
 val analyze :
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?run_dynamic:bool ->
   ?config:Analysis.Config.t ->
   program ->

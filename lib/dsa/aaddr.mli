@@ -1,32 +1,80 @@
 (** Abstract addresses: the result of resolving an IR place through the
     DSG. The checking rules of Tables 4 and 5 are phrased over address
-    equality/containment/overlap, decided here field- and
-    index-sensitively. *)
+    equality/containment/overlap, decided here field-, index- and
+    offset-sensitively. *)
 
 (** Array-index abstraction: distinct constants are disjoint; a symbolic
     index conservatively overlaps everything. *)
 type index = No_index | Const_index of int | Sym_index of string
 
+(** Element-offset abstraction for pointer arithmetic: the congruence
+    lattice over the offset polynomial base + k*stride (k over all
+    integers). [Off_exact c] is the singleton offset c; [Off_stride]
+    is the congruence class base mod stride (normalized to stride >= 1,
+    0 <= base < stride); [Off_top] is a genuinely unknown offset and
+    collapses the address back to whole-field granularity. *)
+type offset =
+  | Off_exact of int
+  | Off_stride of { base : int; stride : int }
+  | Off_top
+
 type t = {
   node : int;  (** canonical DSG node of the containing object *)
   field : string option;  (** [None] = the whole object *)
   index : index;
+  offset : offset;  (** element offset of the base pointer *)
 }
 
 val whole : int -> t
+(** Whole-object address at offset 0. *)
+
 val field : int -> string -> t
+(** Field address at offset 0. *)
+
+val off_stride : base:int -> stride:int -> offset
+(** Normalizing constructor; [stride = 0] degenerates to [Off_exact]. *)
+
+val off_shift : offset -> int -> offset
+(** Add a known constant to an offset. *)
+
+val off_neg : offset -> offset
+val off_add : offset -> offset -> offset
+val off_sub : offset -> offset -> offset
+val off_mul : offset -> offset -> offset
+
+val off_join : offset -> offset -> offset
+(** Least upper bound in the congruence lattice. *)
+
+val off_leq : offset -> offset -> bool
+(** Lattice order: is every concrete offset of the first argument
+    admitted by the second? *)
+
+val off_may_equal : offset -> offset -> bool
+(** May the two offset sets intersect? *)
+
+val off_equal : offset -> offset -> bool
+(** Definitely the same concrete offset (both exact and equal). *)
+
+val pp_offset : offset Fmt.t
+(** Prints nothing for [Off_exact 0], so offset-free addresses render
+    exactly as they did before offsets existed. *)
+
 val pp : t Fmt.t
 val index_equal : index -> index -> bool
 val index_may_equal : index -> index -> bool
 
 val equal : t -> t -> bool
-(** Exact syntactic equality. *)
+(** Definite identity: node, field and index agree and the offsets are
+    provably the same concrete value. *)
 
 val same_object : t -> t -> bool
 
 val may_overlap : t -> t -> bool
 (** May the two addresses denote overlapping memory? Whole-object
-    addresses overlap every field of the same object. *)
+    addresses overlap every field of the same object; field addresses
+    additionally require intersecting offset sets. *)
 
 val contained_in : t -> t -> bool
-(** [contained_in a b]: is [a] definitely covered by [b]? *)
+(** [contained_in a b]: is [a] definitely covered by [b]? A whole-object
+    [b] covers every offset; a field-granular [b] requires provably
+    identical offsets. *)

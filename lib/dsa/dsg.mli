@@ -4,20 +4,28 @@
 
     Deviation from the paper (see DESIGN.md): calls unify argument and
     parameter nodes instead of cloning callee graphs, trading context
-    sensitivity for simplicity; field sensitivity is a build switch so
-    the evaluation can ablate it. *)
+    sensitivity for simplicity; field sensitivity and offset
+    sensitivity are build switches so the evaluation can ablate
+    them. *)
 
 type t
 
 val build :
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   ?persistent_roots:(string * string) list ->
   Nvmir.Prog.t ->
   t
 (** Run all three phases. [persistent_roots] are interface annotations:
-    (function, variable) pairs known to reference NVM. *)
+    (function, variable) pairs known to reference NVM.
+    [offset_sensitive] (default true) tracks ref-typed [Binop] results
+    as element offsets in the {!Aaddr.offset} congruence lattice;
+    ablating it reproduces the historical §5.4 pointer-arith blind
+    spot (used by the injection/fuzzing benches to regenerate the
+    legacy false-negative corpus). *)
 
 val field_sensitive : t -> bool
+val offset_sensitive : t -> bool
 val arena : t -> Arena.t
 
 val resolve : t -> fname:string -> Nvmir.Place.t -> Aaddr.t
@@ -51,7 +59,10 @@ val summary_hash : t -> fname:string -> Nvmir.Chash.t
     mod/ref field sets, and outgoing edges. Raw canonical ids are
     digested on purpose: warning text embeds them ({!Aaddr.pp}), so a
     cached warning may only be replayed when ids match exactly — an id
-    shift across rebuilds is a spurious cache miss, never a wrong hit. *)
+    shift across rebuilds is a spurious cache miss, never a wrong hit.
+    Nonzero binding offsets are digested too: they change how the
+    function's places resolve, so a warm hit across an offset change
+    would be stale. *)
 
 (** {1 Phases} — exposed for tests; [build] runs them in order *)
 

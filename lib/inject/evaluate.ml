@@ -11,14 +11,18 @@ type base = {
   roots : string list;
   entry : string option;
   entry_args : int list;
+  offset_sensitive : bool;
   static_baseline : (W.rule_id * string * int) list;
   dynamic_baseline : (W.rule_id * string) list;
 }
 
 let opt_roots = function [] -> None | rs -> Some rs
 
-let static_warnings ~model ~roots prog =
-  let res = Analysis.Checker.check ?roots:(opt_roots roots) ~model prog in
+let static_warnings ?(offset_sensitive = true) ~model ~roots prog =
+  let res =
+    Analysis.Checker.check ~offset_sensitive ?roots:(opt_roots roots) ~model
+      prog
+  in
   res.Analysis.Checker.warnings
 
 let dynamic_warnings ~model ~entry ~args prog =
@@ -30,9 +34,11 @@ let dynamic_warnings ~model ~entry ~args prog =
   | Runtime.Interp.Runtime_error _ | Runtime.Interp.Out_of_fuel -> ());
   Runtime.Dynamic.warnings checker
 
-let make_base ~bname ~model ~roots ~entry ~entry_args prog =
+let make_base ?(offset_sensitive = true) ~bname ~model ~roots ~entry
+    ~entry_args prog =
   let static_baseline =
-    List.map W.dedup_key (static_warnings ~model ~roots prog)
+    List.map W.dedup_key
+      (static_warnings ~offset_sensitive ~model ~roots prog)
   in
   let dynamic_baseline =
     match entry with
@@ -43,10 +49,18 @@ let make_base ~bname ~model ~roots ~entry ~entry_args prog =
            (fun (w : W.t) -> (w.W.rule, w.W.loc.Nvmir.Loc.file))
            (dynamic_warnings ~model ~entry ~args:entry_args prog))
   in
-  { bname; model; prog; roots; entry; entry_args; static_baseline;
-    dynamic_baseline }
+  { bname; model; prog; roots; entry; entry_args; offset_sensitive;
+    static_baseline; dynamic_baseline }
 
-let corpus_bases ?framework ?name () =
+(* [offset_sensitive] configures the whole pipeline for each base:
+   autofix, baselines, mutation-site admission and static scoring all
+   agree on one DSG configuration. Ablating it regenerates the exact
+   pre-offset-lattice population and results — including the 10
+   blind-spot false negatives the fuzz bench scores against. Note the
+   offset-aware pipeline admits MORE mutation sites (stores and flushes
+   reached through pointer-arithmetic aliases are persistent-visible
+   now), so the static-tier denominator grows with it. *)
+let corpus_bases ?(offset_sensitive = true) ?framework ?name () =
   let progs =
     match (name, framework) with
     | Some n, _ -> Option.to_list (Corpus.Registry.find n)
@@ -57,15 +71,17 @@ let corpus_bases ?framework ?name () =
     (fun (p : Corpus.Types.program) ->
       let model = Corpus.Types.model p in
       let fixed, _, _ =
-        Deepmc.Autofix.fix_until_clean ?roots:(opt_roots p.Corpus.Types.roots)
-          ~model (Corpus.Types.parse p)
+        Deepmc.Autofix.fix_until_clean ~offset_sensitive
+          ?roots:(opt_roots p.Corpus.Types.roots) ~model
+          (Corpus.Types.parse p)
       in
-      make_base ~bname:p.Corpus.Types.name ~model ~roots:p.Corpus.Types.roots
+      make_base ~offset_sensitive ~bname:p.Corpus.Types.name ~model
+        ~roots:p.Corpus.Types.roots
         ~entry:(Some p.Corpus.Types.entry)
         ~entry_args:p.Corpus.Types.entry_args fixed)
     progs
 
-let synth_bases ~seed ~count ~nfuncs =
+let synth_bases ?(offset_sensitive = true) ~seed ~count ~nfuncs () =
   List.init count (fun k ->
       let cfg =
         {
@@ -76,14 +92,14 @@ let synth_bases ~seed ~count ~nfuncs =
         }
       in
       let prog, _ = Corpus.Synth.generate cfg in
-      make_base
+      make_base ~offset_sensitive
         ~bname:(Fmt.str "synth%d" (seed + k))
         ~model:Analysis.Model.Strict ~roots:(Corpus.Synth.roots cfg)
         ~entry:(Some "main") ~entry_args:[] prog)
 
-let exemplar_bases () =
+let exemplar_bases ?(offset_sensitive = true) () =
   [
-    make_base ~bname:Exemplar.name ~model:Exemplar.model
+    make_base ~offset_sensitive ~bname:Exemplar.name ~model:Exemplar.model
       ~roots:Exemplar.roots ~entry:(Some Exemplar.entry) ~entry_args:[]
       (Exemplar.program ());
   ]
@@ -117,7 +133,10 @@ let classify ~matches (truth : Mutation.truth) delta =
   { applicable = true; hit; fp }
 
 let eval_static (b : base) (m : Mutation.mutant) =
-  let ws = static_warnings ~model:b.model ~roots:b.roots m.Mutation.prog in
+  let ws =
+    static_warnings ~offset_sensitive:b.offset_sensitive ~model:b.model
+      ~roots:b.roots m.Mutation.prog
+  in
   let delta =
     List.filter
       (fun w -> not (List.mem (W.dedup_key w) b.static_baseline))
@@ -211,11 +230,13 @@ type summary = {
   results : mutant_result list;
 }
 
-(* The documented DSG limitation: stores reached through
-   pointer-arithmetic aliases are invisible to the static rules, so
-   fence-ordering mutants behind such aliases are expected static-tier
-   misses. Tracking them as a metric keeps the blind spot's size pinned
-   — growth or shrinkage is a behavior change, not noise. *)
+(* The historical DSG limitation: stores reached through
+   pointer-arithmetic aliases used to be invisible to the static rules,
+   so fence-ordering mutants behind such aliases were expected
+   static-tier misses. The {!Dsa.Aaddr.offset} lattice closed the gap;
+   tracking the count as a metric keeps it pinned at zero (it reappears
+   only when offsets are ablated) — growth is a regression, not
+   noise. *)
 let is_known_blind_spot (r : mutant_result) =
   (match r.mutant.Mutation.truth.Mutation.operator with
   | Mutation.Delete_fence | Mutation.Reorder_fence -> true
@@ -229,7 +250,7 @@ let m_score_ns =
 
 let m_blind_spot =
   Obs.Metrics.gauge "inject.blind_spot_fns"
-    ~desc:"static-tier fence FNs behind pointer-arith aliases (known DSG gap)"
+    ~desc:"static-tier fence FNs behind pointer-arith aliases (0 since the offset lattice)"
 
 let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
     ?(dynamic = true) ?(crash = true) ?(crash_bound = 192) bases =
@@ -238,8 +259,8 @@ let run ?domains ?(operators = Mutation.all_operators) ?(seed = 1)
       (fun b ->
         List.map
           (fun m -> (b, m))
-          (Mutation.mutate ~operators ~base:b.bname ~model:b.model
-             ~roots:b.roots b.prog))
+          (Mutation.mutate ~operators ~offset_sensitive:b.offset_sensitive
+             ~base:b.bname ~model:b.model ~roots:b.roots b.prog))
       bases
   in
   (* static + dynamic detectors, one pool task per mutant *)

@@ -22,20 +22,35 @@ type base = {
   roots : string list;
   entry : string option;
   entry_args : int list;
+  offset_sensitive : bool;
+      (** whether the static tier ran with the {!Dsa.Aaddr.offset}
+          lattice; [false] reproduces the historical pointer-arith
+          blind spot for ablation benches *)
   static_baseline : (Analysis.Warning.rule_id * string * int) list;
   dynamic_baseline : (Analysis.Warning.rule_id * string) list;
 }
 
 val corpus_bases :
-  ?framework:Corpus.Types.framework -> ?name:string -> unit -> base list
+  ?offset_sensitive:bool ->
+  ?framework:Corpus.Types.framework ->
+  ?name:string ->
+  unit ->
+  base list
 (** Corpus programs (optionally one framework or one program), each
     parsed and pushed through [Autofix.fix_until_clean] under its
-    framework's model; refused repairs stay in [static_baseline]. *)
+    framework's model; refused repairs stay in [static_baseline].
+    [offset_sensitive] (default true) configures autofix, baselines,
+    mutation-site admission and static scoring alike — one DSG
+    configuration end to end. Pass [false] to reproduce the exact
+    legacy §5.4 blind-spot population and results (the fuzz bench's
+    false-negative corpus). The offset-aware pipeline admits more
+    mutation sites, so the static-tier denominator grows with it. *)
 
-val synth_bases : seed:int -> count:int -> nfuncs:int -> base list
+val synth_bases :
+  ?offset_sensitive:bool -> seed:int -> count:int -> nfuncs:int -> unit -> base list
 (** [count] clean generator programs seeded [seed, seed+1, ...]. *)
 
-val exemplar_bases : unit -> base list
+val exemplar_bases : ?offset_sensitive:bool -> unit -> base list
 (** The hand-written strand-model program ({!Exemplar}). *)
 
 (** Per-detector outcome for one mutant. *)
@@ -76,9 +91,10 @@ type summary = {
   static_tier_recall : float;  (** 1.0 when the tier has no mutants *)
   known_blind_spot : int;
       (** static-tier fence mutants (delete-fence / reorder-fence)
-          missed by the static checker — the documented DSG
-          pointer-arith alias gap, tracked so regressions in either
-          direction are visible *)
+          missed by the static checker. Historically the DSG
+          pointer-arith alias gap (10 mutants); the {!Dsa.Aaddr.offset}
+          lattice closed it, so this is 0 unless offsets are ablated —
+          pinned so regressions in either direction are visible *)
   results : mutant_result list;
 }
 

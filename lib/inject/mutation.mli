@@ -62,6 +62,7 @@ type mutant = {
 val mutate :
   ?operators:operator list ->
   ?field_sensitive:bool ->
+  ?offset_sensitive:bool ->
   base:string ->
   model:Analysis.Model.t ->
   roots:string list ->

@@ -162,31 +162,54 @@ let extent_range t frame loc place (extent : Nvmir.Instr.extent) =
       Pmem.obj_size t.pmem addr.Pmem.obj_id )
   | Nvmir.Instr.Bytes n -> (addr, max 1 n)
 
+(* Pointer arithmetic: ref +/- int adjusts the slot offset, and the
+   difference of two refs into the SAME object is their slot distance
+   (the only well-defined ref subtraction, as in C). Every other mix of
+   refs and ints is a typed evaluation error — [Value.to_int] on a ref
+   yields its object id, and silently folding that into arithmetic used
+   to produce garbage results instead of a diagnostic. The static tier
+   mirrors this same algebra in the [Aaddr.offset] lattice. *)
+let cmp_int a b =
+  match (a, b) with
+  | Value.Vref { obj = o1; off = f1 }, Value.Vref { obj = o2; off = f2 }
+    when o1 = o2 ->
+    compare f1 f2
+  | _ -> compare (Value.to_int a) (Value.to_int b)
+
 let eval_binop loc op a b =
-  let ai = Value.to_int a and bi = Value.to_int b in
+  let int2 name k =
+    match (a, b) with
+    | Value.Vref _, _ | _, Value.Vref _ ->
+      error loc "%s on pointer value(s) %a, %a" name Value.pp a Value.pp b
+    | _ -> k (Value.to_int a) (Value.to_int b)
+  in
   match (op : Nvmir.Instr.binop) with
-  (* pointer arithmetic: ref +/- int adjusts the slot offset. The static
-     analysis does not track values through arithmetic, which is exactly
-     the memory-dependence blind spot §5.4 attributes false positives
-     to; the corpus uses [q = p + 0] to model such accesses. *)
   | Nvmir.Instr.Add -> (
     match (a, b) with
     | Value.Vref { obj; off }, Value.Vint n
     | Value.Vint n, Value.Vref { obj; off } -> Value.vref ~off:(off + n) obj
-    | _ -> Value.Vint (ai + bi))
+    | _ -> int2 "addition" (fun ai bi -> Value.Vint (ai + bi)))
   | Nvmir.Instr.Sub -> (
     match (a, b) with
     | Value.Vref { obj; off }, Value.Vint n -> Value.vref ~off:(off - n) obj
-    | _ -> Value.Vint (ai - bi))
-  | Nvmir.Instr.Mul -> Value.Vint (ai * bi)
+    | Value.Vref { obj = o1; off = f1 }, Value.Vref { obj = o2; off = f2 } ->
+      if o1 = o2 then Value.Vint (f1 - f2)
+      else
+        error loc "subtraction of pointers into different objects %a, %a"
+          Value.pp a Value.pp b
+    | _ -> int2 "subtraction" (fun ai bi -> Value.Vint (ai - bi)))
+  | Nvmir.Instr.Mul -> int2 "multiplication" (fun ai bi -> Value.Vint (ai * bi))
   | Nvmir.Instr.Div ->
-    if bi = 0 then error loc "division by zero" else Value.Vint (ai / bi)
+    int2 "division" (fun ai bi ->
+        if bi = 0 then error loc "division by zero" else Value.Vint (ai / bi))
   | Nvmir.Instr.Eq -> Value.Vbool (Value.equal a b)
   | Nvmir.Instr.Ne -> Value.Vbool (not (Value.equal a b))
-  | Nvmir.Instr.Lt -> Value.Vbool (ai < bi)
-  | Nvmir.Instr.Le -> Value.Vbool (ai <= bi)
-  | Nvmir.Instr.Gt -> Value.Vbool (ai > bi)
-  | Nvmir.Instr.Ge -> Value.Vbool (ai >= bi)
+  (* orderings stay permissive: same-object refs compare by slot offset,
+     everything else by [Value.to_int], as before *)
+  | Nvmir.Instr.Lt -> Value.Vbool (cmp_int a b < 0)
+  | Nvmir.Instr.Le -> Value.Vbool (cmp_int a b <= 0)
+  | Nvmir.Instr.Gt -> Value.Vbool (cmp_int a b > 0)
+  | Nvmir.Instr.Ge -> Value.Vbool (cmp_int a b >= 0)
   | Nvmir.Instr.And -> Value.Vbool (Value.truthy a && Value.truthy b)
   | Nvmir.Instr.Or -> Value.Vbool (Value.truthy a || Value.truthy b)
 

@@ -206,12 +206,12 @@ the matrix itself is deterministic:
   $ deepmc inject --framework pmdk --no-dynamic --no-crash | sed -E 's/ +$//'
   Injection recall/precision matrix (seed 1, 7 base program(s), 129 mutant(s))
   operator         tier   n     static                 dynamic                crash
-  delete-flush     static 31    31/31 r=1.00 fp=0      -                      -
+  delete-flush     static 30    30/30 r=1.00 fp=0      -                      -
   delete-fence     static 2     2/2 r=1.00 fp=0        -                      -
   reorder-fence    static 2     2/2 r=1.00 fp=0        -                      -
-  hoist-write      static 41    41/41 r=1.00 fp=0      -                      -
-  duplicate-flush  static 31    31/31 r=1.00 fp=0      -                      -
-  widen-flush      static 17    17/17 r=1.00 fp=0      -                      -
+  hoist-write      static 40    40/40 r=1.00 fp=0      -                      -
+  duplicate-flush  static 32    32/32 r=1.00 fp=0      -                      -
+  widen-flush      static 18    18/18 r=1.00 fp=0      -                      -
   drop-tx-add      static 5     5/5 r=1.00 fp=0        -                      -
   split-strand     dynamic 0     -                      -                      -
   static-tier recall: 129/129 = 1.000 (target 0.90 met)
@@ -241,11 +241,13 @@ each) plus the campaign-level acceptance fields:
   "false_negatives": []
 
 Missed mutants are persisted as a re-runnable corpus, each with its
-ground truth in header comments. The PMFS delete-fence mutants exercise
-a known static blind spot (stores reached through pointer-arithmetic
-aliases are invisible to the DSG), so two land in the corpus:
+ground truth in header comments. The offset lattice closed the
+pointer-arithmetic blind spot, so producing false negatives for the
+demo requires ablating it: under --ablate-offsets the PMFS delete-fence
+mutants hide behind pointer-arithmetic aliases again and two land in
+the corpus:
 
-  $ deepmc inject --framework pmfs --operator delete-fence --no-dynamic --no-crash --save-fn fn 2>&1 >/dev/null | grep wrote
+  $ deepmc inject --framework pmfs --operator delete-fence --no-dynamic --no-crash --ablate-offsets --save-fn fn 2>&1 >/dev/null | grep wrote
   wrote 2 false negative(s) to fn
   $ ls fn
   pmfs_journal_delete-fence_1.nvmir

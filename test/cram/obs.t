@@ -17,7 +17,7 @@ everything --metrics-json can report:
   fuzz.interthread_detections counter   validated inter-thread persistency inconsistencies
   fuzz.novel_schedules       counter   schedules whose coverage added unseen bits to the campaign map
   fuzz.probe_detections      counter   synchronization-boundary warnings fired at delay-injection points
-  inject.blind_spot_fns      gauge     static-tier fence FNs behind pointer-arith aliases (known DSG gap)
+  inject.blind_spot_fns      gauge     static-tier fence FNs behind pointer-arith aliases (0 since the offset lattice)
   inject.scoring_latency_ns  histogram per-mutant static+dynamic scoring latency (labelled op=O)
   pool.chunk_run_ns          histogram per-chunk execution latency, nanoseconds
   pool.jobs                  counter   parallel map submissions completed

@@ -300,7 +300,7 @@ let test_suppress_roundtrip () =
   check Alcotest.int "one suppressed" 1 (List.length suppressed)
 
 let test_suppress_learn_loop () =
-  (* the 5.4 workflow: validate the 7 corpus false positives once, learn
+  (* the 5.4 workflow: validate the 5 corpus false positives once, learn
      them, and the corpus reports exactly the 43 real bugs *)
   let db = Deepmc.Suppress.create () in
   List.iter
@@ -321,7 +321,7 @@ let test_suppress_learn_loop () =
       total_suppressed := !total_suppressed + List.length suppressed)
     Corpus.Registry.all;
   check Alcotest.int "43 real bugs kept" 43 !total_kept;
-  check Alcotest.int "7 false positives suppressed" 7 !total_suppressed
+  check Alcotest.int "5 false positives suppressed" 5 !total_suppressed
 
 let test_suppress_parse_errors () =
   (match Deepmc.Suppress.of_string "not-a-rule a.c:1 reason" with

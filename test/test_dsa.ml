@@ -55,8 +55,9 @@ let test_arena_modref () =
 (* ------------------------------------------------------------------ *)
 (* Aaddr relations *)
 
-let addr ?(field = None) ?(index = Dsa.Aaddr.No_index) node =
-  { Dsa.Aaddr.node; field; index }
+let addr ?(field = None) ?(index = Dsa.Aaddr.No_index)
+    ?(offset = Dsa.Aaddr.Off_exact 0) node =
+  { Dsa.Aaddr.node; field; index; offset }
 
 let test_aaddr_overlap () =
   let open Dsa.Aaddr in
@@ -97,7 +98,13 @@ let aaddr_gen =
         [ Dsa.Aaddr.No_index; Dsa.Aaddr.Const_index 0; Dsa.Aaddr.Const_index 1;
           Dsa.Aaddr.Sym_index "i"; Dsa.Aaddr.Sym_index "j" ]
     in
-    return { Dsa.Aaddr.node; field; index })
+    let* offset =
+      oneofl
+        [ Dsa.Aaddr.Off_exact 0; Dsa.Aaddr.Off_exact 1; Dsa.Aaddr.Off_exact 4;
+          Dsa.Aaddr.off_stride ~base:0 ~stride:4;
+          Dsa.Aaddr.off_stride ~base:1 ~stride:2; Dsa.Aaddr.Off_top ]
+    in
+    return { Dsa.Aaddr.node; field; index; offset })
 
 let aaddr_arb = QCheck.make ~print:(Fmt.str "%a" Dsa.Aaddr.pp) aaddr_gen
 
@@ -118,6 +125,71 @@ let prop_overlap_symmetric =
   QCheck.Test.make ~name:"may_overlap is symmetric" ~count:500
     (QCheck.pair aaddr_arb aaddr_arb)
     (fun (a, b) -> Dsa.Aaddr.may_overlap a b = Dsa.Aaddr.may_overlap b a)
+
+(* ------------------------------------------------------------------ *)
+(* Offset congruence lattice: soundness against the concretization
+   [off_mem] (is the concrete offset n a member of the abstract set?) *)
+
+let off_mem n = function
+  | Dsa.Aaddr.Off_exact c -> n = c
+  | Dsa.Aaddr.Off_stride { base; stride } -> (n - base) mod stride = 0
+  | Dsa.Aaddr.Off_top -> true
+
+let offset_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Dsa.Aaddr.Off_exact n) (int_range (-8) 8);
+        map2
+          (fun base stride -> Dsa.Aaddr.off_stride ~base ~stride)
+          (int_range (-5) 5) (int_range 1 6);
+        return Dsa.Aaddr.Off_top;
+      ])
+
+let offset_arb =
+  QCheck.make ~print:(Fmt.str "%a" Dsa.Aaddr.pp_offset) offset_gen
+
+let small_int = QCheck.int_range (-24) 24
+
+let prop_off_join_upper_bound =
+  QCheck.Test.make ~name:"off_join is an upper bound (off_leq)" ~count:500
+    (QCheck.pair offset_arb offset_arb)
+    (fun (a, b) ->
+      let j = Dsa.Aaddr.off_join a b in
+      Dsa.Aaddr.off_leq a j && Dsa.Aaddr.off_leq b j)
+
+let prop_off_join_monotone =
+  QCheck.Test.make ~name:"off_join monotone w.r.t. off_leq" ~count:500
+    (QCheck.triple offset_arb offset_arb offset_arb)
+    (fun (a, b, c) ->
+      (not (Dsa.Aaddr.off_leq a b))
+      || Dsa.Aaddr.off_leq (Dsa.Aaddr.off_join a c) (Dsa.Aaddr.off_join b c))
+
+let prop_off_leq_is_subset =
+  QCheck.Test.make ~name:"off_leq implies membership subset" ~count:500
+    (QCheck.triple offset_arb offset_arb small_int)
+    (fun (a, b, n) ->
+      (not (Dsa.Aaddr.off_leq a b)) || (not (off_mem n a)) || off_mem n b)
+
+let prop_off_add_sound =
+  QCheck.Test.make ~name:"off_add sound on members" ~count:500
+    (QCheck.quad offset_arb offset_arb small_int small_int)
+    (fun (a, b, x, y) ->
+      (not (off_mem x a && off_mem y b))
+      || off_mem (x + y) (Dsa.Aaddr.off_add a b))
+
+let prop_off_mul_sound =
+  QCheck.Test.make ~name:"off_mul sound on members" ~count:500
+    (QCheck.quad offset_arb offset_arb small_int small_int)
+    (fun (a, b, x, y) ->
+      (not (off_mem x a && off_mem y b))
+      || off_mem (x * y) (Dsa.Aaddr.off_mul a b))
+
+let prop_off_may_equal_complete =
+  QCheck.Test.make ~name:"shared member implies off_may_equal" ~count:500
+    (QCheck.triple offset_arb offset_arb small_int)
+    (fun (a, b, n) ->
+      (not (off_mem n a && off_mem n b)) || Dsa.Aaddr.off_may_equal a b)
 
 (* ------------------------------------------------------------------ *)
 (* DSG construction: the Figure 9 / Figure 10 example *)
@@ -224,23 +296,43 @@ entry:
   check Alcotest.bool "cell is persistent" true
     (Dsa.Dsg.is_persistent_addr dsg through_cell)
 
-let test_dsg_pointer_arith_is_opaque () =
-  let prog =
-    Nvmir.Parser.parse
-      {|
+let pointer_arith_prog () =
+  Nvmir.Parser.parse
+    {|
 struct s { f: int, g: int }
 func f() {
 entry:
   p = alloc pmem s
   q = p + 0
+  r = p + 4
   store q->f, 1
   ret
 }
 |}
-  in
+
+(* Historically [q = p + 0] laundered the pointer into a fresh unknown
+   node (the §5.4 blind spot). The offset lattice resolves it: q IS p,
+   while [r = p + 4] stays a distinct, disjoint element address. *)
+let test_dsg_pointer_arith_resolved () =
+  let prog = pointer_arith_prog () in
   let dsg = Dsa.Dsg.build prog in
-  (* the write through q is invisible to the static analysis: q's node
-     is unknown and volatile (the Section 5.4 limitation) *)
+  let qf = Dsa.Dsg.resolve dsg ~fname:"f" (Nvmir.Place.field "q" "f") in
+  let pf = Dsa.Dsg.resolve dsg ~fname:"f" (Nvmir.Place.field "p" "f") in
+  let rf = Dsa.Dsg.resolve dsg ~fname:"f" (Nvmir.Place.field "r" "f") in
+  check Alcotest.bool "q->f is p->f" true (Dsa.Aaddr.equal qf pf);
+  check Alcotest.bool "laundered pointer is persistent" true
+    (Dsa.Dsg.is_persistent_place dsg ~fname:"f" (Nvmir.Place.field "q" "f"));
+  check Alcotest.bool "same object through offset" true
+    (Dsa.Aaddr.same_object rf pf);
+  check Alcotest.bool "p+4 field disjoint from p's" false
+    (Dsa.Aaddr.may_overlap rf pf)
+
+(* The ablation switch reproduces the legacy opacity exactly — the
+   injection/fuzzing benches regenerate the historical blind-spot
+   corpus with it. *)
+let test_dsg_pointer_arith_ablated () =
+  let prog = pointer_arith_prog () in
+  let dsg = Dsa.Dsg.build ~offset_sensitive:false prog in
   check Alcotest.bool "laundered pointer not persistent" false
     (Dsa.Dsg.is_persistent_place dsg ~fname:"f" (Nvmir.Place.field "q" "f"))
 
@@ -274,6 +366,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_containment_implies_overlap;
     QCheck_alcotest.to_alcotest prop_equal_implies_contained;
     QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    QCheck_alcotest.to_alcotest prop_off_join_upper_bound;
+    QCheck_alcotest.to_alcotest prop_off_join_monotone;
+    QCheck_alcotest.to_alcotest prop_off_leq_is_subset;
+    QCheck_alcotest.to_alcotest prop_off_add_sound;
+    QCheck_alcotest.to_alcotest prop_off_mul_sound;
+    QCheck_alcotest.to_alcotest prop_off_may_equal_complete;
     tc "dsg: allocation persistence" `Quick test_dsg_alloc_is_persistent;
     tc "dsg: top-down persistence" `Quick
       test_dsg_param_persistence_flows_from_caller;
@@ -283,8 +381,10 @@ let suite =
     tc "dsg: mod/ref summaries" `Quick test_dsg_modref;
     tc "dsg: field-sensitivity switch" `Quick test_dsg_field_sensitivity_switch;
     tc "dsg: address-of field cells" `Quick test_dsg_addr_of_cell;
-    tc "dsg: pointer arithmetic is opaque" `Quick
-      test_dsg_pointer_arith_is_opaque;
+    tc "dsg: pointer arithmetic resolved" `Quick
+      test_dsg_pointer_arith_resolved;
+    tc "dsg: pointer arithmetic ablated" `Quick
+      test_dsg_pointer_arith_ablated;
     tc "dsg: may_alias" `Quick test_dsg_may_alias;
     tc "dsg: per-function view" `Quick test_dsg_function_view;
   ]

@@ -127,6 +127,79 @@ let test_split_strand_detected () =
     row.Inject.Evaluate.dynamic_c.Inject.Evaluate.applicable
     row.Inject.Evaluate.dynamic_c.Inject.Evaluate.detected
 
+(* ------------------------------------------------------------------ *)
+(* Directed: the 10 resurrected blind-spot mutants. Under the ablated
+   (legacy) pipeline the pointer-arith fence mutants are static-tier
+   false negatives; re-checking the very same mutant programs with the
+   offset lattice enabled catches every one, with the exact warning
+   pinned (mutant id, rule, location, message). *)
+
+let resurrected_pins =
+  let mpb = "missing-persist-barrier" in
+  let msg =
+    "epoch ends without a persist barrier; stores of the next epoch may \
+     persist before this epoch's stores"
+  in
+  [
+    ("pmfs_journal/delete-fence/1", mpb, "journal.c:655", msg);
+    ("pmfs_journal/reorder-fence/1", mpb, "journal.c:655", msg);
+    ("pmfs_super/delete-fence/0", mpb, "super.c:581", msg);
+    ("pmfs_super/reorder-fence/0", mpb, "super.c:581", msg);
+    ("chhash/delete-fence/0", mpb, "chhash.c:190", msg);
+    ("chhash/reorder-fence/0", mpb, "chhash.c:190", msg);
+    ("chhash/delete-fence/1", mpb, "chhash.c:275", msg);
+    ("chhash/reorder-fence/1", mpb, "chhash.c:275", msg);
+    ("chash/delete-fence/0", mpb, "CHash.c:153", msg);
+    ("chash/reorder-fence/0", mpb, "CHash.c:153", msg);
+  ]
+
+let test_resurrected_blind_spot_mutants () =
+  let bases =
+    Inject.Evaluate.corpus_bases ~offset_sensitive:false ()
+    @ Inject.Evaluate.exemplar_bases ~offset_sensitive:false ()
+  in
+  let s =
+    Inject.Evaluate.run
+      ~operators:
+        [ Inject.Mutation.Delete_fence; Inject.Mutation.Reorder_fence ]
+      ~dynamic:false ~crash:false bases
+  in
+  let fns = List.filter Inject.Evaluate.is_known_blind_spot s.Inject.Evaluate.results in
+  check Alcotest.int "10 legacy blind-spot false negatives" 10
+    (List.length fns);
+  let caught =
+    List.concat_map
+      (fun (r : Inject.Evaluate.mutant_result) ->
+        let m = r.Inject.Evaluate.mutant in
+        let b =
+          List.find
+            (fun (b : Inject.Evaluate.base) ->
+              b.Inject.Evaluate.bname = m.Inject.Mutation.base)
+            bases
+        in
+        let res =
+          Analysis.Checker.check ~model:m.Inject.Mutation.model
+            ~roots:b.Inject.Evaluate.roots m.Inject.Mutation.prog
+        in
+        List.map
+          (fun (w : Analysis.Warning.t) ->
+            ( m.Inject.Mutation.id,
+              Analysis.Warning.rule_name w.Analysis.Warning.rule,
+              Fmt.str "%a" Nvmir.Loc.pp w.Analysis.Warning.loc,
+              w.Analysis.Warning.message ))
+          (List.filter
+             (Inject.Mutation.expect_matches
+                m.Inject.Mutation.truth.Inject.Mutation.primary)
+             res.Analysis.Checker.warnings))
+      fns
+  in
+  let quad =
+    Alcotest.(list (pair string (pair string (pair string string))))
+  in
+  let nest = List.map (fun (a, b, c, d) -> (a, (b, (c, d)))) in
+  check quad "offset-aware checker catches all 10 with pinned warnings"
+    (nest resurrected_pins) (nest caught)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_mutants_roundtrip;
@@ -135,4 +208,6 @@ let suite =
     tc "matrix deterministic for fixed seed" `Quick test_matrix_deterministic;
     tc "split-strand races observed dynamically" `Quick
       test_split_strand_detected;
+    tc "resurrected blind-spot mutants caught with offsets" `Quick
+      test_resurrected_blind_spot_mutants;
   ]

@@ -266,7 +266,13 @@ let test_qcheck_concurrent_spans =
 (* The injection blind-spot metric vs. its persisted-corpus recount *)
 
 let test_blind_spot_corpus_roundtrip () =
-  let bases = Inject.Evaluate.corpus_bases ~framework:Corpus.Types.Pmfs () in
+  (* the offset lattice closed the blind spot, so this exercises the
+     metric plumbing under the ablated (legacy) configuration, where the
+     pmfs delete-fence blind spot still exists *)
+  let bases =
+    Inject.Evaluate.corpus_bases ~offset_sensitive:false
+      ~framework:Corpus.Types.Pmfs ()
+  in
   let s =
     Inject.Evaluate.run
       ~operators:[ Inject.Mutation.Delete_fence ]

@@ -196,7 +196,7 @@ let prop_warm_equals_cold =
     ~count:10
     QCheck.(map abs int)
     (fun seed ->
-      match E.synth_bases ~seed:(1 + (seed mod 997)) ~count:1 ~nfuncs:16 with
+      match E.synth_bases ~seed:(1 + (seed mod 997)) ~count:1 ~nfuncs:16 () with
       | [ b ] -> (
         let mutants =
           Inject.Mutation.mutate ~base:b.E.bname ~model:b.E.model
