@@ -1,7 +1,7 @@
 # Developer entry points. The benches write their JSON artifacts into
 # the directory they run from, so bench-json runs from the repo root.
 
-.PHONY: all build test verify recall-gate fuzz bench-json trace clean
+.PHONY: all build test verify recall-gate recover-gate fuzz bench-json trace clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # acceptance over the false-negative corpus, and the injection recall
 # gate.
 verify:
-	dune build && dune runtest && $(MAKE) fuzz && $(MAKE) recall-gate
+	dune build && dune runtest && $(MAKE) fuzz && $(MAKE) recall-gate && $(MAKE) recover-gate
 
 # The recall gate: the seed-1 injection campaign must report a closed
 # pointer-arith blind spot (0 since the offset lattice) and static-tier
@@ -33,6 +33,16 @@ recall-gate:
 	  echo "recall gate OK: $$detected/$$mutants detected, blind spot 0"; \
 	fi
 
+# The recovery gate: the seed-1 corruption-operator campaign must
+# detect every mutant through the recovery executor, with the
+# CRC-guarded base verifying clean.
+recover-gate:
+	dune build bench/main.exe
+	DEEPMC_BENCH_SEED=1 dune exec bench/main.exe -- recover --json > /dev/null
+	grep -q '"all_detected": true' BENCH_recover.json
+	grep -q '"clean": true' BENCH_recover.json
+	@echo "recovery gate OK: all corruption mutants detected, guarded base clean"
+
 # Deterministic, CI-safe smoke of the interleaving fuzzer: seed-1
 # campaigns over the injection campaign's known misses (sub-second at
 # the default budget; raise DEEPMC_FUZZ_BUDGET to fuzz harder).
@@ -48,6 +58,7 @@ bench-json:
 	dune exec bench/main.exe -- perf --json
 	dune exec bench/main.exe -- figure12 --json
 	dune exec bench/main.exe -- recall --json
+	dune exec bench/main.exe -- recover --json
 	dune exec bench/main.exe -- fuzz --json
 	dune exec bench/main.exe -- serve --json
 

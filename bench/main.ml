@@ -1090,6 +1090,48 @@ let recall ?(json = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Recovery-tier recall: the media-corruption mutation operators
+   scored against the recovery executor (lib/recover) over the
+   dedicated recovery corpus.  `recover --json` writes
+   BENCH_recover.json for EXPERIMENTS.md / CI: the base-verification
+   rows (unguarded base warns, CRC-guarded base verifies clean) plus
+   the per-operator recall row the `make verify` gate checks. *)
+
+let recover_bench ?(json = false) () =
+  section "Recovery tier: corruption-operator recall via lib/recover";
+  let seed =
+    match Sys.getenv_opt "DEEPMC_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  if json then begin
+    Obs.Metrics.reset ();
+    Obs.set_enabled true
+  end;
+  let bases = Inject.Evaluate.recovery_bases () in
+  let s = Inject.Evaluate.run_recovery ~seed bases in
+  if json then Obs.set_enabled false;
+  Fmt.pr "%a" Inject.Evaluate.pp_recovery_summary s;
+  if json then begin
+    let j =
+      match Inject.Evaluate.recovery_to_json s with
+      | Deepmc.Json_report.Obj fields ->
+        Deepmc.Json_report.Obj
+          (fields
+          @ [
+              ( "telemetry",
+                Deepmc.Json_report.of_metrics (Obs.Metrics.snapshot ()) );
+            ])
+      | j -> j
+    in
+    let oc = open_out "BENCH_recover.json" in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fmt.pf ppf "%a@." Deepmc.Json_report.pp j;
+    close_out oc;
+    Fmt.pr "wrote BENCH_recover.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Interleaving fuzzer vs random scheduling over the false-negative
    corpus (lib/fuzz).  `fuzz --json` writes BENCH_fuzz.json; the
    headline is how many of the injection campaign's known misses the
@@ -1477,6 +1519,7 @@ let sections : (string * (unit -> unit)) list =
     ("crashspace", crashspace);
     ("perf", perf ?json:None);
     ("recall", recall ?json:None);
+    ("recover", recover_bench ?json:None);
     ("fuzz", fuzz_bench ?json:None);
     ("serve", serve_bench ?json:None);
     ("micro", micro);
@@ -1488,6 +1531,7 @@ let () =
   | [| _; "perf"; "--json" |] -> perf ~json:true ()
   | [| _; "figure12"; "--json" |] -> figure12 ~json:true ()
   | [| _; "recall"; "--json" |] -> recall ~json:true ()
+  | [| _; "recover"; "--json" |] -> recover_bench ~json:true ()
   | [| _; "fuzz"; "--json" |] -> fuzz_bench ~json:true ()
   | [| _; "serve"; "--json" |] -> serve_bench ~json:true ()
   | [| _; name |] -> (

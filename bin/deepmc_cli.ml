@@ -10,7 +10,9 @@
      deepmc check-mixed prog.nvmir --model-map models.txt
      deepmc fix prog.nvmir --strict [-o fixed.nvmir]
      deepmc crash prog.nvmir [--entry main] [--summary]
-     deepmc crash-explore prog.nvmir [--bound 256] [--json]
+     deepmc crash-explore prog.nvmir [--bound 256] [--recover] [--json]
+     deepmc recover prog.nvmir [--recovery-entry recover] [--json]
+     deepmc fuzz prog.nvmir | --workload memslap [--budget N] [--random]
      deepmc fmt prog.nvmir [-i]
      deepmc dsg prog.nvmir --function nvm_lock
      deepmc cfg prog.nvmir [--callgraph]
@@ -708,7 +710,16 @@ let crash_explore_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Worker domains for the crash-point fan-out.")
   in
-  let run () file entry bound seed domains json metrics_json trace_out =
+  let recover_flag =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Additionally run the recovery entry (`recover') over every \
+             enumerated image under the media-corruption model.")
+  in
+  let run () file entry bound seed domains recover json metrics_json
+      trace_out =
     let ( let* ) = Result.bind in
     let* prog = load file in
     let* prog = validated prog in
@@ -719,16 +730,41 @@ let crash_explore_cmd =
       let r =
         Deepmc.Crash_sweep.explore_program ?domains ~bound ~seed ~entry prog
       in
-      if json then
+      let* recovery =
+        if not recover then Ok None
+        else if Nvmir.Prog.find_func prog "recover" = None then
+          Error (`Msg "--recover: no `recover' function defined")
+        else
+          Ok (Some (Recover.verify ~entry ~bound ~seed prog))
+      in
+      (match (json, recovery) with
+      | true, None ->
         Fmt.pr "%a@." Deepmc.Json_report.pp
           (Deepmc.Json_report.of_crash_space r)
-      else Fmt.pr "%a@." Runtime.Crash_space.pp_report r;
+      | true, Some rv ->
+        Fmt.pr "%a@." Deepmc.Json_report.pp
+          (Deepmc.Json_report.Obj
+             [
+               ("crash_space", Deepmc.Json_report.of_crash_space r);
+               ("recovery", Deepmc.Json_report.of_recovery rv);
+             ])
+      | false, None -> Fmt.pr "%a@." Runtime.Crash_space.pp_report r
+      | false, Some rv ->
+        Fmt.pr "%a@.%a@." Runtime.Crash_space.pp_report r Recover.pp_report
+          rv);
       obs_write ~metrics_json ~trace_out;
+      let recovery_warnings =
+        match recovery with
+        | Some rv -> List.length rv.Recover.warnings
+        | None -> 0
+      in
       if r.Runtime.Crash_space.inconsistent > 0 then
         Error
           (`Msg
              (Fmt.str "%d inconsistent crash image(s)"
                 r.Runtime.Crash_space.inconsistent))
+      else if recovery_warnings > 0 then
+        Error (`Msg (Fmt.str "%d recovery warning(s)" recovery_warnings))
       else Ok ()
   in
   let doc =
@@ -740,8 +776,82 @@ let crash_explore_cmd =
     Term.(
       term_result
         (const run $ setup_logs_term $ file_arg $ entry_req $ bound_term
-       $ seed_term $ domains_term $ json_term $ metrics_json_term
-       $ trace_out_term))
+       $ seed_term $ domains_term $ recover_flag $ json_term
+       $ metrics_json_term $ trace_out_term))
+
+(* Recovery-path verification: for every durable image a crash can
+   leave, apply the media-corruption model and execute the program's
+   recovery entry on the reconstituted heap, classifying each outcome
+   and reporting the recovery-tier rules. *)
+let recover_cmd =
+  let entry_req =
+    Arg.(
+      value
+      & opt string "main"
+      & info [ "entry" ] ~docv:"FUNC"
+          ~doc:"Forward entry point whose crash images are enumerated.")
+  in
+  let recovery_entry_term =
+    Arg.(
+      value
+      & opt string "recover"
+      & info [ "recovery-entry" ] ~docv:"FUNC"
+          ~doc:"Recovery function to execute on each image.")
+  in
+  let bound_term =
+    Arg.(
+      value
+      & opt int Runtime.Crash_space.default_bound
+      & info [ "bound" ] ~docv:"N"
+          ~doc:
+            "Maximum images per crash point: exhaustive below, sampled \
+             above.")
+  in
+  let no_corrupt_term =
+    Arg.(
+      value & flag
+      & info [ "no-corrupt" ]
+          ~doc:
+            "Skip media corruption: run recovery on the pristine crash \
+             images only.")
+  in
+  let run () model file entry recovery_entry bound seed no_corrupt json
+      metrics_json trace_out =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    obs_setup ~metrics_json ~trace_out;
+    let* () =
+      if Nvmir.Prog.find_func prog entry = None then
+        Error (`Msg (Fmt.str "entry %s not defined" entry))
+      else if Nvmir.Prog.find_func prog recovery_entry = None then
+        Error
+          (`Msg (Fmt.str "recovery entry %s not defined" recovery_entry))
+      else Ok ()
+    in
+    let r =
+      Recover.verify ~entry ~recovery_entry ~bound ~seed
+        ~corrupt:(not no_corrupt) ~model prog
+    in
+    if json then
+      Fmt.pr "%a@." Deepmc.Json_report.pp (Deepmc.Json_report.of_recovery r)
+    else Fmt.pr "%a@." Recover.pp_report r;
+    obs_write ~metrics_json ~trace_out;
+    (match r.Recover.warnings with
+    | [] -> Ok ()
+    | ws -> Error (`Msg (Fmt.str "%d recovery warning(s)" (List.length ws))))
+  in
+  let doc =
+    "Verify the recovery path: run the recovery entry over every durable \
+     image a crash can leave, with media corruption injected, and report \
+     unguarded reads, silent accepts and non-idempotence."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ model_term $ file_arg $ entry_req
+       $ recovery_entry_term $ bound_term $ seed_term $ no_corrupt_term
+       $ json_term $ metrics_json_term $ trace_out_term))
 
 let fmt_cmd =
   let in_place_term =
@@ -958,10 +1068,44 @@ let fuzz_cmd =
             "Draw schedules uniformly instead of coverage-guided (the \
              ablation baseline).")
   in
-  let run () model file entry clients budget random seed domains json
+  let fuzz_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"NVM program in textual IR (.nvmir); or use --workload.")
+  in
+  let workload_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Fuzz a built-in IR rendition of an application workload \
+             (memslap, redis or ycsb) instead of a FILE: the driver's \
+             operation mix and key distribution over one shared region, \
+             one fuzz_client_* per client.")
+  in
+  let run () model file workload entry clients budget random seed domains json
       metrics_json trace_out =
     let ( let* ) = Result.bind in
-    let* prog = load file in
+    let* name, prog =
+      match (workload, file) with
+      | Some w, None -> (
+        match Workloads.Fuzz_targets.find w with
+        | Some gen -> Ok (w, gen ~clients:(max clients 1) ~seed ())
+        | None ->
+          Error
+            (`Msg
+               (Fmt.str "unknown workload %s (available: %s)" w
+                  (String.concat ", "
+                     (List.map fst Workloads.Fuzz_targets.all)))))
+      | None, Some file ->
+        let* prog = load file in
+        Ok (Filename.basename file, prog)
+      | Some _, Some _ -> Error (`Msg "choose a FILE or --workload, not both")
+      | None, None -> Error (`Msg "a FILE or --workload is required")
+    in
     let* prog = validated prog in
     Option.iter Pool.set_default_size domains;
     obs_setup ~metrics_json ~trace_out;
@@ -972,7 +1116,7 @@ let fuzz_cmd =
     in
     let target =
       {
-        Fuzz.Campaign.tname = Filename.basename file;
+        Fuzz.Campaign.tname = name;
         prog;
         model;
         entry;
@@ -995,7 +1139,7 @@ let fuzz_cmd =
       Fmt.pr "%a@." Deepmc.Json_report.pp
         (Deepmc.Json_report.Obj
            [
-             ("file", Deepmc.Json_report.String file);
+             ("target", Deepmc.Json_report.String name);
              ("entry", Deepmc.Json_report.String entry);
              ( "mode",
                Deepmc.Json_report.String (Fuzz.Campaign.mode_name mode) );
@@ -1023,7 +1167,7 @@ let fuzz_cmd =
       Fmt.pr
         "fuzz %s: %s mode, %d execution(s) over %d boundaries, %d novel \
          schedule(s), %d pair bit(s)@."
-        (Filename.basename file)
+        name
         (Fuzz.Campaign.mode_name mode)
         o.Fuzz.Campaign.executions o.Fuzz.Campaign.nboundaries
         o.Fuzz.Campaign.novel_schedules o.Fuzz.Campaign.pair_bits;
@@ -1044,9 +1188,10 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       term_result
-        (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
-       $ clients_term $ budget_term $ random_term $ seed_term $ domains_term
-       $ json_term $ metrics_json_term $ trace_out_term))
+        (const run $ setup_logs_term $ model_term $ fuzz_file_arg
+       $ workload_term $ entry_term $ clients_term $ budget_term
+       $ random_term $ seed_term $ domains_term $ json_term
+       $ metrics_json_term $ trace_out_term))
 
 (* The resident analyzer: keeps the cross-run caches warm and answers
    check/crash-explore/inject requests over a socket (or stdio), or
@@ -1144,8 +1289,8 @@ let main_cmd =
   Cmd.group info
     [
       check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
-      inject_cmd; fuzz_cmd; serve_cmd; fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd;
-      corpus_cmd; rules_cmd; stats_cmd;
+      recover_cmd; inject_cmd; fuzz_cmd; serve_cmd; fmt_cmd; dsg_cmd;
+      cfg_cmd; trace_cmd; corpus_cmd; rules_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

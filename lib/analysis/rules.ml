@@ -734,6 +734,31 @@ let catalog =
         "Every durable transaction (or persist operation) must contain at \
          least one persistent write.";
     };
+    (* Recovery-path rules: fired by the media-corruption recovery
+       executor ([Recover]), never by the static trace rules above. *)
+    {
+      id = Warning.Unguarded_recovery_read;
+      models = Model.all;
+      statement =
+        "A recovery-path read of a slot the crash left in flight (and \
+         possibly media-corrupt) must be preceded by a CRC check covering \
+         that slot.";
+    };
+    {
+      id = Warning.Silent_corruption_accept;
+      models = Model.all;
+      statement =
+        "If any slot of the recovered image is still corrupt when recovery \
+         returns, recovery must signal failure (nonzero return) rather \
+         than accept the image.";
+    };
+    {
+      id = Warning.Non_idempotent_recovery;
+      models = Model.all;
+      statement =
+        "Running recovery a second time over an already-recovered image \
+         must leave persistent state unchanged (recovery is a fix-point).";
+    };
   ]
 
 let meta_of id = List.find (fun m -> m.id = id) catalog

@@ -68,8 +68,12 @@ let events_of_instr dsg ~fname (i : Nvmir.Instr.t) : Event.t list =
   | Nvmir.Instr.Strand_begin n -> [ ev (Event.Strand_begin n) ]
   | Nvmir.Instr.Strand_end n -> [ ev (Event.Strand_end n) ]
   | Nvmir.Instr.Call { callee; _ } -> [ ev (Event.Call_mark callee) ]
+  (* CRC guards are media-integrity reads, not write-back events: the
+     static rules deliberately do not see them (the recovery tier owns
+     that class) *)
   | Nvmir.Instr.Load _ | Nvmir.Instr.Assign _ | Nvmir.Instr.Binop _
-  | Nvmir.Instr.Alloc _ | Nvmir.Instr.Addr_of _ | Nvmir.Instr.Comment _ -> []
+  | Nvmir.Instr.Alloc _ | Nvmir.Instr.Addr_of _ | Nvmir.Instr.Crc_of _
+  | Nvmir.Instr.Crc_check _ | Nvmir.Instr.Comment _ -> []
 
 (* First [n] elements, stopping as soon as they are found — the caller's
    lists are capped cross-products, so scanning past [n] is wasted. *)

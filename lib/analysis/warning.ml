@@ -5,7 +5,9 @@
 type category = Model_violation | Performance
 
 (* The nine warning classes of Table 1 plus the strand-dependence rule
-   of Table 4. Rule metadata lives in [Rules]. *)
+   of Table 4, plus the recovery-path rule class of the media-corruption
+   model (reported by the recovery executor, invisible to the static
+   tier). Rule metadata lives in [Rules]. *)
 type rule_id =
   | Multiple_writes_at_once
   | Unflushed_write
@@ -17,6 +19,9 @@ type rule_id =
   | Flush_unmodified
   | Persist_same_object_in_tx
   | Durable_tx_no_writes
+  | Unguarded_recovery_read
+  | Silent_corruption_accept
+  | Non_idempotent_recovery
 
 let all_rules =
   [
@@ -30,6 +35,9 @@ let all_rules =
     Flush_unmodified;
     Persist_same_object_in_tx;
     Durable_tx_no_writes;
+    Unguarded_recovery_read;
+    Silent_corruption_accept;
+    Non_idempotent_recovery;
   ]
 
 let rule_name = function
@@ -43,6 +51,9 @@ let rule_name = function
   | Flush_unmodified -> "flush-unmodified"
   | Persist_same_object_in_tx -> "persist-same-object-in-tx"
   | Durable_tx_no_writes -> "durable-tx-no-writes"
+  | Unguarded_recovery_read -> "unguarded-recovery-read"
+  | Silent_corruption_accept -> "silent-corruption-accept"
+  | Non_idempotent_recovery -> "non-idempotent-recovery"
 
 (* Table 1 row descriptions. *)
 let rule_description = function
@@ -57,11 +68,17 @@ let rule_description = function
   | Persist_same_object_in_tx ->
     "Persist the same object multiple times in a transaction"
   | Durable_tx_no_writes -> "Durable transaction without persistent writes"
+  | Unguarded_recovery_read ->
+    "Recovery reads possibly-corrupt media without a CRC guard"
+  | Silent_corruption_accept ->
+    "Recovery accepts a corrupt image without flagging it"
+  | Non_idempotent_recovery -> "Recovery is not idempotent"
 
 let category_of_rule = function
   | Multiple_writes_at_once | Unflushed_write | Missing_persist_barrier
-  | Missing_barrier_nested_tx | Semantic_mismatch | Strand_dependence ->
-    Model_violation
+  | Missing_barrier_nested_tx | Semantic_mismatch | Strand_dependence
+  | Unguarded_recovery_read | Silent_corruption_accept
+  | Non_idempotent_recovery -> Model_violation
   | Multiple_flushes | Flush_unmodified | Persist_same_object_in_tx
   | Durable_tx_no_writes -> Performance
 

@@ -1,7 +1,10 @@
 (** Checker warnings: persistency-model violations and performance bugs,
     each carrying the rule that fired, the source location, and an
     explanation. The rule identifiers are the nine bug classes of
-    Table 1 plus the strand-dependence rule of Table 4. *)
+    Table 1 plus the strand-dependence rule of Table 4, plus the
+    recovery-path rules reported by the media-corruption recovery
+    executor ([Recover]) — those three are dynamic-only and invisible
+    to the static tier. *)
 
 type category = Model_violation | Performance
 
@@ -16,6 +19,9 @@ type rule_id =
   | Flush_unmodified
   | Persist_same_object_in_tx
   | Durable_tx_no_writes
+  | Unguarded_recovery_read
+  | Silent_corruption_accept
+  | Non_idempotent_recovery
 
 val all_rules : rule_id list
 

@@ -37,6 +37,7 @@ type report = {
   dynamic : dynamic_outcome;
   warnings : Analysis.Warning.t list; (* merged, deduplicated *)
   crash_space : Runtime.Crash_space.report option;
+  recovery : Recover.report option;
   elapsed_static : float;
   elapsed_dynamic : float;
 }
@@ -107,7 +108,8 @@ let run_dynamic_analysis (t : t) ?entry ?args ?(clients = 1) prog =
    annotations: (function, variable) pairs known to reference NVM.
    [entry]/[args] drive the optional dynamic run. *)
 let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
-    ?(explore_crash_images = false) ?crash_bound ?seed prog : report =
+    ?(explore_crash_images = false) ?crash_bound ?seed
+    ?(verify_recovery = false) ?recovery_entry prog : report =
   Log.info (fun m ->
       m "analyzing %d function(s) against the %a model (%a)"
         (List.length (Nvmir.Prog.funcs prog))
@@ -140,8 +142,34 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
           (List.length ws)
           (Clock.span_s t1 t2 *. 1000.))
   | Dynamic_skipped reason -> Log.debug (fun m -> m "dynamic skipped: %s" reason));
+  (* The recovery tier: every reachable crash image, corrupted under
+     the media model, run through the program's recovery entry. Its
+     warnings join the merged stream like the dynamic tier's. *)
+  let recovery =
+    match (verify_recovery, entry) with
+    | false, _ | _, None -> None
+    | true, Some entry ->
+      let rentry = Option.value recovery_entry ~default:"recover" in
+      if
+        Nvmir.Prog.find_func prog entry = None
+        || Nvmir.Prog.find_func prog rentry = None
+      then None
+      else begin
+        let r =
+          Obs.Span.with_ ~name:"recover-verify" (fun () ->
+              Recover.verify ~entry ?args ~recovery_entry:rentry
+                ?bound:crash_bound ?seed ~model:t.model prog)
+        in
+        Log.info (fun m -> m "recovery: %a" Recover.pp_report r);
+        Some r
+      end
+  in
+  let recovery_warnings =
+    match recovery with Some r -> r.Recover.warnings | None -> []
+  in
   let warnings =
-    Analysis.Warning.dedup (static.Analysis.Checker.warnings @ dyn_warnings)
+    Analysis.Warning.dedup
+      (static.Analysis.Checker.warnings @ dyn_warnings @ recovery_warnings)
     |> Analysis.Warning.sort
   in
   let crash_space =
@@ -166,6 +194,7 @@ let analyze (t : t) ?(persistent_roots = []) ?roots ?entry ?args ?clients
     dynamic;
     warnings;
     crash_space;
+    recovery;
     elapsed_static = Clock.span_s t0 t1;
     elapsed_dynamic = Clock.span_s t1 t2;
   }
@@ -206,13 +235,23 @@ let pp_report ppf r =
       Fmt.pf ppf "@ crash space: %a" Report.pp_crash_score
         (Report.crash_score cs)
   in
+  let pp_recovery ppf = function
+    | None -> ()
+    | Some (rv : Recover.report) ->
+      Fmt.pf ppf
+        "@ recovery: %d image(s), %d corruption(s): %d restored, %d \
+         flagged, %d silent-accept, %d crashed"
+        rv.Recover.images_checked rv.Recover.corruptions_injected
+        rv.Recover.restored rv.Recover.flagged rv.Recover.silent_accepts
+        rv.Recover.crashes
+  in
   Fmt.pf ppf
     "@[<v>DeepMC report (%a model)@ static: %.1f ms, dynamic: %.1f ms@ \
-     dynamic: %a%a@ %d warning(s): %d violation(s), %d performance@ %a@]"
+     dynamic: %a%a%a@ %d warning(s): %d violation(s), %d performance@ %a@]"
     Analysis.Model.pp r.model
     (r.elapsed_static *. 1000.)
     (r.elapsed_dynamic *. 1000.)
-    pp_dynamic r.dynamic pp_crash_space r.crash_space
+    pp_dynamic r.dynamic pp_crash_space r.crash_space pp_recovery r.recovery
     (List.length r.warnings)
     (List.length (violations r))
     (List.length (performance_bugs r))

@@ -24,6 +24,8 @@ type report = {
   warnings : Analysis.Warning.t list;  (** merged, deduplicated *)
   crash_space : Runtime.Crash_space.report option;
       (** reachable crash-image exploration, when requested *)
+  recovery : Recover.report option;
+      (** recovery-path verification, when requested *)
   elapsed_static : float;
   elapsed_dynamic : float;
 }
@@ -38,6 +40,8 @@ val analyze :
   ?explore_crash_images:bool ->
   ?crash_bound:int ->
   ?seed:int ->
+  ?verify_recovery:bool ->
+  ?recovery_entry:string ->
   Nvmir.Prog.t ->
   report
 (** [persistent_roots] are the user's interface annotations;
@@ -48,7 +52,11 @@ val analyze :
     ordered regardless of interleaving. [explore_crash_images] (default
     false) additionally runs {!Crash_sweep.explore_program} with the
     sequential oracle, capped at [crash_bound] images per crash
-    point; [seed] makes its sampling reproducible. *)
+    point; [seed] makes its sampling reproducible. [verify_recovery]
+    (default false) additionally runs {!Recover.verify} over the
+    crash images with the media-corruption model, using
+    [recovery_entry] (default ["recover"]); its warnings join the
+    merged stream. Skipped silently when either entry is absent. *)
 
 val baseline_compile : Nvmir.Prog.t -> float
 (** The Table 9 baseline: a full front-end pass (emit, re-parse,

@@ -110,6 +110,47 @@ let of_crash_space (r : Runtime.Crash_space.report) =
         List (List.map of_crash_witness r.Runtime.Crash_space.witnesses) );
     ]
 
+let of_recovery (r : Recover.report) =
+  let of_corruption (c : Runtime.Pmem.corruption) =
+    Obj
+      [
+        ("obj", Int c.Runtime.Pmem.c_addr.Runtime.Pmem.obj_id);
+        ("slot", Int c.Runtime.Pmem.c_addr.Runtime.Pmem.slot);
+        ("kind", String (Runtime.Pmem.corruption_kind_name c.Runtime.Pmem.c_kind));
+      ]
+  in
+  let of_check (c : Recover.image_check) =
+    Obj
+      [
+        ("at", of_crash_task c.Recover.task);
+        ("persisted", List (List.map of_crash_line c.Recover.persisted));
+        ("corruptions", List (List.map of_corruption c.Recover.corruptions));
+        ("verdict", String (Recover.verdict_name c.Recover.verdict));
+        ("unguarded_reads", Int (List.length c.Recover.corrupt_reads));
+        ("residual_corrupt", Int c.Recover.residual_corrupt);
+        ("idempotent", Bool c.Recover.idempotent);
+      ]
+  in
+  Obj
+    [
+      ("recovery_entry", String r.Recover.recovery_entry);
+      ("crash_points", Int r.Recover.crash_points);
+      ("images_checked", Int r.Recover.images_checked);
+      ("corruptions_injected", Int r.Recover.corruptions_injected);
+      ( "verdicts",
+        Obj
+          [
+            ("restored", Int r.Recover.restored);
+            ("flagged", Int r.Recover.flagged);
+            ("silent_accept", Int r.Recover.silent_accepts);
+            ("crashed", Int r.Recover.crashes);
+          ] );
+      ("non_idempotent", Int r.Recover.non_idempotent);
+      ("sampled", Bool r.Recover.sampled);
+      ("images", List (List.map of_check r.Recover.images));
+      ("warnings", List (List.map of_warning r.Recover.warnings));
+    ]
+
 (* Telemetry snapshot encoding: counters and gauges become bare ints,
    histograms an object with count/sum and the non-empty log2 buckets.
    Empty object when telemetry never ran. *)
@@ -155,6 +196,10 @@ let of_report (r : Driver.report) =
       ( "crash_space",
         match r.Driver.crash_space with
         | Some cs -> of_crash_space cs
+        | None -> Null );
+      ( "recovery",
+        match r.Driver.recovery with
+        | Some rv -> of_recovery rv
         | None -> Null );
       ("metrics", of_metrics (Obs.Metrics.snapshot ()));
     ]

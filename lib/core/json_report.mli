@@ -20,6 +20,7 @@ val of_metrics : (string * Obs.Metrics.value) list -> json
 val of_warning : Analysis.Warning.t -> json
 val of_dynamic_summary : Runtime.Dynamic.summary -> json
 val of_crash_space : Runtime.Crash_space.report -> json
+val of_recovery : Recover.report -> json
 val of_report : Driver.report -> json
 val of_score : Report.score -> json
 val of_fix_outcome : Autofix.outcome -> json

@@ -1,0 +1,8 @@
+(** Base programs for the recovery tier: a CRC-guarded journal recovery
+    (clean) and its unguarded twin (unguarded reads, silent acceptance).
+    Kept out of {!Registry.all} — the paper-corpus benches are pinned —
+    and consumed by the recovery-recall evaluation. *)
+
+val guarded : Types.program
+val unguarded : Types.program
+val programs : Types.program list

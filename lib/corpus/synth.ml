@@ -30,6 +30,7 @@ type config = {
   nfuncs : int;
   calls_per_func : int;
   buggy_fraction_pct : int; (* 0..100 *)
+  ptr_arith : bool;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     nfuncs = 20;
     calls_per_func = 2;
     buggy_fraction_pct = 0;
+    ptr_arith = false;
   }
 
 let struct_name i = Fmt.str "s%d" i
@@ -62,7 +64,7 @@ let generate (cfg : config) : Nvmir.Prog.t * int =
     let file = Fmt.str "synth_%d.c" (idx mod 7) in
     let buggy = next r 100 < cfg.buggy_fraction_pct in
     if buggy then incr seeded;
-    let shape = next r 3 in
+    let shape = next r (if cfg.ptr_arith then 4 else 3) in
     let f_hot = field_name (next r nfields) in
     (* callees come from the first few workers — the "library helper"
        tier — keeping call chains shallow like real applications *)
@@ -82,6 +84,22 @@ let generate (cfg : config) : Nvmir.Prog.t * int =
             store fb ~line:(line 1) (fld "obj" f_hot) (i 42);
             if buggy then comment fb "seeded bug: missing persist"
             else persist fb ~line:(line 2) (fld "obj" f_hot)
+          | 3 ->
+            (* pointer-arithmetic writer: the store and its persist both
+               go through a computed alias [q = obj + k], exercising the
+               offset-polynomial lattice end to end. The seeded bug
+               persists through a *different* offset, so only an
+               offset-sensitive analysis can tell the flush misses the
+               dirty slot. *)
+            let k = next r nfields in
+            binop fb "q" Nvmir.Instr.Add (v "obj") (i k);
+            store fb ~line:(line 1) (vr "q") (i 11);
+            if buggy then begin
+              binop fb "q2" Nvmir.Instr.Add (v "obj")
+                (i ((k + 1) mod nfields));
+              persist fb ~line:(line 2) (vr "q2")
+            end
+            else persist fb ~line:(line 2) (vr "q")
           | 1 ->
             tx_begin fb ~line:(line 1) ();
             tx_add fb ~line:(line 2) ~extent:Nvmir.Instr.Exact

@@ -10,6 +10,11 @@ type config = {
   nfuncs : int;
   calls_per_func : int;
   buggy_fraction_pct : int;  (** 0..100: fraction of defective workers *)
+  ptr_arith : bool;
+      (** admit a fourth worker shape whose store and persist go through
+          a computed alias [q = obj + k] (seeded bug: persist at the
+          wrong offset), exercising the offset-polynomial lattice.
+          Default false, keeping legacy seeds bit-identical *)
 }
 
 val default_config : config

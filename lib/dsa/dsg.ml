@@ -370,6 +370,17 @@ let local_instr t ~fname (i : Nvmir.Instr.t) =
   | Nvmir.Instr.Tx_add { target; extent } ->
     let a = resolve_extent t ~fname target extent in
     record_ref t a
+  (* CRC guards read their range but define an integer/boolean local,
+     never a pointer *)
+  | Nvmir.Instr.Crc_of { dst; target; extent } ->
+    let a = resolve_extent t ~fname target extent in
+    record_ref t a;
+    if t.offset_sensitive then clear_binding t ~fname dst
+  | Nvmir.Instr.Crc_check { dst; target; extent; crc } ->
+    let a = resolve_extent t ~fname target extent in
+    record_ref t a;
+    record_ref t (resolve t ~fname crc);
+    if t.offset_sensitive then clear_binding t ~fname dst
   | Nvmir.Instr.Fence | Nvmir.Instr.Tx_begin
   | Nvmir.Instr.Tx_end | Nvmir.Instr.Epoch_begin | Nvmir.Instr.Epoch_end
   | Nvmir.Instr.Strand_begin _ | Nvmir.Instr.Strand_end _ | Nvmir.Instr.Call _

@@ -414,6 +414,9 @@ let expected_detector_missed (r : mutant_result) =
   | Mutation.Dynamic_tier ->
     if r.dynamic_d.applicable then not r.dynamic_d.hit
     else not r.static_d.hit
+  (* recovery-tier mutants are scored by [run_recovery], never by the
+     static/dynamic matrix, so they cannot be blind spots here *)
+  | Mutation.Recovery_tier -> false
 
 let false_negatives s = List.filter expected_detector_missed s.results
 
@@ -588,3 +591,211 @@ let pp_summary ppf s =
   if fns <> [] then
     Fmt.pf ppf "false negatives: %s@."
       (String.concat ", " (List.map (fun r -> r.mutant.Mutation.id) fns))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery tier: the corruption operators scored by the recovery
+   executor. Kept out of [run]'s matrix — the paper-corpus recall
+   numbers are pinned, and no trace rule can see a recovery-path
+   defect anyway — and fed by the dedicated {!Corpus.Recovery}
+   bases. *)
+
+let recovery_operators =
+  [
+    Mutation.Strip_crc_guard;
+    Mutation.Silence_recovery;
+    Mutation.Drift_recovery_store;
+  ]
+
+let recovery_bases ?(offset_sensitive = true) () =
+  List.map
+    (fun (p : Corpus.Types.program) ->
+      make_base ~offset_sensitive ~bname:p.Corpus.Types.name
+        ~model:(Corpus.Types.model p) ~roots:p.Corpus.Types.roots
+        ~entry:(Some p.Corpus.Types.entry)
+        ~entry_args:p.Corpus.Types.entry_args
+        (Corpus.Types.parse p))
+    Corpus.Recovery.programs
+
+let recovery_report ~seed ~bound (b : base) prog =
+  match (b.entry, Nvmir.Prog.find_func prog "recover") with
+  | Some entry, Some _ ->
+    Some
+      (Recover.verify ~entry ~args:b.entry_args ~bound ~seed ~model:b.model
+         prog)
+  | _ -> None
+
+type recovery_result = {
+  r_mutant : Mutation.mutant;
+  r_detection : detection;
+}
+
+type recovery_row = {
+  r_operator : Mutation.operator;
+  r_mutants : int;
+  r_cell : cell;
+}
+
+type recovery_summary = {
+  r_seed : int;
+  r_bases : int;
+  r_total_mutants : int;
+  r_applicable : int;
+  r_detected : int;
+  r_recall : float;
+  r_rows : recovery_row list;
+  r_base_reports : (string * Recover.report) list;
+  r_results : recovery_result list;
+}
+
+let run_recovery ?domains ?(operators = recovery_operators) ?(seed = 1)
+    ?(bound = 96) bases =
+  (* one baseline verification per base: its residual recovery warnings
+     are excluded from every mutant's delta, exactly as the static tier
+     treats refused-autofix residue *)
+  let prepared =
+    List.map (fun b -> (b, recovery_report ~seed ~bound b b.prog)) bases
+  in
+  let baseline_keys =
+    List.map
+      (fun (b, rep) ->
+        ( b.bname,
+          match rep with
+          | None -> []
+          | Some rep -> List.map W.dedup_key rep.Recover.warnings ))
+      prepared
+  in
+  let mutants =
+    List.concat_map
+      (fun (b, _) ->
+        List.map
+          (fun m -> (b, m))
+          (Mutation.mutate ~operators ~offset_sensitive:b.offset_sensitive
+             ~base:b.bname ~model:b.model ~roots:b.roots b.prog))
+      prepared
+  in
+  let results =
+    Pool.map ?domains ~chunk:1 (Pool.default ())
+      (fun (b, (m : Mutation.mutant)) ->
+        let baseline =
+          Option.value ~default:[] (List.assoc_opt b.bname baseline_keys)
+        in
+        let d =
+          match recovery_report ~seed ~bound b m.Mutation.prog with
+          | None -> not_applicable
+          | Some rep ->
+            let delta =
+              List.filter
+                (fun w -> not (List.mem (W.dedup_key w) baseline))
+                rep.Recover.warnings
+            in
+            classify ~matches:Mutation.expect_matches m.Mutation.truth delta
+        in
+        { r_mutant = m; r_detection = d })
+      mutants
+  in
+  let rows =
+    List.filter_map
+      (fun op ->
+        if not (List.memq op operators) then None
+        else
+          let rs =
+            List.filter
+              (fun r ->
+                r.r_mutant.Mutation.truth.Mutation.operator = op)
+              results
+          in
+          Some
+            {
+              r_operator = op;
+              r_mutants = List.length rs;
+              r_cell =
+                List.fold_left
+                  (fun c r -> add_cell c r.r_detection)
+                  empty_cell rs;
+            })
+      recovery_operators
+  in
+  let applicable =
+    List.length (List.filter (fun r -> r.r_detection.applicable) results)
+  in
+  let detected =
+    List.length (List.filter (fun r -> r.r_detection.hit) results)
+  in
+  {
+    r_seed = seed;
+    r_bases = List.length bases;
+    r_total_mutants = List.length results;
+    r_applicable = applicable;
+    r_detected = detected;
+    r_recall =
+      (if applicable = 0 then 1.0
+       else float_of_int detected /. float_of_int applicable);
+    r_rows = rows;
+    r_base_reports =
+      List.filter_map
+        (fun (b, rep) -> Option.map (fun r -> (b.bname, r)) rep)
+        prepared;
+    r_results = results;
+  }
+
+let recovery_to_json s =
+  J.Obj
+    [
+      ("seed", J.Int s.r_seed);
+      ("bases", J.Int s.r_bases);
+      ("total_mutants", J.Int s.r_total_mutants);
+      ( "bases_verified",
+        J.List
+          (List.map
+             (fun (name, (rep : Recover.report)) ->
+               J.Obj
+                 [
+                   ("base", J.String name);
+                   ("clean", J.Bool (Recover.consistent rep));
+                   ("warnings", J.Int (List.length rep.Recover.warnings));
+                   ("report", J.of_recovery rep);
+                 ])
+             s.r_base_reports) );
+      ( "rows",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("operator", J.String (Mutation.operator_name r.r_operator));
+                   ( "tier",
+                     J.String
+                       (Mutation.tier_name
+                          (Mutation.operator_tier r.r_operator)) );
+                   ("mutants", J.Int r.r_mutants);
+                   ("recovery", json_of_cell r.r_cell);
+                 ])
+             s.r_rows) );
+      ("applicable", J.Int s.r_applicable);
+      ("detected", J.Int s.r_detected);
+      ("recall", J.Float s.r_recall);
+      ("all_detected", J.Bool (s.r_detected = s.r_applicable));
+    ]
+
+let pp_recovery_summary ppf s =
+  Fmt.pf ppf
+    "Recovery-tier recall (seed %d, %d base program(s), %d mutant(s))@."
+    s.r_seed s.r_bases s.r_total_mutants;
+  List.iter
+    (fun (name, (rep : Recover.report)) ->
+      Fmt.pf ppf "base %-22s %s@." name
+        (if Recover.consistent rep then "verified clean"
+         else
+           Fmt.str "%d recovery warning(s)"
+             (List.length rep.Recover.warnings)))
+    s.r_base_reports;
+  Fmt.pf ppf "%-22s %-9s %-5s %s@." "operator" "tier" "n" "recovery";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-22s %-9s %-5d %s@."
+        (Mutation.operator_name r.r_operator)
+        (Mutation.tier_name (Mutation.operator_tier r.r_operator))
+        r.r_mutants (cell_to_string r.r_cell))
+    s.r_rows;
+  Fmt.pf ppf "recovery-tier recall: %d/%d = %.3f@." s.r_detected
+    s.r_applicable s.r_recall

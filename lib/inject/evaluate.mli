@@ -129,3 +129,59 @@ val known_blind_spot_of_corpus : dir:string -> int
 
 val to_json : summary -> Deepmc.Json_report.json
 val pp_summary : summary Fmt.t
+
+(** {1 Recovery tier}
+
+    The corruption operators ({!Mutation.Strip_crc_guard},
+    {!Mutation.Silence_recovery}, {!Mutation.Drift_recovery_store}) are
+    invisible to every trace rule: they damage the {e backward} path.
+    They are scored separately against the recovery executor
+    ({!Recover.verify}) over the dedicated {!Corpus.Recovery} bases,
+    with the same delta-vs-baseline discipline as the static tier. *)
+
+val recovery_operators : Mutation.operator list
+
+val recovery_bases : ?offset_sensitive:bool -> unit -> base list
+(** The {!Corpus.Recovery} programs as evaluation bases. No autofix:
+    the guarded base is recovery-clean by construction and the
+    unguarded base's warnings become its baseline (its mutants must add
+    something new to count as detected). *)
+
+type recovery_result = {
+  r_mutant : Mutation.mutant;
+  r_detection : detection;
+}
+
+type recovery_row = {
+  r_operator : Mutation.operator;
+  r_mutants : int;
+  r_cell : cell;
+}
+
+type recovery_summary = {
+  r_seed : int;
+  r_bases : int;
+  r_total_mutants : int;
+  r_applicable : int;
+  r_detected : int;
+  r_recall : float;  (** 1.0 when no mutant was applicable *)
+  r_rows : recovery_row list;
+  r_base_reports : (string * Recover.report) list;
+      (** unmutated-base verification, keyed by base name *)
+  r_results : recovery_result list;
+}
+
+val run_recovery :
+  ?domains:int ->
+  ?operators:Mutation.operator list ->
+  ?seed:int ->
+  ?bound:int ->
+  base list ->
+  recovery_summary
+(** Mutate every base with the recovery operators and score each mutant
+    by the delta of its {!Recover.verify} warnings over the unmutated
+    base's, matched against the mutant's ground truth. Deterministic
+    for fixed (bases, operators, seed, bound). *)
+
+val recovery_to_json : recovery_summary -> Deepmc.Json_report.json
+val pp_recovery_summary : recovery_summary Fmt.t

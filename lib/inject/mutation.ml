@@ -21,6 +21,9 @@ type operator =
   | Widen_flush
   | Drop_tx_add
   | Split_strand
+  | Strip_crc_guard
+  | Silence_recovery
+  | Drift_recovery_store
 
 let all_operators =
   [
@@ -32,6 +35,9 @@ let all_operators =
     Widen_flush;
     Drop_tx_add;
     Split_strand;
+    Strip_crc_guard;
+    Silence_recovery;
+    Drift_recovery_store;
   ]
 
 let operator_name = function
@@ -43,25 +49,33 @@ let operator_name = function
   | Widen_flush -> "widen-flush"
   | Drop_tx_add -> "drop-tx-add"
   | Split_strand -> "split-strand"
+  | Strip_crc_guard -> "strip-crc-guard"
+  | Silence_recovery -> "silence-recovery"
+  | Drift_recovery_store -> "drift-recovery-store"
 
 let operator_of_string s =
   List.find_opt (fun o -> String.equal (operator_name o) s) all_operators
 
 let pp_operator ppf o = Fmt.string ppf (operator_name o)
 
-type tier = Static_tier | Dynamic_tier
+type tier = Static_tier | Dynamic_tier | Recovery_tier
 
 let tier_name = function
   | Static_tier -> "static"
   | Dynamic_tier -> "dynamic"
+  | Recovery_tier -> "recovery"
 
 (* Strand splitting escapes the static rules only when the split lands
    between writes the trace abstraction cannot order; we still expect
    the static strand rule to fire, but the authoritative tier is the
-   dynamic checker observing the actual race. Everything else is
-   squarely in the static rules' scope. *)
+   dynamic checker observing the actual race. The corruption operators
+   break the recovery path, which no trace rule sees at all — only the
+   recovery executor ([Recover.verify]) can score them. Everything
+   else is squarely in the static rules' scope. *)
 let operator_tier = function
   | Split_strand -> Dynamic_tier
+  | Strip_crc_guard | Silence_recovery | Drift_recovery_store ->
+    Recovery_tier
   | Delete_flush | Delete_fence | Reorder_fence | Hoist_write
   | Duplicate_flush | Widen_flush | Drop_tx_add ->
     Static_tier
@@ -207,6 +221,21 @@ let mutate ?(operators = all_operators) ?(field_sensitive = true)
     (fun (fn : Nvmir.Func.t) ->
       let fname = fn.Nvmir.Func.fname in
       if Hashtbl.mem live fname then begin
+        (* The recovery-tier operators target the recovery convention:
+           only a function named [recover] is executed by the recovery
+           verifier, so only there can a mutation be scored. Whole-path
+           defects (silencing, drift) are reported at the verifier's
+           anchor — the first located instruction of the entry block. *)
+        let is_recovery = String.equal fname "recover" in
+        let recovery_loc =
+          match
+            List.find_opt
+              (fun (i : I.t) -> loc_ok i.I.loc)
+              (Nvmir.Func.entry_block fn).Nvmir.Func.instrs
+          with
+          | Some i -> i.I.loc
+          | None -> fn.Nvmir.Func.floc
+        in
         (* function-wide durability coverage, for uniqueness tests *)
         let func_flushes = ref [] and func_logs = ref [] in
         let max_strand = ref 0 in
@@ -698,7 +727,152 @@ let mutate ?(operators = all_operators) ?(field_sensitive = true)
                         }
                     | None -> ()))
                 | _ -> ()
-              done)
+              done;
+            (* ---- recovery-tier operators ---- *)
+            if is_recovery then begin
+              for j = 0 to n - 1 do
+                match arr.(j).I.kind with
+                (* strip-crc-guard: the check always passes, so every
+                   replay load consumes unvalidated media *)
+                | I.Crc_check { dst; _ }
+                  when wants Strip_crc_guard && loc_ok arr.(j).I.loc ->
+                  push
+                    {
+                      op = Strip_crc_guard;
+                      apply =
+                        (fun p ->
+                          replace_index p ~fname ~label j
+                            {
+                              arr.(j) with
+                              I.kind =
+                                I.Assign
+                                  {
+                                    dst;
+                                    src = Nvmir.Operand.Bool_const true;
+                                  };
+                            });
+                      (* the loads the guard covered sit on lines the
+                         operator cannot predict from the check site *)
+                      s_primary =
+                        {
+                          rules = [ W.Unguarded_recovery_read ];
+                          file = arr.(j).I.loc.L.file;
+                          line = 0;
+                        };
+                      s_collateral =
+                        [
+                          {
+                            rules =
+                              [
+                                W.Silent_corruption_accept;
+                                W.Non_idempotent_recovery;
+                              ];
+                            file = arr.(j).I.loc.L.file;
+                            line = 0;
+                          };
+                        ];
+                    }
+                (* drift-recovery-store: a constant (re-)initialising
+                   store becomes read-modify-write, so each recovery
+                   run moves the slot — no longer a fix-point *)
+                | I.Store { dst; src = Nvmir.Operand.Const _ }
+                  when wants Drift_recovery_store
+                       && loc_ok arr.(j).I.loc
+                       && persistent fname dst
+                       && covering_flushes (resolve fname dst) >= 1 ->
+                  let v = Fmt.str "__drift%d" j in
+                  let v1 = v ^ "n" in
+                  push
+                    {
+                      op = Drift_recovery_store;
+                      apply =
+                        (fun p ->
+                          edit_block p ~fname ~label (fun l ->
+                              List.concat
+                                (List.mapi
+                                   (fun k ins ->
+                                     if k <> j then [ ins ]
+                                     else
+                                       [
+                                         {
+                                           ins with
+                                           I.kind = I.Load { dst = v; src = dst };
+                                         };
+                                         I.make
+                                           (I.Binop
+                                              {
+                                                dst = v1;
+                                                op = I.Add;
+                                                lhs = Nvmir.Operand.Var v;
+                                                rhs = Nvmir.Operand.Const 1;
+                                              });
+                                         {
+                                           ins with
+                                           I.kind =
+                                             I.Store
+                                               {
+                                                 dst;
+                                                 src = Nvmir.Operand.Var v1;
+                                               };
+                                         };
+                                       ])
+                                   l)));
+                      s_primary =
+                        expect ~rules:[ W.Non_idempotent_recovery ]
+                          recovery_loc;
+                      s_collateral =
+                        [
+                          {
+                            rules = [ W.Unguarded_recovery_read ];
+                            file = arr.(j).I.loc.L.file;
+                            line = 0;
+                          };
+                        ];
+                    }
+                | _ -> ()
+              done;
+              (* silence-recovery: a nonzero (reject) return becomes
+                 success, so detected corruption is accepted silently *)
+              (match blk.Nvmir.Func.term with
+              | Nvmir.Func.Ret (Some (Nvmir.Operand.Const c))
+                when wants Silence_recovery && c <> 0 ->
+                push
+                  {
+                    op = Silence_recovery;
+                    apply =
+                      (fun p ->
+                        Deepmc.Rewrite.map_funcs p (fun f ->
+                            if
+                              not
+                                (String.equal f.Nvmir.Func.fname fname)
+                            then f
+                            else
+                              {
+                                f with
+                                Nvmir.Func.blocks =
+                                  List.map
+                                    (fun (b : Nvmir.Func.block) ->
+                                      if
+                                        String.equal b.Nvmir.Func.label
+                                          label
+                                      then
+                                        {
+                                          b with
+                                          Nvmir.Func.term =
+                                            Nvmir.Func.Ret
+                                              (Some
+                                                 (Nvmir.Operand.Const 0));
+                                        }
+                                      else b)
+                                    f.Nvmir.Func.blocks;
+                              }));
+                    s_primary =
+                      expect ~rules:[ W.Silent_corruption_accept ]
+                        recovery_loc;
+                    s_collateral = [];
+                  }
+              | _ -> ())
+            end)
           fn.Nvmir.Func.blocks
       end)
     (Nvmir.Prog.funcs prog);

@@ -17,6 +17,11 @@ type operator =
   | Widen_flush  (** flush a whole object for one dirty field *)
   | Drop_tx_add  (** drop a transaction's undo-log registration *)
   | Split_strand  (** split a strand between dependent writes *)
+  | Strip_crc_guard  (** a CRC check in [recover] always passes *)
+  | Silence_recovery  (** [recover]'s nonzero (reject) return becomes 0 *)
+  | Drift_recovery_store
+      (** a constant store in [recover] becomes read-modify-write, so
+          recovery is no longer a fix-point *)
 
 val all_operators : operator list
 val operator_name : operator -> string
@@ -24,8 +29,10 @@ val operator_of_string : string -> operator option
 val pp_operator : operator Fmt.t
 
 (** The detector tier expected to catch the operator's mutants: every
-    class except strand splitting is in the static rules' scope. *)
-type tier = Static_tier | Dynamic_tier
+    class except strand splitting is in the static rules' scope, and
+    the corruption operators are visible only to the recovery executor
+    ({!Evaluate.run_recovery}). *)
+type tier = Static_tier | Dynamic_tier | Recovery_tier
 
 val tier_name : tier -> string
 val operator_tier : operator -> tier

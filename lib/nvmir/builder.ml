@@ -102,6 +102,12 @@ let fence fb ?line () = emit fb ?line Instr.Fence
 let persist fb ?line ?(extent = Instr.Exact) target =
   emit fb ?line (Instr.Persist { target; extent })
 
+let crc_of fb ?line ?(extent = Instr.Object) dst target =
+  emit fb ?line (Instr.Crc_of { dst; target; extent })
+
+let crc_check fb ?line ?(extent = Instr.Object) dst target crc =
+  emit fb ?line (Instr.Crc_check { dst; target; extent; crc })
+
 let tx_begin fb ?line () = emit fb ?line Instr.Tx_begin
 let tx_end fb ?line () = emit fb ?line Instr.Tx_end
 

@@ -47,6 +47,15 @@ val addr_of : fb -> ?line:int -> string -> Place.t -> unit
 val flush : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit
 val fence : fb -> ?line:int -> unit -> unit
 val persist : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit
+val crc_of : fb -> ?line:int -> ?extent:Instr.extent -> string -> Place.t -> unit
+(** [crc_of fb dst target]: checksum of the target range (default the
+    whole object) into local [dst]. *)
+
+val crc_check :
+  fb -> ?line:int -> ?extent:Instr.extent -> string -> Place.t -> Place.t -> unit
+(** [crc_check fb dst target crc]: corruption-detecting boolean into
+    [dst]. *)
+
 val tx_begin : fb -> ?line:int -> unit -> unit
 val tx_end : fb -> ?line:int -> unit -> unit
 val tx_add : fb -> ?line:int -> ?extent:Instr.extent -> Place.t -> unit

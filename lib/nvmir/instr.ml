@@ -52,6 +52,14 @@ type kind =
   | Strand_begin of int
   | Strand_end of int
   | Call of { dst : string option; callee : string; args : Operand.t list }
+  | Crc_of of { dst : string; target : Place.t; extent : extent }
+      (* checksum of a slot range, the CRC-validates-data primitive of
+         verified-storage recovery code: [c = crc object j] *)
+  | Crc_check of { dst : string; target : Place.t; extent : extent;
+                   crc : Place.t }
+      (* corruption-detecting boolean: true iff the stored CRC matches
+         the range AND no covered slot is media-corrupt. A guarded read:
+         it never trips the unguarded-corrupt-read machinery. *)
   | Comment of string
 
 type t = { kind : kind; loc : Loc.t }
@@ -127,6 +135,11 @@ let pp_kind ppf = function
     Fmt.pf ppf "%acall %s(%a)" pp_dst dst callee
       Fmt.(list ~sep:(any ", ") Operand.pp)
       args
+  | Crc_of { dst; target; extent } ->
+    Fmt.pf ppf "%s = crc %a %a" dst pp_extent extent Place.pp target
+  | Crc_check { dst; target; extent; crc } ->
+    Fmt.pf ppf "%s = crc_check %a %a, %a" dst pp_extent extent Place.pp target
+      Place.pp crc
   | Comment s -> Fmt.pf ppf "; %s" s
 
 let pp ppf { kind; loc } =
@@ -140,7 +153,9 @@ let defs i =
   | Assign { dst; _ }
   | Binop { dst; _ }
   | Alloc { dst; _ }
-  | Addr_of { dst; _ } -> [ dst ]
+  | Addr_of { dst; _ }
+  | Crc_of { dst; _ }
+  | Crc_check { dst; _ } -> [ dst ]
   | Call { dst = Some d; _ } -> [ d ]
   | Call { dst = None; _ }
   | Store _ | Flush _ | Fence | Persist _ | Tx_begin | Tx_end | Tx_add _
@@ -168,8 +183,10 @@ let uses i =
   | Binop { lhs; rhs; _ } -> of_op lhs @ of_op rhs
   | Alloc _ -> []
   | Addr_of { src; _ } -> uses_of_place src
-  | Flush { target; _ } | Persist { target; _ } | Tx_add { target; _ } ->
+  | Flush { target; _ } | Persist { target; _ } | Tx_add { target; _ }
+  | Crc_of { target; _ } ->
     uses_of_place target
+  | Crc_check { target; crc; _ } -> uses_of_place target @ uses_of_place crc
   | Call { args; _ } -> List.concat_map of_op args
   | Fence | Tx_begin | Tx_end | Epoch_begin | Epoch_end | Strand_begin _
   | Strand_end _ | Comment _ -> []
@@ -180,5 +197,8 @@ let is_persistency_relevant i =
   match i.kind with
   | Flush _ | Fence | Persist _ | Tx_begin | Tx_end | Tx_add _ | Epoch_begin
   | Epoch_end | Strand_begin _ | Strand_end _ -> true
+  (* CRC reads are media-integrity checks, not write-back ordering
+     events: the static persistency rules do not see them, which is
+     exactly why the recovery tier exists. *)
   | Store _ | Load _ | Assign _ | Binop _ | Alloc _ | Addr_of _ | Call _
-  | Comment _ -> false
+  | Crc_of _ | Crc_check _ | Comment _ -> false

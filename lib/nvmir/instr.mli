@@ -44,6 +44,14 @@ type kind =
   | Strand_begin of int
   | Strand_end of int
   | Call of { dst : string option; callee : string; args : Operand.t list }
+  | Crc_of of { dst : string; target : Place.t; extent : extent }
+      (** checksum of a slot range ([c = crc object j]) — the
+          CRC-validates-data primitive of verified-storage recovery *)
+  | Crc_check of { dst : string; target : Place.t; extent : extent;
+                   crc : Place.t }
+      (** corruption-detecting boolean ([ok = crc_check object j,
+          j->crc]): true iff the stored CRC matches the range and no
+          covered slot is media-corrupt. A guarded read. *)
   | Comment of string
 
 type t = { kind : kind; loc : Loc.t }

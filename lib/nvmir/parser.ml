@@ -41,7 +41,8 @@ let expect_int st what =
 
 let keywords =
   [
-    "store"; "load"; "alloc"; "addr"; "flush"; "fence"; "persist"; "tx_begin";
+    "store"; "load"; "alloc"; "addr"; "crc"; "crc_check"; "flush"; "fence";
+    "persist"; "tx_begin";
     "tx_end"; "tx_add"; "epoch_begin"; "epoch_end"; "strand_begin";
     "strand_end"; "call"; "ret"; "br"; "func"; "struct"; "ptr"; "int"; "bool";
     "pmem"; "vmem"; "exact"; "object"; "bytes"; "null"; "true"; "false";
@@ -155,6 +156,16 @@ let parse_rhs st dst : Instr.kind =
   | Lexer.IDENT "addr" ->
     ignore (next st);
     Instr.Addr_of { dst; src = parse_place st }
+  | Lexer.IDENT "crc" ->
+    ignore (next st);
+    let extent = parse_extent st in
+    Instr.Crc_of { dst; target = parse_place st; extent }
+  | Lexer.IDENT "crc_check" ->
+    ignore (next st);
+    let extent = parse_extent st in
+    let target = parse_place st in
+    expect st Lexer.COMMA "','";
+    Instr.Crc_check { dst; target; extent; crc = parse_place st }
   | Lexer.IDENT "call" ->
     ignore (next st);
     let callee = expect_ident st "callee name" in

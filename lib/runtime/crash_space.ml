@@ -247,6 +247,44 @@ let explore_task ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
     witnesses = List.rev !witnesses;
   })
 
+(* ------------------------------------------------------------------ *)
+(* Image enumeration for the recovery tier: the same subset walk as
+   [explore_task], but returning the crashed pmem and the distinct
+   materialized images instead of judging them against an oracle. The
+   recovery executor corrupts and restores each image separately. *)
+
+type crash_image = {
+  ci_task : task;
+  ci_persisted : (int * int) list;
+  ci_image : (int, Value.t array) Hashtbl.t;
+}
+
+let crash_images ?config ?entry ?args ?(bound = default_bound) ?(seed = 1)
+    ~task prog =
+  let pmem, _writes, _crashed = run_to ?config ?entry ?args ~task prog in
+  let candidates = Pmem.inflight_lines pmem in
+  let cand = Array.of_list candidates in
+  let ncand = Array.length cand in
+  let seed = seed lxor (match task with Point k -> k * 7919 | Exit -> 104729) in
+  let subs, sampled = enumerate ~bound ~seed ncand in
+  let seen = Hashtbl.create 64 in
+  let images = ref [] in
+  List.iter
+    (fun sub ->
+      let persist = ref [] in
+      Array.iteri (fun i c -> if sub.(i) then persist := c :: !persist) cand;
+      let persist = List.rev !persist in
+      let img = Pmem.materialize pmem ~persist in
+      let dg = digest img in
+      if not (Hashtbl.mem seen dg) then begin
+        Hashtbl.replace seen dg ();
+        images :=
+          { ci_task = task; ci_persisted = persist; ci_image = img }
+          :: !images
+      end)
+    subs;
+  (pmem, List.rev !images, sampled)
+
 let summarize ~crash_points (points : point_result list) : report =
   let images_enumerated =
     List.fold_left (fun a p -> a + p.subsets_enumerated) 0 points

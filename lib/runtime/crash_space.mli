@@ -72,6 +72,31 @@ val explore_task :
     per-task, so callers may fan tasks out across domains and
     {!summarize} the results. *)
 
+(** {1 Image enumeration} — the recovery tier's entry point. *)
+
+(** One distinct durable image of a crash task: which in-flight lines
+    reached NVM, and the materialized per-object slot arrays (transaction
+    rollback applied). *)
+type crash_image = {
+  ci_task : task;
+  ci_persisted : (int * int) list;
+  ci_image : (int, Value.t array) Hashtbl.t;
+}
+
+val crash_images :
+  ?config:Config.t ->
+  ?entry:string ->
+  ?args:int list ->
+  ?bound:int ->
+  ?seed:int ->
+  task:task ->
+  Nvmir.Prog.t ->
+  Pmem.t * crash_image list * bool
+(** The crashed heap, the distinct durable images it can leave (same
+    enumeration, pruning and bound as {!explore_task}), and whether the
+    subset space was sampled. The pmem is what {!Pmem.corrupt_image}
+    seeds from and {!Pmem.restore} copies object metadata from. *)
+
 val summarize : crash_points:int -> point_result list -> report
 
 val explore :

@@ -9,6 +9,13 @@
 exception Runtime_error of string * Nvmir.Loc.t
 exception Out_of_fuel
 
+exception Corrupt_read of Pmem.addr * Nvmir.Loc.t
+(* The typed outcome of an unguarded read hitting a media-corrupt slot,
+   raised only under [trap_corrupt_reads]. The default mode records the
+   read instead, so recovery code that silently accepts corrupt state
+   runs to completion — which is itself the bug the recovery tier
+   reports. *)
+
 let error loc fmt = Fmt.kstr (fun m -> raise (Runtime_error (m, loc))) fmt
 
 type frame = { func : Nvmir.Func.t; vars : (string, Value.t) Hashtbl.t }
@@ -46,13 +53,29 @@ type t = {
   mutable fuel : int;
   mutable steps : int;
   boundary_hook : (boundary -> Nvmir.Loc.t -> unit) option;
+  trap_corrupt : bool;
+  mutable corrupt_reads : (Pmem.addr * Nvmir.Loc.t) list; (* reversed *)
 }
 
-let create ?(fuel = 5_000_000) ?boundary_hook ~pmem prog =
-  { prog; pmem; fuel; steps = 0; boundary_hook }
+let create ?(fuel = 5_000_000) ?boundary_hook ?(trap_corrupt_reads = false)
+    ~pmem prog =
+  { prog; pmem; fuel; steps = 0; boundary_hook;
+    trap_corrupt = trap_corrupt_reads; corrupt_reads = [] }
 
 let pmem t = t.pmem
 let steps t = t.steps
+let corrupt_reads t = List.rev t.corrupt_reads
+
+(* Every unguarded read funnels through here: loads, and pointer
+   dereferences inside place resolution. CRC primitives do not — they
+   are the guard. *)
+let read_unguarded t loc addr =
+  let v = Pmem.read t.pmem ~loc addr in
+  if Pmem.is_corrupt t.pmem addr then begin
+    if t.trap_corrupt then raise (Corrupt_read (addr, loc));
+    t.corrupt_reads <- (addr, loc) :: t.corrupt_reads
+  end;
+  v
 
 let tick t loc =
   t.steps <- t.steps + 1;
@@ -144,7 +167,7 @@ let resolve t frame loc (place : Nvmir.Place.t) : Pmem.addr * int =
       | [] -> ({ Pmem.obj_id = obj; slot }, es)
       | _ -> deref obj slot rest)
   and deref obj slot path =
-    match Pmem.read t.pmem ~loc { Pmem.obj_id = obj; slot } with
+    match read_unguarded t loc { Pmem.obj_id = obj; slot } with
     | Value.Vref { obj = obj'; off = off' } -> walk obj' off' path
     | Value.Vnull -> error loc "null dereference in %a" Nvmir.Place.pp place
     | v -> error loc "dereferencing non-pointer %a" Value.pp v
@@ -268,7 +291,7 @@ and exec_instr t frame (i : Nvmir.Instr.t) =
     Pmem.write t.pmem ~loc addr (eval_operand frame loc src)
   | Nvmir.Instr.Load { dst; src } ->
     let addr, _ = resolve t frame loc src in
-    Hashtbl.replace frame.vars dst (Pmem.read t.pmem ~loc addr)
+    Hashtbl.replace frame.vars dst (read_unguarded t loc addr)
   | Nvmir.Instr.Assign { dst; src } ->
     Hashtbl.replace frame.vars dst (eval_operand frame loc src)
   | Nvmir.Instr.Binop { dst; op; lhs; rhs } ->
@@ -312,6 +335,24 @@ and exec_instr t frame (i : Nvmir.Instr.t) =
       let ret = exec_func t f arg_vals in
       Option.iter (fun d -> Hashtbl.replace frame.vars d ret) dst
     | None -> error loc "call to undefined function %s" callee)
+  | Nvmir.Instr.Crc_of { dst; target; extent } ->
+    let addr, nslots = extent_range t frame loc target extent in
+    Hashtbl.replace frame.vars dst
+      (Value.Vint
+         (Pmem.crc_of_range t.pmem ~obj_id:addr.Pmem.obj_id
+            ~first_slot:addr.Pmem.slot ~nslots))
+  | Nvmir.Instr.Crc_check { dst; target; extent; crc } ->
+    let addr, nslots = extent_range t frame loc target extent in
+    (* the CRC slot itself is part of the guard: a corrupt checksum must
+       read as "invalid", never as a lucky match *)
+    let crc_addr, _ = resolve t frame loc crc in
+    let crc_val = Pmem.read t.pmem ~loc crc_addr in
+    let ok =
+      (not (Pmem.is_corrupt t.pmem crc_addr))
+      && Pmem.crc_check_range t.pmem ~obj_id:addr.Pmem.obj_id
+           ~first_slot:addr.Pmem.slot ~nslots ~crc:crc_val
+    in
+    Hashtbl.replace frame.vars dst (Value.Vbool ok)
   | Nvmir.Instr.Comment _ -> ()
 
 (* Run [entry] with pre-built values (references included), for callers

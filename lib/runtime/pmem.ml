@@ -23,6 +23,9 @@ type obj = {
   cache : Value.t array; (* volatile (cached) view *)
   nvm : Value.t array; (* durable view *)
   state : slot_state array;
+  corrupt : bool array;
+      (* media-corruption flags: set only on heaps reconstituted from a
+         corrupted crash image ([restore]); a store heals its slot *)
 }
 
 (* Concrete slot address. *)
@@ -175,6 +178,7 @@ let alloc t ?name ~tenv ~persistent ty =
       cache = Array.make size Value.Vnull;
       nvm = Array.make size Value.Vnull;
       state = Array.make size Clean;
+      corrupt = Array.make size false;
     }
   in
   Hashtbl.replace t.objects id o;
@@ -224,6 +228,7 @@ let write t ?(loc = Nvmir.Loc.none) { obj_id; slot } v =
     then tx.undo <- { u_obj = obj_id; u_slot = slot; u_value = o.nvm.(slot) } :: tx.undo
   | _ -> ());
   o.cache.(slot) <- v;
+  o.corrupt.(slot) <- false;
   if o.persistent then o.state.(slot) <- Dirty;
   t.stats.stores <- t.stats.stores + 1;
   charge t t.config.Config.cost.Config.store_cost;
@@ -505,6 +510,182 @@ let volatile_slot_count t =
                          (durable_value t { obj_id = id; slot })))
                   (List.init (Array.length o.cache) Fun.id))))
     t.objects 0
+
+(* ------------------------------------------------------------------ *)
+(* Media corruption (recovery-tier model).
+
+   A crash image enumerated by [Crash_space] says which in-flight lines
+   reached NVM, but media may additionally tear or flip the bytes of any
+   line that was in flight: the device was mid-write-back when power
+   failed. [corrupt_image] applies that adversarial model to a
+   materialized image, deterministically from a seed; [restore] then
+   reconstitutes a fresh heap from the (possibly corrupted) image with
+   per-slot corrupt flags set, so recovery code runs against exactly the
+   state a real restart would see. CRC primitives implement the
+   verified-storage axiom: a matching CRC over uncorrupted slots proves
+   the data is the data that was written. *)
+
+type corruption_kind =
+  | Torn_line  (** each slot independently landed old or new *)
+  | Bit_flip  (** one slot's value perturbed *)
+  | Stale_line
+      (** the whole line silently reverted to its pre-crash durable
+          content — the stale-CRC case when the line holds a checksum *)
+
+let corruption_kind_name = function
+  | Torn_line -> "torn-line"
+  | Bit_flip -> "bit-flip"
+  | Stale_line -> "stale-line"
+
+type corruption = {
+  c_addr : addr;
+  c_kind : corruption_kind;
+  c_was : Value.t; (* the value the image held before corruption *)
+  c_now : Value.t;
+}
+
+let pp_corruption ppf c =
+  Fmt.pf ppf "%s obj%d.%d: %a -> %a"
+    (corruption_kind_name c.c_kind)
+    c.c_addr.obj_id c.c_addr.slot Value.pp c.c_was Value.pp c.c_now
+
+(* One LCG bit-stream per image, fully determined by the seed. *)
+let corrupt_image t ~seed image =
+  let rng = ref ((seed lxor 0x2545F49) land 0x3FFFFFFF) in
+  let next () =
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng
+  in
+  let flip_value r v =
+    match (v : Value.t) with
+    | Value.Vint n -> Value.Vint (n lxor (1 lsl (r mod 30)))
+    | Value.Vbool b -> Value.Vbool (not b)
+    | Value.Vref _ -> Value.Vnull (* a torn pointer reads as garbage *)
+    | Value.Vnull -> Value.Vint (1 lsl (r mod 30))
+  in
+  List.concat_map
+    (fun (obj_id, line) ->
+      match Hashtbl.find_opt image obj_id with
+      | None -> []
+      | Some arr ->
+        let o = obj t obj_id in
+        let lo = line * t.config.Config.cacheline_slots in
+        let hi = min (Array.length arr) (lo + t.config.Config.cacheline_slots) in
+        let kind =
+          match next () mod 3 with
+          | 0 -> Torn_line
+          | 1 -> Bit_flip
+          | _ -> Stale_line
+        in
+        let corrupt_slot s now =
+          let was = arr.(s) in
+          if Value.equal was now then None
+          else begin
+            arr.(s) <- now;
+            Some { c_addr = { obj_id; slot = s }; c_kind = kind;
+                   c_was = was; c_now = now }
+          end
+        in
+        let slots = List.init (hi - lo) (fun d -> lo + d) in
+        (match kind with
+        | Torn_line ->
+          List.filter_map
+            (fun s ->
+              let v = if next () land 1 = 0 then o.nvm.(s) else o.cache.(s) in
+              corrupt_slot s v)
+            slots
+        | Bit_flip ->
+          let s = lo + (next () mod max 1 (hi - lo)) in
+          Option.to_list (corrupt_slot s (flip_value (next ()) arr.(s)))
+        | Stale_line -> List.filter_map (fun s -> corrupt_slot s o.nvm.(s)) slots))
+    (inflight_lines t)
+
+(* Reconstitute a post-crash heap from a materialized (and possibly
+   corrupted) image: values are durable and clean, corrupt flags mark
+   the slots [corrupt_image] changed. [from] supplies object metadata
+   (types, names); only the image's objects — the persistent ones — are
+   restored, so recovery allocates its volatile state afresh. *)
+let restore ?config ~from ~image ~corrupt () =
+  let config = match config with Some c -> c | None -> from.config in
+  let t = create ~config () in
+  Hashtbl.iter
+    (fun id arr ->
+      let o = obj from id in
+      let size = Array.length arr in
+      Hashtbl.replace t.objects id
+        {
+          id;
+          ty = o.ty;
+          persistent = true;
+          name = o.name;
+          cache = Array.copy arr;
+          nvm = Array.copy arr;
+          state = Array.make size Clean;
+          corrupt = Array.make size false;
+        };
+      if id >= t.next_id then t.next_id <- id + 1)
+    image;
+  List.iter
+    (fun { obj_id; slot } ->
+      match Hashtbl.find_opt t.objects obj_id with
+      | Some o when slot >= 0 && slot < Array.length o.corrupt ->
+        o.corrupt.(slot) <- true
+      | _ -> ())
+    corrupt;
+  t
+
+let is_corrupt t { obj_id; slot } =
+  let o = obj t obj_id in
+  slot >= 0 && slot < Array.length o.corrupt && o.corrupt.(slot)
+
+let corrupt_slot_count t =
+  Hashtbl.fold
+    (fun _ o acc ->
+      acc + Array.fold_left (fun n c -> if c then n + 1 else n) 0 o.corrupt)
+    t.objects 0
+
+(* ------------------------------------------------------------------ *)
+(* CRC primitives. The checksum is a deterministic FNV-style fold over
+   the cached values of a slot range. [crc_check_range] implements the
+   CRC-validates-data axiom exactly: it refuses (returns false) whenever
+   any covered slot is corrupt-flagged — even on a hash collision — so a
+   guarded read can never accept corrupted data as valid. *)
+
+let hash_value acc v =
+  let mix acc k = ((acc lxor (k land 0x3FFFFFFF)) * 16777619) land 0x3FFFFFFF in
+  match (v : Value.t) with
+  | Value.Vnull -> mix acc 3
+  | Value.Vbool b -> mix (mix acc 5) (if b then 1 else 0)
+  | Value.Vint n -> mix (mix acc 7) n
+  | Value.Vref { obj; off } -> mix (mix (mix acc 11) obj) off
+
+let clamp_range (o : obj) first_slot nslots =
+  let size = Array.length o.cache in
+  let first = max 0 first_slot in
+  let last = min (size - 1) (first + max 1 nslots - 1) in
+  (first, last)
+
+let crc_of_range t ~obj_id ~first_slot ~nslots =
+  let o = obj t obj_id in
+  let first, last = clamp_range o first_slot nslots in
+  let acc = ref 0x01C9DC5 in
+  for s = first to last do
+    acc := hash_value !acc o.cache.(s)
+  done;
+  !acc
+
+let range_corrupt t ~obj_id ~first_slot ~nslots =
+  let o = obj t obj_id in
+  let first, last = clamp_range o first_slot nslots in
+  let rec go s = s <= last && (o.corrupt.(s) || go (s + 1)) in
+  go first
+
+let crc_check_range t ~obj_id ~first_slot ~nslots ~crc =
+  (not (range_corrupt t ~obj_id ~first_slot ~nslots))
+  &&
+  match (crc : Value.t) with
+  | Value.Vint n -> n = crc_of_range t ~obj_id ~first_slot ~nslots
+  | _ -> false
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf

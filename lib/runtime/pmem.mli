@@ -168,4 +168,68 @@ val volatile_slot_count : t -> int
 (** Slots whose cached value differs from the durable view; zero means a
     crash loses nothing. *)
 
+(** {1 Media corruption} — the recovery tier's crash model.
+
+    A crash image says which in-flight lines reached NVM; the media
+    model adds that any line {e in flight} at the crash may additionally
+    have been torn mid-write-back. {!corrupt_image} applies that model
+    to a materialized image deterministically from a seed, {!restore}
+    reconstitutes a post-crash heap (values clean and durable, corrupt
+    flags set), and the CRC primitives implement the verified-storage
+    CRC-validates-data axiom recovery code uses to detect the damage. *)
+
+type corruption_kind =
+  | Torn_line  (** each slot independently landed old or new *)
+  | Bit_flip  (** one slot's value perturbed *)
+  | Stale_line
+      (** the line silently reverted to its pre-crash durable content —
+          the stale-CRC case when the line holds a checksum *)
+
+val corruption_kind_name : corruption_kind -> string
+
+type corruption = {
+  c_addr : addr;
+  c_kind : corruption_kind;
+  c_was : Value.t;  (** the value the image held before corruption *)
+  c_now : Value.t;
+}
+
+val pp_corruption : corruption Fmt.t
+
+val corrupt_image :
+  t -> seed:int -> (int, Value.t array) Hashtbl.t -> corruption list
+(** Mutates a {!materialize}d image in place: every in-flight line of
+    [t] suffers one seeded corruption kind (torn / bit flip / stale).
+    Returns the slots whose image value actually changed, in line
+    order. Deterministic for a fixed heap and seed. *)
+
+val restore :
+  ?config:Config.t ->
+  from:t ->
+  image:(int, Value.t array) Hashtbl.t ->
+  corrupt:addr list ->
+  unit ->
+  t
+(** A fresh heap holding exactly the image: every object durable and
+    [Clean], with the [corrupt] slots flagged. [from] supplies object
+    metadata (types, names); volatile objects are not restored. *)
+
+val is_corrupt : t -> addr -> bool
+
+val corrupt_slot_count : t -> int
+(** Corrupt-flagged slots still present (stores heal their slot). *)
+
+val crc_of_range : t -> obj_id:int -> first_slot:int -> nslots:int -> int
+(** Deterministic checksum over the cached values of a slot range. A
+    guarded read: it does not notify listeners or trip corrupt-read
+    accounting. *)
+
+val range_corrupt : t -> obj_id:int -> first_slot:int -> nslots:int -> bool
+
+val crc_check_range :
+  t -> obj_id:int -> first_slot:int -> nslots:int -> crc:Value.t -> bool
+(** The CRC-validates-data axiom: true iff no covered slot is
+    corrupt-flagged {e and} [crc] equals the range's checksum — so a
+    guarded read never accepts corrupted data, even on a collision. *)
+
 val pp_stats : stats Fmt.t

@@ -1,0 +1,173 @@
+(* IR renditions of the Figure 12 application workloads for the
+   interleaving fuzzer.
+
+   The OCaml drivers (Memslap / Redis_bench / Ycsb) exercise the
+   native stores directly through [Runtime.Pmem], which the schedule
+   fuzzer cannot interleave — it replays IR programs whose clients
+   yield at persistence boundaries. Each generator here emits the
+   fuzzer's program convention ([fuzz_setup] returning the shared
+   region, one [fuzz_client_<c>] per client) with a straight-line,
+   per-client operation sequence drawn from the same operation mix and
+   key distribution as the corresponding driver, over one shared
+   persistent region — so cross-client WAW/RAW pairs exist for the
+   coverage map to chase. Generation is a pure function of
+   (clients, ops, seed). *)
+
+open Nvmir.Builder
+
+type gen = ?clients:int -> ?ops:int -> ?seed:int -> unit -> Nvmir.Prog.t
+
+let nslots = 16
+
+(* per-client request streams come from the same purpose-split RNG the
+   harness uses, so client c's sequence never aliases another seed *)
+let client_rng seed c = Gen.stream seed (Gen.Client c)
+
+let shared_setup prog ~file ~size =
+  ignore
+    (func prog ~file ~ret:(Nvmir.Ty.Ptr (Nvmir.Ty.Array (Nvmir.Ty.Int, size)))
+       "fuzz_setup" [] (fun fb ->
+         palloc fb "p" (Nvmir.Ty.Array (Nvmir.Ty.Int, size));
+         ret fb ~value:(v "p") ()))
+
+(* `deepmc fuzz` requires the entry to exist even when every client has
+   its own [fuzz_client_<c>]; it also serves as the sequential
+   fallback when --clients exceeds the generated count *)
+let fallback_main prog ~file =
+  ignore (func prog ~file "main" [] (fun fb -> ret fb ()))
+
+(* ------------------------------------------------------------------ *)
+(* memslap: epoch-persistent table mutations, one epoch per mutation
+   (the Kvstore discipline). *)
+
+let memslap ?(clients = 4) ?(ops = 6) ?(seed = 1) () =
+  let file = "memslap_fuzz.c" in
+  let prog = Nvmir.Prog.create () in
+  shared_setup prog ~file ~size:nslots;
+  for c = 0 to clients - 1 do
+    let r = client_rng seed c in
+    ignore
+      (func prog ~file
+         (Fmt.str "fuzz_client_%d" c)
+         [ ("p", Nvmir.Ty.Ptr (Nvmir.Ty.Array (Nvmir.Ty.Int, nslots))) ]
+         (fun fb ->
+           List.iteri
+             (fun j op ->
+               let line = (c * 100) + (j * 10) in
+               let key = i (Gen.uniform r ~keyspace:nslots) in
+               let t = Fmt.str "t%d" j in
+               match op with
+               | Memslap.Update | Memslap.Insert ->
+                 epoch_begin fb ~line ();
+                 store fb ~line:(line + 1) (idx "p" key) (i (c + 1));
+                 persist fb ~line:(line + 2) (idx "p" key);
+                 epoch_end fb ~line:(line + 3) ()
+               | Memslap.Read -> load fb ~line t (idx "p" key)
+               | Memslap.Rmw ->
+                 epoch_begin fb ~line ();
+                 load fb ~line:(line + 1) t (idx "p" key);
+                 binop fb (t ^ "n") Nvmir.Instr.Add (v t) (i 1);
+                 store fb ~line:(line + 2) (idx "p" key) (v (t ^ "n"));
+                 persist fb ~line:(line + 3) (idx "p" key);
+                 epoch_end fb ~line:(line + 4) ())
+             (List.init ops (fun _ -> Gen.pick r (snd (List.hd Memslap.mixes))));
+           ret fb ()))
+  done;
+  fallback_main prog ~file;
+  prog
+
+(* ------------------------------------------------------------------ *)
+(* redis-benchmark: log appends against a shared head counter (slot 0;
+   entries from slot 1). Entry first, then the head publish — each made
+   durable in order inside one epoch, as the Logstore does. *)
+
+let redis ?(clients = 4) ?(ops = 6) ?(seed = 1) () =
+  let file = "redis_fuzz.c" in
+  let size = 2 + (clients * ops) in
+  let prog = Nvmir.Prog.create () in
+  shared_setup prog ~file ~size;
+  for c = 0 to clients - 1 do
+    let r = client_rng seed c in
+    ignore
+      (func prog ~file
+         (Fmt.str "fuzz_client_%d" c)
+         [ ("p", Nvmir.Ty.Ptr (Nvmir.Ty.Array (Nvmir.Ty.Int, size))) ]
+         (fun fb ->
+           List.iteri
+             (fun j op ->
+               let line = (c * 100) + (j * 10) in
+               let t = Fmt.str "t%d" j in
+               match op with
+               | Redis_bench.Set | Redis_bench.Lpush | Redis_bench.Sadd ->
+                 (* append: entry durable before the head moves *)
+                 epoch_begin fb ~line ();
+                 load fb ~line:(line + 1) t (idx "p" (i 0));
+                 binop fb (t ^ "e") Nvmir.Instr.Add (v t) (i 1);
+                 store fb ~line:(line + 2) (idx "p" (v (t ^ "e"))) (i (c + 1));
+                 persist fb ~line:(line + 3) (idx "p" (v (t ^ "e")));
+                 store fb ~line:(line + 4) (idx "p" (i 0)) (v (t ^ "e"));
+                 persist fb ~line:(line + 5) (idx "p" (i 0));
+                 epoch_end fb ~line:(line + 6) ()
+               | Redis_bench.Get -> load fb ~line t (idx "p" (i 1))
+               | Redis_bench.Incr ->
+                 epoch_begin fb ~line ();
+                 load fb ~line:(line + 1) t (idx "p" (i 1));
+                 binop fb (t ^ "n") Nvmir.Instr.Add (v t) (i 1);
+                 store fb ~line:(line + 2) (idx "p" (i 1)) (v (t ^ "n"));
+                 persist fb ~line:(line + 3) (idx "p" (i 1));
+                 epoch_end fb ~line:(line + 4) ())
+             (List.init ops (fun _ -> Gen.pick r (snd (List.hd Redis_bench.mixes))));
+           ret fb ()))
+  done;
+  fallback_main prog ~file;
+  prog
+
+(* ------------------------------------------------------------------ *)
+(* YCSB: one undo-logged transaction per mutation against the
+   NStore-like record array (the Txstore discipline). *)
+
+let ycsb ?(clients = 4) ?(ops = 6) ?(seed = 1) () =
+  let file = "ycsb_fuzz.c" in
+  let prog = Nvmir.Prog.create () in
+  shared_setup prog ~file ~size:nslots;
+  for c = 0 to clients - 1 do
+    let r = client_rng seed c in
+    ignore
+      (func prog ~file
+         (Fmt.str "fuzz_client_%d" c)
+         [ ("p", Nvmir.Ty.Ptr (Nvmir.Ty.Array (Nvmir.Ty.Int, nslots))) ]
+         (fun fb ->
+           List.iteri
+             (fun j op ->
+               let line = (c * 100) + (j * 10) in
+               let key = i (Gen.skewed r ~keyspace:nslots ~theta:Ycsb.theta) in
+               let t = Fmt.str "t%d" j in
+               match op with
+               | Ycsb.Update | Ycsb.Insert ->
+                 tx_begin fb ~line ();
+                 tx_add fb ~line:(line + 1) ~extent:Nvmir.Instr.Exact
+                   (idx "p" key);
+                 store fb ~line:(line + 2) (idx "p" key) (i (c + 1));
+                 tx_end fb ~line:(line + 3) ()
+               | Ycsb.Read -> load fb ~line t (idx "p" key)
+               | Ycsb.Scan ->
+                 load fb ~line t (idx "p" key);
+                 load fb ~line:(line + 1) (t ^ "b") (idx "p" (i 0))
+               | Ycsb.Rmw ->
+                 tx_begin fb ~line ();
+                 tx_add fb ~line:(line + 1) ~extent:Nvmir.Instr.Exact
+                   (idx "p" key);
+                 load fb ~line:(line + 2) t (idx "p" key);
+                 binop fb (t ^ "n") Nvmir.Instr.Add (v t) (i 1);
+                 store fb ~line:(line + 3) (idx "p" key) (v (t ^ "n"));
+                 tx_end fb ~line:(line + 4) ())
+             (List.init ops (fun _ -> Gen.pick r (snd (List.hd Ycsb.mixes))));
+           ret fb ()))
+  done;
+  fallback_main prog ~file;
+  prog
+
+let all : (string * gen) list =
+  [ ("memslap", memslap); ("redis", redis); ("ycsb", ycsb) ]
+
+let find name = List.assoc_opt name all

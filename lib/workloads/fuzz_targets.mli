@@ -1,0 +1,24 @@
+(** IR renditions of the Figure 12 application workloads for the
+    interleaving fuzzer: each generator emits the fuzzer's program
+    convention — [fuzz_setup] returning one shared persistent region,
+    one straight-line [fuzz_client_<c>] per client drawn from the
+    corresponding driver's operation mix and key distribution — so
+    [deepmc fuzz] covers the real application workloads, not just the
+    synthetic targets. Pure functions of (clients, ops, seed). *)
+
+type gen = ?clients:int -> ?ops:int -> ?seed:int -> unit -> Nvmir.Prog.t
+
+val memslap : gen
+(** Epoch-persistent table mutations (the {!Kvstore} discipline),
+    default memcached mix. *)
+
+val redis : gen
+(** Log appends ordered entry-before-head against a shared head counter
+    (the {!Logstore} discipline), default redis-benchmark mix. *)
+
+val ycsb : gen
+(** One undo-logged transaction per mutation (the {!Txstore}
+    discipline), default YCSB-A mix over the Zipf key distribution. *)
+
+val all : (string * gen) list
+val find : string -> gen option

@@ -59,19 +59,20 @@ the paper's band, and the client-domain scaling measurement:
 
 The recall section replays the injection campaign over the corpus and
 the strand exemplar; with --json it writes BENCH_inject.json with one
-row per operator (8), three detector cells per row, and the
+row per operator (11, the three recovery-tier operators admitting no
+site on the paper corpus), three detector cells per row, and the
 campaign-level acceptance fields. The offset lattice closed the
 pointer-arithmetic blind spot, so the false-negative list is empty and
-"operator" appears only in the 8 per-operator rows. DEEPMC_BENCH_SEED
+"operator" appears only in the 11 per-operator rows. DEEPMC_BENCH_SEED
 drives every randomized path:
 
   $ DEEPMC_BENCH_SEED=1 deepmc-bench recall --json > /dev/null
   $ grep -c '"operator"' BENCH_inject.json
-  8
+  11
   $ grep -c '"recall"' BENCH_inject.json
-  24
+  33
   $ grep -c '"precision"' BENCH_inject.json
-  24
+  33
   $ grep -o '"seed": 1' BENCH_inject.json
   "seed": 1
   $ grep -o '"static_tier_recall"' BENCH_inject.json
@@ -83,4 +84,23 @@ drives every randomized path:
   $ grep -o '"known_blind_spot": 0' BENCH_inject.json
   "known_blind_spot": 0
   $ grep -o '"telemetry"' BENCH_inject.json
+  "telemetry"
+
+The recover section scores the three corruption operators against the
+recovery executor over the recovery corpus: the CRC-guarded base
+verifies clean, its unguarded twin is flagged, and every mutant is
+detected — the recall row `make verify`'s recovery gate checks:
+
+  $ DEEPMC_BENCH_SEED=1 deepmc-bench recover --json > /dev/null
+  $ grep -c '"operator"' BENCH_recover.json
+  3
+  $ grep -o '"all_detected": true' BENCH_recover.json
+  "all_detected": true
+  $ grep -o '"recall": 1' BENCH_recover.json | head -1
+  "recall": 1
+  $ grep -c '"clean": true' BENCH_recover.json
+  1
+  $ grep -c '"clean": false' BENCH_recover.json
+  1
+  $ grep -o '"telemetry"' BENCH_recover.json
   "telemetry"

@@ -31,7 +31,7 @@ The DSG dump shows the two persistent objects of Figure 10:
 The rule catalog lists all ten rules:
 
   $ deepmc rules | grep -c '^[a-z-]* \['
-  10
+  13
 
 The fixer repairs the Figure 9 bug (the repaired program persists
 new_level):
@@ -214,6 +214,9 @@ the matrix itself is deterministic:
   widen-flush      static 18    18/18 r=1.00 fp=0      -                      -
   drop-tx-add      static 5     5/5 r=1.00 fp=0        -                      -
   split-strand     dynamic 0     -                      -                      -
+  strip-crc-guard  recovery 0     -                      -                      -
+  silence-recovery recovery 0     -                      -                      -
+  drift-recovery-store recovery 0     -                      -                      -
   static-tier recall: 129/129 = 1.000 (target 0.90 met)
   known blind spot (pointer-arith fence aliases): 0 mutant(s)
 
@@ -228,9 +231,9 @@ each) plus the campaign-level acceptance fields:
 
   $ deepmc inject --framework pmdk --no-dynamic --no-crash --json > inject.json 2>/dev/null
   $ grep -c '"recall"' inject.json
-  24
+  33
   $ grep -c '"precision"' inject.json
-  24
+  33
   $ grep -o '"static_tier_recall": 1.0' inject.json
   "static_tier_recall": 1.0
   $ grep -o '"static_tier_target_met": true' inject.json

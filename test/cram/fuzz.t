@@ -71,6 +71,7 @@ The JSON schema is pinned by its key set:
   "pair_bits":
   "rule":
   "seed":
+  "target":
 
 The bench section scores guided vs random campaigns over the
 injection campaign's false-negative corpus; at seed 1 the guided

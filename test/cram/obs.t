@@ -26,6 +26,10 @@ everything --metrics-json can report:
   pool.steals                counter   chunk claims from submission descriptors (submitter included)
   pool.worker_busy_ns        counter   per-domain busy time in chunks, nanoseconds (labelled domain=N)
   pool.worker_claims         counter   per-domain chunk claims (labelled domain=N)
+  recover.corruptions_injected counter   media corruptions injected across crash images
+  recover.images_checked     counter   crash images run through the recovery entry
+  recover.latency_ns         histogram per-image recovery execution latency
+  recover.verdicts           counter   recovery outcomes by verdict class
   rules.fired                counter   rule evaluations (one per rule per completed trace)
   serve.cache_hits           counter   request-level cache hits (byte-identical resubmission, no re-analysis)
   serve.cache_misses         counter   request-level cache misses (program text or parameters changed)

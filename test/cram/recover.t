@@ -1,0 +1,92 @@
+The recovery tier: media-corruption crash model plus recovery-path
+verification. Everything here is deterministic (seeded corruption,
+exhaustive image enumeration under the default bound).
+
+The unguarded journal replays possibly-corrupt media through plain
+loads and accepts every image — the new rule classes the static tier
+cannot see, reported with dynamic origin:
+
+  $ deepmc recover ../../examples/programs/journal_recover.nvmir --epoch
+  recovery entry recover: 12 crash point(s), 21 image(s), 12 corruption(s) injected
+  verdicts: 9 restored, 0 flagged, 12 silent-accept, 0 crashed; 0 non-idempotent
+  WARNING [silent-corruption-accept] jrec.c:32 (model violation, epoch model, dynamic):
+    recovery returned success with 1 corrupt slot(s) still present
+  WARNING [unguarded-recovery-read] jrec.c:32 (model violation, epoch model, dynamic):
+    recovery reads possibly-corrupt slot d[0] without a CRC guard
+  WARNING [unguarded-recovery-read] jrec.c:33 (model violation, epoch model, dynamic):
+    recovery reads possibly-corrupt slot d[1] without a CRC guard
+  deepmc: 3 recovery warning(s)
+  [124]
+
+The CRC-guarded variant of the same journal validates the data region
+against its stored checksum before replaying, so every corrupted image
+is flagged and the recovery path verifies clean:
+
+  $ deepmc recover ../../examples/programs/journal_recover_crc.nvmir --epoch
+  recovery entry recover: 12 crash point(s), 21 image(s), 12 corruption(s) injected
+  verdicts: 8 restored, 13 flagged, 0 silent-accept, 0 crashed; 0 non-idempotent
+  recovery verified clean: no warnings
+
+The JSON report's schema is pinned by its key set:
+
+  $ deepmc recover ../../examples/programs/journal_recover.nvmir --epoch --json 2>/dev/null | grep -o '"[a-z_]*":' | sort -u
+  "at":
+  "category":
+  "corruptions":
+  "corruptions_injected":
+  "crash_points":
+  "crashed":
+  "file":
+  "flagged":
+  "function":
+  "idempotent":
+  "images":
+  "images_checked":
+  "kind":
+  "line":
+  "message":
+  "model":
+  "non_idempotent":
+  "obj":
+  "origin":
+  "persisted":
+  "recovery_entry":
+  "residual_corrupt":
+  "restored":
+  "rule":
+  "sampled":
+  "silent_accept":
+  "slot":
+  "unguarded_reads":
+  "verdict":
+  "verdicts":
+  "warnings":
+
+The three corruption kinds all appear across the enumerated images:
+
+  $ deepmc recover ../../examples/programs/journal_recover.nvmir --epoch --json 2>/dev/null | grep -o '"kind": "[a-z-]*"' | sort -u
+  "kind": "bit-flip"
+  "kind": "stale-line"
+  "kind": "torn-line"
+
+Disabling the media model turns the run into a plain
+restart-consistency check; the unguarded journal is consistent on
+every uncorrupted image:
+
+  $ deepmc recover ../../examples/programs/journal_recover.nvmir --epoch --no-corrupt
+  recovery entry recover: 12 crash point(s), 21 image(s), 0 corruption(s) injected
+  verdicts: 21 restored, 0 flagged, 0 silent-accept, 0 crashed; 0 non-idempotent
+  recovery verified clean: no warnings
+
+crash-explore chains the recovery executor behind the image
+enumeration with --recover:
+
+  $ deepmc crash-explore ../../examples/programs/journal_recover_crc.nvmir --entry main --recover | tail -3
+  recovery entry recover: 12 crash point(s), 21 image(s), 12 corruption(s) injected
+  verdicts: 8 restored, 13 flagged, 0 silent-accept, 0 crashed; 0 non-idempotent
+  recovery verified clean: no warnings
+
+A program without a recover function is rejected up front:
+
+  $ deepmc recover ../../examples/programs/hashmap.nvmir --strict 2>&1 | tail -1
+  deepmc: recovery entry recover not defined

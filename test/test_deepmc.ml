@@ -29,6 +29,7 @@ let () =
       ("differential", Test_differential.suite);
       ("html", Test_html.suite);
       ("summary", Test_summary.suite);
+      ("recover", Test_recover.suite);
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);

@@ -152,8 +152,10 @@ let prop_synth_executions_explained =
          cross-product under the (widened) caps, so the executed path is
          guaranteed to be collected *)
       let cfg =
+        (* ptr_arith admits the computed-alias worker shape, so the
+           offset-polynomial paths are exercised differentially too *)
         { Corpus.Synth.default_config with seed; nfuncs = 6;
-          calls_per_func = 1; buggy_fraction_pct = 20 }
+          calls_per_func = 1; buggy_fraction_pct = 20; ptr_arith = true }
       in
       let prog, _ = Corpus.Synth.generate cfg in
       let dsg = Dsa.Dsg.build prog in
@@ -182,7 +184,7 @@ let prop_crash_space_implies_static_warning =
     (fun seed ->
       let cfg =
         { Corpus.Synth.default_config with seed; nfuncs = 5;
-          calls_per_func = 1; buggy_fraction_pct = 50 }
+          calls_per_func = 1; buggy_fraction_pct = 50; ptr_arith = true }
       in
       let prog, _ = Corpus.Synth.generate cfg in
       let space = Runtime.Crash_space.explore ~entry:"main" ~bound:64 prog in

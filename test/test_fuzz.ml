@@ -239,9 +239,81 @@ let interthread_validated () =
   check Alcotest.bool "switch after the producer's fence is clean" false
     (has_rule Analysis.Warning.Strand_dependence safe.Fuzz.Exec.warnings)
 
+(* A clean pointer-arithmetic generator program stays clean under every
+   fuzzed schedule: the dynamic tier resolves the computed aliases the
+   same way the static offset lattice does, so no schedule-dependent
+   delta appears. *)
+let ptr_arith_synth_campaign () =
+  let cfg =
+    {
+      Corpus.Synth.default_config with
+      Corpus.Synth.seed = 11;
+      nfuncs = 6;
+      calls_per_func = 1;
+      buggy_fraction_pct = 0;
+      ptr_arith = true;
+    }
+  in
+  let prog, _ = Corpus.Synth.generate cfg in
+  let target =
+    {
+      Fuzz.Campaign.tname = "synth-ptr-arith";
+      prog;
+      model = Analysis.Model.Strict;
+      entry = "main";
+      entry_args = [];
+      clients = 1;
+    }
+  in
+  let o = Fuzz.Campaign.run ~seed:1 ~budget:6 ~mode:Fuzz.Campaign.Guided target in
+  check Alcotest.int "no schedule-dependent warnings on a clean program"
+    (List.length o.Fuzz.Campaign.baseline_warnings)
+    (List.length o.Fuzz.Campaign.warnings)
+
+(* The workload fuzz targets honour the fuzzer's program convention and
+   replay deterministically: every generator emits fuzz_setup plus one
+   fuzz_client_<c> per client, and same (workload, seed, genome) means
+   byte-identical campaigns. *)
+let workload_targets_convention () =
+  List.iter
+    (fun (wname, (gen : Workloads.Fuzz_targets.gen)) ->
+      let prog = gen ~clients:3 ~seed:5 () in
+      check Alcotest.(list string) (wname ^ ": validates") []
+        (List.map (Fmt.str "%a" Nvmir.Prog.pp_error)
+           (Nvmir.Prog.validate prog));
+      check Alcotest.bool (wname ^ ": fuzz_setup") true
+        (Nvmir.Prog.find_func prog "fuzz_setup" <> None);
+      for c = 0 to 2 do
+        check Alcotest.bool
+          (Fmt.str "%s: fuzz_client_%d" wname c)
+          true
+          (Nvmir.Prog.find_func prog (Fmt.str "fuzz_client_%d" c) <> None)
+      done;
+      let target =
+        {
+          Fuzz.Campaign.tname = wname;
+          prog;
+          model = Analysis.Model.Epoch;
+          entry = "main";
+          entry_args = [];
+          clients = 3;
+        }
+      in
+      let run () =
+        Fuzz.Campaign.run ~seed:2 ~budget:5 ~mode:Fuzz.Campaign.Guided target
+      in
+      let a = run () and b = run () in
+      check Alcotest.string
+        (wname ^ ": campaign deterministic")
+        a.Fuzz.Campaign.coverage b.Fuzz.Campaign.coverage)
+    Workloads.Fuzz_targets.all
+
 let suite =
   [
     tc "gen: purpose-split streams" `Quick gen_stream_split;
+    tc "synth ptr-arith target stays clean" `Quick ptr_arith_synth_campaign;
+    tc "workload targets: convention and determinism" `Quick
+      workload_targets_convention;
     tc "campaign: domain-count independence" `Quick campaign_domain_independence;
     tc "directed: inter-thread inconsistency" `Quick directed_interthread;
     tc "directed: synchronization boundary" `Quick directed_sync;
