@@ -1,7 +1,7 @@
 # Developer entry points. The benches write their JSON artifacts into
 # the directory they run from, so bench-json runs from the repo root.
 
-.PHONY: all build test verify recall-gate recover-gate fuzz bench-json trace clean
+.PHONY: all build test verify recall-gate recover-gate fuzz bench-json stats-drift trace clean
 
 all: build
 
@@ -61,6 +61,23 @@ bench-json:
 	dune exec bench/main.exe -- recover --json
 	dune exec bench/main.exe -- fuzz --json
 	dune exec bench/main.exe -- serve --json
+	@for f in BENCH_checker.json BENCH_dynamic.json BENCH_inject.json \
+	  BENCH_recover.json BENCH_fuzz.json BENCH_serve.json; do \
+	  [ -s $$f ] || { echo "bench-json: $$f missing or empty" >&2; exit 1; }; \
+	done
+
+# Instrument-catalog drift gate: regenerate `deepmc stats` and diff it
+# against the catalog pinned in test/cram/obs.t. A new or renamed
+# instrument must update the pin in the same change.
+stats-drift:
+	dune build
+	@mkdir -p _artifacts
+	@awk '/^  \$$ deepmc stats$$/{f=1;next} f&&/^$$/{exit} f{sub(/^  /,"");print}' \
+	  test/cram/obs.t > _artifacts/stats.pinned
+	@dune exec bin/deepmc_cli.exe -- stats > _artifacts/stats.current 2>/dev/null
+	@diff -u _artifacts/stats.pinned _artifacts/stats.current \
+	  && echo "stats-drift: instrument catalog matches the cram pin" \
+	  || { echo "stats-drift: catalog drifted from test/cram/obs.t" >&2; exit 1; }
 
 # Telemetry artifacts for one corpus-slice check: a Chrome trace (open
 # _artifacts/trace.json in chrome://tracing or Perfetto) and the

@@ -1193,6 +1193,106 @@ let fuzz_cmd =
        $ random_term $ seed_term $ domains_term $ json_term
        $ metrics_json_term $ trace_out_term))
 
+(* Warning provenance: the same pipeline as `check` with witness
+   capture switched on, the tiers read before the driver's cross-tier
+   dedup, and the result rendered as evidence bundles plus an annotated
+   IR listing. See lib/explain. *)
+let explain_cmd =
+  let fuzz_budget_term =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Additionally run an N-execution fuzz campaign over the entry \
+             and fold its witnesses into the bundles (0: off).")
+  in
+  let crash_term =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Additionally enumerate reachable crash images and bundle the \
+             inconsistent ones (requires --entry).")
+  in
+  let recover_term =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Additionally verify the recovery path over the crash images \
+             and bundle its witnesses (requires --entry and a recovery \
+             function).")
+  in
+  let recovery_entry_term =
+    Arg.(
+      value
+      & opt string "recover"
+      & info [ "recovery-entry" ] ~docv:"FUNC"
+          ~doc:"Recovery function for --recover.")
+  in
+  let run () model file entry clients fuzz_budget crash recover
+      recovery_entry seed json html metrics_json trace_out =
+    let ( let* ) = Result.bind in
+    let* prog = load file in
+    let* prog = validated prog in
+    obs_setup ~metrics_json ~trace_out;
+    Analysis.Witness.set_enabled true;
+    let driver = Deepmc.Driver.make model in
+    let report =
+      Deepmc.Driver.analyze driver ?entry ~clients
+        ~explore_crash_images:crash ~verify_recovery:recover ~recovery_entry
+        ~seed prog
+    in
+    Option.iter
+      (fun path ->
+        Deepmc.Html_report.write ~title:(Filename.basename file) prog report
+          path)
+      html;
+    let* fuzz =
+      if fuzz_budget <= 0 then Ok None
+      else begin
+        let entry = Option.value entry ~default:"main" in
+        if Nvmir.Prog.find_func prog entry = None then
+          Error (`Msg (Fmt.str "--fuzz: entry %s not defined" entry))
+        else
+          let target =
+            {
+              Fuzz.Campaign.tname = Filename.basename file;
+              prog;
+              model;
+              entry;
+              entry_args = [];
+              clients;
+            }
+          in
+          Ok
+            (Some
+               (Fuzz.Campaign.run ~seed ~budget:fuzz_budget
+                  ~mode:Fuzz.Campaign.Guided target))
+      end
+    in
+    let bundles = Explain.build ?fuzz report in
+    if json then
+      Fmt.pr "%a@." Deepmc.Json_report.pp
+        (Explain.to_json ~file ~model bundles)
+    else print_string (Explain.render ~file ~model ~prog bundles);
+    obs_write ~metrics_json ~trace_out;
+    Ok ()
+  in
+  let doc =
+    "Explain every warning with a cross-tier witness: the minimal static \
+     event slice, the dynamic shadow-state transition, the reproducing \
+     fuzz genome, the crash image and the recovery verdict, correlated \
+     into evidence bundles by bug identity."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      term_result
+        (const run $ setup_logs_term $ model_term $ file_arg $ entry_term
+       $ clients_term $ fuzz_budget_term $ crash_term $ recover_term
+       $ recovery_entry_term $ seed_term $ json_term $ html_term
+       $ metrics_json_term $ trace_out_term))
+
 (* The resident analyzer: keeps the cross-run caches warm and answers
    check/crash-explore/inject requests over a socket (or stdio), or
    re-checks a watched directory. See lib/serve. *)
@@ -1288,9 +1388,9 @@ let main_cmd =
   let info = Cmd.info "deepmc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      check_cmd; check_mixed_cmd; fix_cmd; crash_cmd; crash_explore_cmd;
-      recover_cmd; inject_cmd; fuzz_cmd; serve_cmd; fmt_cmd; dsg_cmd;
-      cfg_cmd; trace_cmd; corpus_cmd; rules_cmd; stats_cmd;
+      check_cmd; check_mixed_cmd; explain_cmd; fix_cmd; crash_cmd;
+      crash_explore_cmd; recover_cmd; inject_cmd; fuzz_cmd; serve_cmd;
+      fmt_cmd; dsg_cmd; cfg_cmd; trace_cmd; corpus_cmd; rules_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -773,18 +773,172 @@ let m_rules_fired =
   Obs.Metrics.counter "rules.fired"
     ~desc:"rule evaluations (one per rule per completed trace)"
 
+(* ------------------------------------------------------------------ *)
+(* Static witnesses: the minimal event slice behind a warning.
+
+   Built only when witness capture is enabled, from the scoped events
+   the rule already walked — the warning's trigger event, the
+   flush/fence (or log) events that should order it, the enclosing
+   transaction boundaries, and the interprocedural call path recovered
+   from the trace's call/ret provenance markers. The disabled path is
+   one atomic load per completed trace. *)
+
+let slice_ref ~role (s : scoped) =
+  Witness.event_ref ~role
+    ~what:(Fmt.str "%a" Event.pp_kind s.ev.Event.kind)
+    ~loc:s.ev.Event.loc ~fname:s.ev.Event.fname
+
+(* The call stack enclosing [idx], outermost first, from the
+   Call_mark/Ret_mark provenance markers of the merged trace. *)
+let call_path_at scoped idx =
+  List.rev
+    (List.fold_left
+       (fun stack s ->
+         if s.idx >= idx then stack
+         else
+           match s.ev.Event.kind with
+           | Event.Call_mark f -> f :: stack
+           | Event.Ret_mark _ -> ( match stack with [] -> [] | _ :: t -> t)
+           | _ -> stack)
+       [] scoped)
+
+let first_after scoped idx pred =
+  List.find_opt (fun s -> s.idx > idx && pred s) scoped
+
+let last_before scoped idx pred =
+  List.fold_left
+    (fun acc s -> if s.idx < idx && pred s then Some s else acc)
+    None scoped
+
+let static_witness scoped (w : Warning.t) : Witness.t =
+  let trigger =
+    List.find_opt
+      (fun s -> Nvmir.Loc.equal s.ev.Event.loc w.Warning.loc)
+      scoped
+  in
+  match trigger with
+  | None -> Witness.Static { s_slice = []; s_call_path = [] }
+  | Some t ->
+    let covering_flush a =
+      first_after scoped t.idx (fun s ->
+          match s.ev.Event.kind with
+          | Event.Flush (b, _) -> Dsa.Aaddr.contained_in a b
+          | _ -> false)
+    in
+    let fence_after idx =
+      first_after scoped idx (fun s -> s.ev.Event.kind = Event.Fence)
+    in
+    let tx_pair () =
+      if t.tx_id < 0 then []
+      else
+        let begin_ =
+          List.find_opt
+            (fun s ->
+              s.tx_id = t.tx_id && s.ev.Event.kind = Event.Tx_begin)
+            scoped
+        in
+        let end_ =
+          first_after scoped t.idx (fun s ->
+              s.tx_id = t.tx_id && s.ev.Event.kind = Event.Tx_end)
+        in
+        List.filter_map Fun.id
+          [
+            Option.map (slice_ref ~role:"tx-begin") begin_;
+            Option.map (slice_ref ~role:"tx-end") end_;
+          ]
+    in
+    let slice =
+      match t.ev.Event.kind with
+      | Event.Write a -> (
+        slice_ref ~role:"store" t
+        ::
+        (match covering_flush a with
+        | Some f -> (
+          slice_ref ~role:"covering-flush" f
+          ::
+          (match fence_after f.idx with
+          | Some fe -> [ slice_ref ~role:"ordering-fence" fe ]
+          | None -> []))
+        | None -> (
+          match
+            first_after scoped t.idx (fun s ->
+                match s.ev.Event.kind with
+                | Event.Log b -> Dsa.Aaddr.contained_in a b
+                | _ -> false)
+          with
+          | Some l -> [ slice_ref ~role:"tx-log" l ]
+          | None -> [])))
+      | Event.Flush (b, _) ->
+        List.filter_map Fun.id
+          [
+            Option.map (slice_ref ~role:"written-store")
+              (last_before scoped t.idx (fun s ->
+                   match s.ev.Event.kind with
+                   | Event.Write a -> Dsa.Aaddr.contained_in a b
+                   | _ -> false));
+            Some (slice_ref ~role:"flush" t);
+            Option.map (slice_ref ~role:"ordering-fence") (fence_after t.idx);
+          ]
+      | Event.Fence ->
+        (* the stores and flushes this barrier drains: same persist unit *)
+        List.filter_map
+          (fun s ->
+            if s.idx < t.idx && s.unit_ = t.unit_ then
+              match s.ev.Event.kind with
+              | Event.Write _ -> Some (slice_ref ~role:"drained-store" s)
+              | Event.Flush _ -> Some (slice_ref ~role:"drained-flush" s)
+              | _ -> None
+            else None)
+          scoped
+        @ [ slice_ref ~role:"persist-barrier" t ]
+      | Event.Tx_begin | Event.Tx_end ->
+        slice_ref
+          ~role:
+            (if t.ev.Event.kind = Event.Tx_begin then "tx-begin" else "tx-end")
+          t
+        :: []
+      | _ -> [ slice_ref ~role:"trigger" t ]
+    in
+    let slice = slice @ if t.ev.Event.kind = Event.Tx_begin then [] else tx_pair () in
+    (* keep the slice minimal and in trace order, one entry per event *)
+    let slice =
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (r : Witness.event_ref) ->
+          let k = (r.Witness.er_role, Nvmir.Loc.to_string r.Witness.er_loc) in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.replace seen k ();
+            true
+          end)
+        slice
+    in
+    Witness.Static { s_slice = slice; s_call_path = call_path_at scoped t.idx }
+
+let attach_witnesses scoped warnings =
+  List.map
+    (fun (w : Warning.t) ->
+      match w.Warning.witness with
+      | Some _ -> w
+      | None -> Warning.with_witness w (static_witness scoped w))
+    warnings
+
 let run_all ctx scoped =
   Obs.Metrics.add m_rules_fired 7;
-  List.concat
-    [
-      check_unflushed_write ctx scoped;
-      check_multiple_writes_at_once ctx scoped;
-      check_missing_persist_barrier ctx scoped;
-      check_missing_barrier_nested_tx ctx scoped;
-      check_semantic_mismatch ctx scoped;
-      check_strand_dependence ctx scoped;
-      check_flush_coverage ctx scoped;
-    ]
+  let warnings =
+    List.concat
+      [
+        check_unflushed_write ctx scoped;
+        check_multiple_writes_at_once ctx scoped;
+        check_missing_persist_barrier ctx scoped;
+        check_missing_barrier_nested_tx ctx scoped;
+        check_semantic_mismatch ctx scoped;
+        check_strand_dependence ctx scoped;
+        check_flush_coverage ctx scoped;
+      ]
+  in
+  if warnings <> [] && Witness.enabled () then attach_witnesses scoped warnings
+  else warnings
 
 (* Run every applicable rule over one trace. *)
 let check_trace ctx (trace : Trace.t) : Warning.t list =

@@ -95,10 +95,17 @@ type t = {
   fname : string; (* function containing the warning *)
   message : string;
   origin : origin;
+  witness : Witness.t option; (* evidence, when capture is enabled *)
 }
 
-let make ?(origin = Static) ~rule ~model ~loc ~fname message =
-  { rule; model; loc; fname; message; origin }
+let make ?(origin = Static) ?witness ~rule ~model ~loc ~fname message =
+  { rule; model; loc; fname; message; origin; witness }
+
+let with_witness t w = { t with witness = Some w }
+
+let bundle_fingerprint t =
+  Witness.bundle_fingerprint ~rule:(rule_name t.rule)
+    ~file:t.loc.Nvmir.Loc.file ~line:t.loc.Nvmir.Loc.line
 
 let category t = category_of_rule t.rule
 

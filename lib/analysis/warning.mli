@@ -43,16 +43,26 @@ type t = {
   fname : string;
   message : string;
   origin : origin;
+  witness : Witness.t option;
+      (** structured evidence, present when witness capture was enabled
+          ({!Witness.set_enabled}) during the run that fired the rule *)
 }
 
 val make :
   ?origin:origin ->
+  ?witness:Witness.t ->
   rule:rule_id ->
   model:Model.t ->
   loc:Nvmir.Loc.t ->
   fname:string ->
   string ->
   t
+
+val with_witness : t -> Witness.t -> t
+
+val bundle_fingerprint : t -> string
+(** The warning's cross-tier evidence-bundle key:
+    {!Witness.bundle_fingerprint} over (rule, file, line). *)
 
 val category : t -> category
 val pp : t Fmt.t

@@ -1,0 +1,152 @@
+(* Warning witnesses: the evidence a tier computed on its way to a
+   warning, kept instead of thrown away. A witness is plain data — no
+   references back into checker or runtime state — so every tier can
+   build one and every consumer (reports, `deepmc explain`, the serve
+   protocol) can serialize it.
+
+   Capture is off by default and gated on one atomic flag: the checking
+   hot paths pay a single load-and-branch per *warning* (not per
+   event), so the disabled pipeline is indistinguishable from the
+   pre-witness one. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* One event of a static minimal slice, with the role it plays in the
+   violation ("store", "covering-flush", "ordering-fence", ...). *)
+type event_ref = {
+  er_role : string;
+  er_what : string; (* rendered event, e.g. "W h->a" *)
+  er_loc : Nvmir.Loc.t;
+  er_fname : string;
+}
+
+let event_ref ~role ~what ~loc ~fname =
+  { er_role = role; er_what = what; er_loc = loc; er_fname = fname }
+
+type t =
+  | Static of {
+      s_slice : event_ref list; (* minimal event slice, trace order *)
+      s_call_path : string list; (* enclosing calls, outermost first *)
+    }
+  | Dynamic of {
+      d_transition : string; (* the shadow-state transition observed *)
+      d_strand : int; (* strand/thread that tripped the check *)
+      d_fences : int; (* global fence count at detection *)
+    }
+  | Fuzz of {
+      f_genome : string; (* reproducing schedule genome *)
+      f_schedule : string; (* coverage digest of the schedule's run *)
+      f_transition : string;
+    }
+  | Crash of {
+      c_task : string; (* "point K" or "exit" *)
+      c_image : string; (* content id of the durable image *)
+      c_persisted : (int * int) list; (* in-flight lines that reached NVM *)
+      c_detail : string;
+    }
+  | Recover of {
+      r_task : string;
+      r_image : string;
+      r_persisted : (int * int) list;
+      r_corruptions : (int * int * string) list; (* obj, slot, kind *)
+      r_verdict : string;
+    }
+
+let tier = function
+  | Static _ -> "static"
+  | Dynamic _ -> "dynamic"
+  | Fuzz _ -> "fuzz"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
+
+(* Content id for a persisted-subset: the crash image's identity, stable
+   across tiers that reconstruct the same image. *)
+let image_id persisted =
+  Nvmir.Chash.to_hex
+    (List.fold_left
+       (fun h (obj, line) -> Nvmir.Chash.add_int (Nvmir.Chash.add_int h obj) line)
+       Nvmir.Chash.empty persisted)
+
+(* Stable content fingerprint of the witness itself. *)
+let fingerprint t =
+  let open Nvmir.Chash in
+  let add_lines h ls =
+    List.fold_left (fun h (a, b) -> add_int (add_int h a) b) h ls
+  in
+  let h = add_string empty (tier t) in
+  let h =
+    match t with
+    | Static { s_slice; s_call_path } ->
+      let h =
+        List.fold_left
+          (fun h r ->
+            add_int
+              (add_string
+                 (add_string (add_string h r.er_role) r.er_what)
+                 (r.er_loc.Nvmir.Loc.file ^ "|" ^ r.er_fname))
+              r.er_loc.Nvmir.Loc.line)
+          h s_slice
+      in
+      List.fold_left add_string h s_call_path
+    | Dynamic { d_transition; d_strand; d_fences } ->
+      add_int (add_int (add_string h d_transition) d_strand) d_fences
+    | Fuzz { f_genome; f_schedule; f_transition } ->
+      add_string (add_string (add_string h f_genome) f_schedule) f_transition
+    | Crash { c_task; c_image; c_persisted; c_detail } ->
+      add_lines
+        (add_string (add_string (add_string h c_task) c_image) c_detail)
+        c_persisted
+    | Recover { r_task; r_image; r_persisted; r_corruptions; r_verdict } ->
+      List.fold_left
+        (fun h (o, s, k) -> add_string (add_int (add_int h o) s) k)
+        (add_lines
+           (add_string (add_string (add_string h r_task) r_image) r_verdict)
+           r_persisted)
+        r_corruptions
+  in
+  to_hex h
+
+(* The cross-tier correlation key: tier-independent bug identity. Two
+   witnesses of the same (rule, file, line) — however observed — land
+   in one evidence bundle. Mirrors [Warning.dedup_key]. *)
+let bundle_fingerprint ~rule ~file ~line =
+  Nvmir.Chash.to_hex
+    (Nvmir.Chash.add_int
+       (Nvmir.Chash.add_string
+          (Nvmir.Chash.add_string Nvmir.Chash.empty rule)
+          file)
+       line)
+
+let pp_event_ref ppf r =
+  Fmt.pf ppf "%-18s %-24s @@ %a" r.er_role r.er_what Nvmir.Loc.pp r.er_loc
+
+let pp_lines ppf = function
+  | [] -> Fmt.string ppf "(none)"
+  | ls ->
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") int int)) ppf ls
+
+let pp ppf = function
+  | Static { s_slice; s_call_path } ->
+    if s_call_path <> [] then
+      Fmt.pf ppf "call path: %a@ " (Fmt.list ~sep:(Fmt.any " -> ") Fmt.string)
+        s_call_path;
+    Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_event_ref) s_slice
+  | Dynamic { d_transition; d_strand; d_fences } ->
+    Fmt.pf ppf "shadow transition (strand %d, %d fence(s) seen): %s" d_strand
+      d_fences d_transition
+  | Fuzz { f_genome; f_schedule; f_transition } ->
+    Fmt.pf ppf "@[<v>genome: %s@ schedule: %s@ transition: %s@]" f_genome
+      f_schedule f_transition
+  | Crash { c_task; c_image; c_persisted; c_detail } ->
+    Fmt.pf ppf "@[<v>crash at %s, image %s@ persisted: %a@ %s@]" c_task c_image
+      pp_lines c_persisted c_detail
+  | Recover { r_task; r_image; r_persisted; r_corruptions; r_verdict } ->
+    Fmt.pf ppf
+      "@[<v>crash at %s, image %s (verdict %s)@ persisted: %a@ corruption: \
+       %a@]"
+      r_task r_image r_verdict pp_lines r_persisted
+      Fmt.(
+        list ~sep:(any " ") (fun ppf (o, s, k) -> pf ppf "%d:%d/%s" o s k))
+      r_corruptions

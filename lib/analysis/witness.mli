@@ -1,0 +1,59 @@
+(** Warning witnesses: the structured evidence each tier computed on the
+    way to a warning — the static tier's minimal event slice, the
+    dynamic tier's shadow-state transition, the fuzzer's reproducing
+    genome, the crash/recovery tiers' image metadata and corruption
+    record. Plain data, serializable, with a stable content
+    fingerprint ({!Nvmir.Chash}) so the same bug observed by different
+    tiers correlates into one evidence bundle.
+
+    Capture is disabled by default; every tier gates its witness
+    construction on {!enabled}, so the checking hot paths pay one
+    atomic load per warning and nothing per event. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+type event_ref = {
+  er_role : string;  (** role in the violation, e.g. ["covering-flush"] *)
+  er_what : string;  (** rendered event, e.g. ["W h->a"] *)
+  er_loc : Nvmir.Loc.t;
+  er_fname : string;
+}
+
+val event_ref :
+  role:string -> what:string -> loc:Nvmir.Loc.t -> fname:string -> event_ref
+
+type t =
+  | Static of { s_slice : event_ref list; s_call_path : string list }
+  | Dynamic of { d_transition : string; d_strand : int; d_fences : int }
+  | Fuzz of { f_genome : string; f_schedule : string; f_transition : string }
+  | Crash of {
+      c_task : string;
+      c_image : string;
+      c_persisted : (int * int) list;
+      c_detail : string;
+    }
+  | Recover of {
+      r_task : string;
+      r_image : string;
+      r_persisted : (int * int) list;
+      r_corruptions : (int * int * string) list;
+      r_verdict : string;
+    }
+
+val tier : t -> string
+(** ["static"], ["dynamic"], ["fuzz"], ["crash"] or ["recover"]. *)
+
+val image_id : (int * int) list -> string
+(** Content id of a persisted-subset (crash-image identity), stable
+    across tiers that reconstruct the same image. *)
+
+val fingerprint : t -> string
+(** Stable content fingerprint of the witness (16 hex digits). *)
+
+val bundle_fingerprint : rule:string -> file:string -> line:int -> string
+(** The cross-tier correlation key: tier-independent bug identity,
+    mirroring {!Warning.dedup_key}. *)
+
+val pp_event_ref : event_ref Fmt.t
+val pp : t Fmt.t

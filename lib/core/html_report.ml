@@ -42,6 +42,10 @@ let css =
   pre.listing .hit { background: #5c1a2e; display: inline-block; width: 100%; }
   pre.listing .ln { color: #6c6f93; user-select: none; }
   footer { margin-top: 2em; color: #6c6f93; font-size: .85em; }
+  details.witness { margin-top: .4em; }
+  details.witness summary { cursor: pointer; font-size: .85em; color: #4a4e69; }
+  details.witness pre { background: #f1f1f7; padding: .6em; border-radius: 6px;
+                        font-size: .85em; overflow-x: auto; }
 |}
 
 let category_class (w : Analysis.Warning.t) =
@@ -49,11 +53,27 @@ let category_class (w : Analysis.Warning.t) =
   | Analysis.Warning.Model_violation -> "violation"
   | Analysis.Warning.Performance -> "performance"
 
+(* The warning's evidence, when the run captured witnesses: a collapsed
+   block with the bundle key, witness fingerprint and the rendered
+   witness body (event slice / shadow transition / genome / image). *)
+let render_witness (w : Analysis.Warning.t) =
+  match w.Analysis.Warning.witness with
+  | None -> ""
+  | Some wit ->
+    Fmt.str
+      "<details class=\"witness\"><summary>%s witness <span \
+       class=\"origin\">(bundle %s, fingerprint %s)</span></summary>\
+       <pre>%s</pre></details>"
+      (escape (Analysis.Witness.tier wit))
+      (escape (Analysis.Warning.bundle_fingerprint w))
+      (escape (Analysis.Witness.fingerprint wit))
+      (escape (Fmt.str "%a" Analysis.Witness.pp wit))
+
 let render_warning buf (w : Analysis.Warning.t) =
   Buffer.add_string buf
     (Fmt.str
        "<tr class=\"%s\"><td class=\"rule\">%s</td><td class=\"loc\">%s</td>\
-        <td>%s</td><td>%s <span class=\"origin\">(%s, %s)</span></td></tr>\n"
+        <td>%s</td><td>%s <span class=\"origin\">(%s, %s)</span>%s</td></tr>\n"
        (category_class w)
        (escape (Analysis.Warning.rule_name w.Analysis.Warning.rule))
        (escape (Nvmir.Loc.to_string w.Analysis.Warning.loc))
@@ -64,7 +84,8 @@ let render_warning buf (w : Analysis.Warning.t) =
        | Analysis.Warning.Performance -> "performance")
        (match w.Analysis.Warning.origin with
        | Analysis.Warning.Static -> "static"
-       | Analysis.Warning.Dynamic -> "dynamic"))
+       | Analysis.Warning.Dynamic -> "dynamic")
+       (render_witness w))
 
 (* The analyzed program, with every line that carries a warning location
    highlighted. The listing is the canonical pretty-printed IR; warning

@@ -50,9 +50,85 @@ let to_string j = Fmt.str "%a" pp j
 (* ------------------------------------------------------------------ *)
 (* Encoders *)
 
-let of_warning (w : Analysis.Warning.t) =
+(* Witness encoding: the decoder lives in [Explain.witness_of_json];
+   the QCheck round-trip property pins the two against each other. *)
+let of_witness (wit : Analysis.Witness.t) =
+  let lines ls =
+    List.map (fun (obj, line) -> Obj [ ("obj", Int obj); ("line", Int line) ]) ls
+  in
+  let fields =
+    match wit with
+    | Analysis.Witness.Static { s_slice; s_call_path } ->
+      [
+        ( "slice",
+          List
+            (List.map
+               (fun (r : Analysis.Witness.event_ref) ->
+                 Obj
+                   [
+                     ("role", String r.Analysis.Witness.er_role);
+                     ("what", String r.Analysis.Witness.er_what);
+                     ("file", String r.Analysis.Witness.er_loc.Nvmir.Loc.file);
+                     ("line", Int r.Analysis.Witness.er_loc.Nvmir.Loc.line);
+                     ("function", String r.Analysis.Witness.er_fname);
+                   ])
+               s_slice) );
+        ("call_path", List (List.map (fun f -> String f) s_call_path));
+      ]
+    | Analysis.Witness.Dynamic { d_transition; d_strand; d_fences } ->
+      [
+        ("transition", String d_transition);
+        ("strand", Int d_strand);
+        ("fences", Int d_fences);
+      ]
+    | Analysis.Witness.Fuzz { f_genome; f_schedule; f_transition } ->
+      [
+        ("genome", String f_genome);
+        ("schedule", String f_schedule);
+        ("transition", String f_transition);
+      ]
+    | Analysis.Witness.Crash { c_task; c_image; c_persisted; c_detail } ->
+      [
+        ("at", String c_task);
+        ("image", String c_image);
+        ("persisted", List (lines c_persisted));
+        ("detail", String c_detail);
+      ]
+    | Analysis.Witness.Recover
+        { r_task; r_image; r_persisted; r_corruptions; r_verdict } ->
+      [
+        ("at", String r_task);
+        ("image", String r_image);
+        ("persisted", List (lines r_persisted));
+        ( "corruptions",
+          List
+            (List.map
+               (fun (obj, slot, kind) ->
+                 Obj
+                   [
+                     ("obj", Int obj); ("slot", Int slot); ("kind", String kind);
+                   ])
+               r_corruptions) );
+        ("verdict", String r_verdict);
+      ]
+  in
   Obj
-    [
+    (("tier", String (Analysis.Witness.tier wit))
+     :: fields
+    @ [ ("fingerprint", String (Analysis.Witness.fingerprint wit)) ])
+
+let of_warning (w : Analysis.Warning.t) =
+  let witness =
+    match w.Analysis.Warning.witness with
+    | None -> []
+    | Some wit ->
+      [
+        ("bundle", String (Analysis.Warning.bundle_fingerprint w));
+        ("witness", of_witness wit);
+      ]
+  in
+  Obj
+    ([
       ("rule", String (Analysis.Warning.rule_name w.Analysis.Warning.rule));
       ( "category",
         String
@@ -70,6 +146,7 @@ let of_warning (w : Analysis.Warning.t) =
           | Analysis.Warning.Dynamic -> "dynamic") );
       ("message", String w.Analysis.Warning.message);
     ]
+    @ witness)
 
 let of_dynamic_summary (s : Runtime.Dynamic.summary) =
   Obj

@@ -17,7 +17,15 @@ val of_metrics : (string * Obs.Metrics.value) list -> json
 (** Encode a registry snapshot: counters/gauges as ints, histograms as
     [{count; sum; buckets: [{lo; n}]}]. *)
 
+val of_witness : Analysis.Witness.t -> json
+(** Witness encoding, with the tier tag first and the content
+    fingerprint appended. [Explain.witness_of_json] is the inverse
+    (modulo the fingerprint, which is recomputed). *)
+
 val of_warning : Analysis.Warning.t -> json
+(** When the warning carries a witness, the object additionally holds its
+    ["bundle"] correlation key and the ["witness"] itself. *)
+
 val of_dynamic_summary : Runtime.Dynamic.summary -> json
 val of_crash_space : Runtime.Crash_space.report -> json
 val of_recovery : Recover.report -> json

@@ -55,7 +55,29 @@ type outcome = {
   coverage : string;  (** digest of the accumulated seen-map *)
 }
 
+(* Stamp the reproducing genome and the execution's coverage digest
+   into any fuzz witnesses [Detect] left blank — the detector observes
+   the transition but only the campaign knows which schedule produced
+   it. No-op unless witness capture is enabled. *)
+let stamp_witnesses genome (r : Exec.result) =
+  if not (Analysis.Witness.enabled ()) then r.Exec.warnings
+  else
+    let g = Genome.to_string genome in
+    let digest = Coverage.fingerprint r.Exec.cov in
+    List.map
+      (fun (w : Analysis.Warning.t) ->
+        match w.Analysis.Warning.witness with
+        | Some (Analysis.Witness.Fuzz f) when f.f_genome = "" ->
+          Analysis.Warning.with_witness w
+            (Analysis.Witness.Fuzz
+               { f with f_genome = g; f_schedule = digest })
+        | _ -> w)
+      r.Exec.warnings
+
 let run ?(seed = 1) ?(budget = 16) ?domains ~mode target =
+  Obs.Span.with_ ~name:"fuzz-campaign"
+    ~args:[ ("target", target.tname); ("mode", mode_name mode) ]
+  @@ fun () ->
   let exec genome =
     Exec.run ~prog:target.prog ~model:target.model ~entry:target.entry
       ~entry_args:target.entry_args ~clients:target.clients ~genome ()
@@ -68,7 +90,7 @@ let run ?(seed = 1) ?(budget = 16) ?domains ~mode target =
   let novel = ref 0 in
   let pair_bits = ref 0 in
   let aborted = ref 0 in
-  let acc = ref baseline.warnings in
+  let acc = ref (stamp_witnesses Genome.initial baseline) in
   let pool = ref [ (Genome.initial, 1) ] in
   let run_batch genomes =
     if genomes <> [] then begin
@@ -88,7 +110,7 @@ let run ?(seed = 1) ?(budget = 16) ?domains ~mode target =
             pool := (g, 1 + nm + (4 * np)) :: !pool
           end;
           if r.Exec.aborted <> None then incr aborted;
-          acc := r.Exec.warnings @ !acc)
+          acc := stamp_witnesses g r @ !acc)
         genomes results
     end
   in

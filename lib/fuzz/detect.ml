@@ -81,10 +81,25 @@ let create ~model ~cov pmem =
 let set_client t c = t.client <- c
 let set_boundary t b = t.boundary <- b
 
-let warn t ~rule ~loc message =
+(* The genome and schedule digest are stamped in by [Campaign] once the
+   execution's coverage is known; the detector records the transition it
+   observed. Only built when witness capture is enabled. *)
+let warn t ?transition ~rule ~loc message =
+  let witness =
+    if Analysis.Witness.enabled () then
+      Some
+        (Analysis.Witness.Fuzz
+           {
+             f_genome = "";
+             f_schedule = "";
+             f_transition =
+               (match transition with Some f -> f () | None -> message);
+           })
+    else None
+  in
   t.warnings <-
-    Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ~rule ~model:t.model
-      ~loc ~fname:"<fuzz>" message
+    Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ?witness ~rule
+      ~model:t.model ~loc ~fname:"<fuzz>" message
     :: t.warnings
 
 let on_write t addr loc =
@@ -169,7 +184,16 @@ let check_candidates t =
         && not (Runtime.Value.equal image_val c.read_val)
       then begin
         Obs.Metrics.incr m_interthread;
-        warn t ~rule:Analysis.Warning.Strand_dependence ~loc:c.rloc
+        warn t
+          ~transition:(fun () ->
+            Fmt.str
+              "obj%d[%d]: consumer %d read the volatile value, derived state \
+               reached NVM while the source slot is %s in the crash image"
+              c.src.Runtime.Pmem.obj_id c.src.Runtime.Pmem.slot c.consumer
+              (if Runtime.Value.equal image_val Runtime.Value.Vnull then
+                 "absent"
+               else "stale"))
+          ~rule:Analysis.Warning.Strand_dependence ~loc:c.rloc
           (Fmt.str
              "durable state built on thread %d's unpersisted write at %a: a \
               crash now recovers the derived values with the source still \

@@ -174,10 +174,37 @@ let report_loc (fn : Nvmir.Func.t) =
   | Some i -> i.Nvmir.Instr.loc
   | None -> fn.Nvmir.Func.floc
 
+let task_name = function
+  | Crash_space.Point k -> Fmt.str "point %d" k
+  | Crash_space.Exit -> "exit"
+
 let warnings_of ~model ~recovery_entry ~fn heap_name checks =
-  let w rule loc msg =
-    Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ~rule ~model ~loc
-      ~fname:recovery_entry msg
+  (* The witness pins the exact crash image the recovery run tripped
+     on: crash-point, image id, persisted subset, corruption record and
+     the verdict the executor reached. Built only when capture is on. *)
+  let witness_of (c : image_check) =
+    if not (Analysis.Witness.enabled ()) then None
+    else
+      Some
+        (Analysis.Witness.Recover
+           {
+             r_task = task_name c.task;
+             r_image = Analysis.Witness.image_id c.persisted;
+             r_persisted = c.persisted;
+             r_corruptions =
+               List.map
+                 (fun (co : Pmem.corruption) ->
+                   ( co.Pmem.c_addr.Pmem.obj_id,
+                     co.Pmem.c_addr.Pmem.slot,
+                     Pmem.corruption_kind_name co.Pmem.c_kind ))
+                 c.corruptions;
+             r_verdict = verdict_name c.verdict;
+           })
+  in
+  let w ?ctx rule loc msg =
+    let witness = Option.bind ctx witness_of in
+    Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ?witness ~rule
+      ~model ~loc ~fname:recovery_entry msg
   in
   let loc0 = report_loc fn in
   let unguarded =
@@ -185,7 +212,7 @@ let warnings_of ~model ~recovery_entry ~fn heap_name checks =
       (fun c ->
         List.map
           (fun ((addr : Pmem.addr), loc) ->
-            w Analysis.Warning.Unguarded_recovery_read loc
+            w ~ctx:c Analysis.Warning.Unguarded_recovery_read loc
               (Fmt.str
                  "recovery reads possibly-corrupt slot %s[%d] without a CRC \
                   guard"
@@ -197,7 +224,7 @@ let warnings_of ~model ~recovery_entry ~fn heap_name checks =
     match List.find_opt (fun c -> c.verdict = Silent_accept) checks with
     | Some c ->
       [
-        w Analysis.Warning.Silent_corruption_accept loc0
+        w ~ctx:c Analysis.Warning.Silent_corruption_accept loc0
           (Fmt.str
              "recovery returned success with %d corrupt slot(s) still \
               present"
@@ -206,13 +233,14 @@ let warnings_of ~model ~recovery_entry ~fn heap_name checks =
     | None -> []
   in
   let non_idem =
-    if List.exists (fun c -> not c.idempotent) checks then
+    match List.find_opt (fun c -> not c.idempotent) checks with
+    | Some c ->
       [
-        w Analysis.Warning.Non_idempotent_recovery loc0
+        w ~ctx:c Analysis.Warning.Non_idempotent_recovery loc0
           "running recovery twice over the same image changes persistent \
            state (recovery must be a fix-point)";
       ]
-    else []
+    | None -> []
   in
   Analysis.Warning.sort
     (Analysis.Warning.dedup (unguarded @ silent @ non_idem))
@@ -222,6 +250,8 @@ let warnings_of ~model ~recovery_entry ~fn heap_name checks =
 
 let verify ?config ?entry ?args ?(recovery_entry = "recover") ?bound
     ?(seed = 1) ?(corrupt = true) ?(model = Analysis.Model.Strict) prog =
+  Obs.Span.with_ ~name:"recover-verify" ~args:[ ("entry", recovery_entry) ]
+  @@ fun () ->
   let fn =
     match Nvmir.Prog.find_func prog recovery_entry with
     | Some fn -> fn

@@ -155,24 +155,42 @@ let shadow t = t.shadow
    fetch-and-add (O(1), where the old implementation recomputed
    [List.length] of the buffer on every warning) and roll back when the
    cap was already reached. *)
-let add_warning t ts ~rule ~loc ~fname message =
-  if Atomic.fetch_and_add t.stored 1 >= t.max_warnings then begin
-    Atomic.decr t.stored;
-    ts.dropped <- ts.dropped + 1
-  end
-  else begin
-    ts.warnings <-
-      Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ~rule
-        ~model:t.model ~loc ~fname message
-      :: ts.warnings;
-    ts.warning_count <- ts.warning_count + 1
-  end
-
 let strand_of_region ts =
   match ts.region with
   | In_strand n -> Some n
   | In_epoch -> Some (-1 - ts.thread_id) (* epochs race only across threads *)
   | No_region -> None
+
+(* [transition] describes the shadow-state step that tripped the check;
+   it is only forced when witness capture is enabled, so the disabled
+   path allocates nothing beyond the warning itself. *)
+let add_warning t ts ?transition ~rule ~loc ~fname message =
+  if Atomic.fetch_and_add t.stored 1 >= t.max_warnings then begin
+    Atomic.decr t.stored;
+    ts.dropped <- ts.dropped + 1
+  end
+  else begin
+    let witness =
+      if Analysis.Witness.enabled () then
+        Some
+          (Analysis.Witness.Dynamic
+             {
+               d_transition =
+                 (match transition with Some f -> f () | None -> message);
+               d_strand =
+                 (match strand_of_region ts with
+                 | Some s -> s
+                 | None -> ts.thread_id);
+               d_fences = Atomic.get t.fence_count;
+             })
+      else None
+    in
+    ts.warnings <-
+      Analysis.Warning.make ~origin:Analysis.Warning.Dynamic ?witness ~rule
+        ~model:t.model ~loc ~fname message
+      :: ts.warnings;
+    ts.warning_count <- ts.warning_count + 1
+  end
 
 let m_waw_checks =
   Obs.Metrics.counter "dynamic.waw_checks"
@@ -203,7 +221,15 @@ let on_write t ts addr loc =
         match c with
         | `Waw (w : Shadow.access) ->
           ts.waw <- ts.waw + 1;
-          add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
+          add_warning t ts
+            ~transition:(fun () ->
+              Fmt.str
+                "shadow obj%d[%d]: written(strand %d, fence %d) -> \
+                 written(strand %d, fence %d) with no ordering barrier"
+                addr.Pmem.obj_id addr.Pmem.slot w.Shadow.strand
+                w.Shadow.fence_at strand
+                (Atomic.get t.fence_count))
+            ~rule:Analysis.Warning.Strand_dependence ~loc
             ~fname:"<runtime>"
             (Fmt.str
                "WAW race: strands %d and %d both write obj%d[%d] without an \
@@ -212,7 +238,15 @@ let on_write t ts addr loc =
                Nvmir.Loc.pp w.Shadow.loc)
         | `Raw (r : Shadow.access) ->
           ts.raw <- ts.raw + 1;
-          add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
+          add_warning t ts
+            ~transition:(fun () ->
+              Fmt.str
+                "shadow obj%d[%d]: read(strand %d, fence %d) -> \
+                 written(strand %d, fence %d) while the read is live"
+                addr.Pmem.obj_id addr.Pmem.slot r.Shadow.strand
+                r.Shadow.fence_at strand
+                (Atomic.get t.fence_count))
+            ~rule:Analysis.Warning.Strand_dependence ~loc
             ~fname:"<runtime>"
             (Fmt.str
                "RAW race: strand %d reads obj%d[%d] concurrently with strand \
@@ -235,7 +269,15 @@ let on_read t ts addr loc =
     with
     | Some (`Raw w) ->
       ts.raw <- ts.raw + 1;
-      add_warning t ts ~rule:Analysis.Warning.Strand_dependence ~loc
+      add_warning t ts
+        ~transition:(fun () ->
+          Fmt.str
+            "shadow obj%d[%d]: written(strand %d, fence %d) -> read(strand \
+             %d, fence %d) before any ordering barrier"
+            addr.Pmem.obj_id addr.Pmem.slot w.Shadow.strand w.Shadow.fence_at
+            strand
+            (Atomic.get t.fence_count))
+        ~rule:Analysis.Warning.Strand_dependence ~loc
         ~fname:"<runtime>"
         (Fmt.str
            "RAW race: read of obj%d[%d] is concurrent with strand %d's write \
@@ -306,7 +348,13 @@ let flush_epoch_report t ts _loc =
     List.iter
       (fun ((addr : Pmem.addr), wloc) ->
         ts.unflushed <- ts.unflushed + 1;
-        add_warning t ts ~rule:Analysis.Warning.Unflushed_write ~loc:wloc
+        add_warning t ts
+          ~transition:(fun () ->
+            Fmt.str
+              "shadow obj%d[%d]: dirty when the epoch boundary closed (write \
+               never reached NVM)"
+              addr.Pmem.obj_id addr.Pmem.slot)
+          ~rule:Analysis.Warning.Unflushed_write ~loc:wloc
           ~fname:"<runtime>"
           (Fmt.str
              "epoch ends while the write to obj%d[%d] is still volatile; a \

@@ -242,25 +242,46 @@ let handle_stats t ?id () =
    response; the transport sends it, then stops. Handler exceptions
    become error responses: a bad request must never kill the
    daemon. *)
+(* Every response carries a trace id linking it to the daemon's Obs
+   span for the request: the request sequence number plus a digest of
+   the request itself. Deterministic — replaying the same conversation
+   yields the same ids, so cram tests can pin them — while warm and
+   cold answers to one request differ only in the sequence half. *)
+let trace_id t req =
+  let h =
+    Nvmir.Chash.add_string Nvmir.Chash.empty (Protocol.to_line req)
+  in
+  Fmt.str "%06d-%s" t.served (String.sub (Nvmir.Chash.to_hex h) 0 8)
+
+let stamp_trace tid = function
+  | Protocol.Obj fields -> Protocol.Obj (fields @ [ ("trace_id", Protocol.String tid) ])
+  | j -> j
+
 let handle t (req : Protocol.json) :
     [ `Reply of Protocol.json | `Quit of Protocol.json ] =
   let id = Protocol.int_member "id" req in
   t.served <- t.served + 1;
+  let tid = trace_id t req in
   let t0 = Obs.now_ns () in
   let reply =
-    match Protocol.string_member "cmd" req with
-    | Some "check" -> `Reply (handle_check t ?id req)
-    | Some "crash-explore" -> `Reply (handle_crash_explore t ?id req)
-    | Some "inject" -> `Reply (handle_inject t ?id req)
-    | Some "stats" -> `Reply (handle_stats t ?id ())
-    | Some "shutdown" ->
-      `Quit (Protocol.ok_response ?id [ ("bye", Protocol.Bool true) ])
-    | Some other ->
-      `Reply (Protocol.error_response ?id (Fmt.str "unknown cmd %S" other))
-    | None -> `Reply (Protocol.error_response ?id "missing \"cmd\" field")
+    Obs.Span.with_ ~name:"serve-request" ~args:[ ("trace_id", tid) ]
+      (fun () ->
+        match Protocol.string_member "cmd" req with
+        | Some "check" -> `Reply (handle_check t ?id req)
+        | Some "crash-explore" -> `Reply (handle_crash_explore t ?id req)
+        | Some "inject" -> `Reply (handle_inject t ?id req)
+        | Some "stats" -> `Reply (handle_stats t ?id ())
+        | Some "shutdown" ->
+          `Quit (Protocol.ok_response ?id [ ("bye", Protocol.Bool true) ])
+        | Some other ->
+          `Reply
+            (Protocol.error_response ?id (Fmt.str "unknown cmd %S" other))
+        | None -> `Reply (Protocol.error_response ?id "missing \"cmd\" field"))
   in
   Cache.observe_latency (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
-  reply
+  match reply with
+  | `Reply j -> `Reply (stamp_trace tid j)
+  | `Quit j -> `Quit (stamp_trace tid j)
 
 let handle_exn t req =
   try handle t req

@@ -1,0 +1,235 @@
+Warning provenance (lib/explain). `deepmc explain` re-runs the tiers
+with witness capture enabled and correlates every observation of one
+bug -- keyed by the tier-independent (rule, file, line) fingerprint --
+into an evidence bundle: the static event slice, the dynamic
+shadow-state transition, the reproducing fuzz genome, the crash image
+and the recovery verdict, plus an annotated IR listing.
+
+The CLI surface:
+
+  $ deepmc explain --help=plain | head -4
+  NAME
+         deepmc-explain - Explain every warning with a cross-tier witness: the
+         minimal static event slice, the dynamic shadow-state transition, the
+         reproducing fuzz genome, the crash image and the recovery verdict,
+
+A static witness is the minimal event slice behind the warning -- the
+store, the covering flush, the ordering fence -- with the
+interprocedural call path, plus per-line markers on the listing:
+
+  $ cat > slice.nvmir <<'EOF'
+  > struct cell_t { v: int, w: int }
+  > 
+  > func set(c: ptr cell_t) {
+  > entry:
+  >   store c->v, 1     @ cell.c:5
+  >   persist exact c->v @ cell.c:6
+  >   store c->w, 2     @ cell.c:7
+  >   persist exact c->w @ cell.c:8
+  >   ret
+  > }
+  > 
+  > func main() {
+  > entry:
+  >   c = alloc pmem cell_t
+  >   call set(c)
+  >   ret
+  > }
+  > EOF
+  $ deepmc explain slice.nvmir
+  explain slice.nvmir (strict model): 1 witness(es) in 1 evidence bundle(s)
+  
+  == bundle #1 20922bc46c0d6560 [semantic-mismatch] cell.c:7 (set) ==
+  tiers: static
+  [static] witness dfcac458690af33c — consecutive persist units update different parts of the same persistent object (n1.w here, n1.v at cell.c:5); a crash between them leaves the object half-updated
+    call path: set
+    store              W n1.w                   @ cell.c:7
+    covering-flush     P n1.w                   @ cell.c:8
+    ordering-fence     FENCE                    @ cell.c:8
+  
+  annotated listing:
+       1 | struct cell_t { v: int, w: int }
+       2 | 
+       3 | func set(c: ptr cell_t) {
+       4 | entry:
+       5 |   store c->v, 1  @ cell.c:5
+       6 |   persist exact c->v  @ cell.c:6
+       7 |   store c->w, 2  @ cell.c:7                  ;; #1:!semantic-mismatch #1:store
+       8 |   persist exact c->w  @ cell.c:8             ;; #1:covering-flush #1:ordering-fence
+       9 |   ret
+      10 | }
+      11 | 
+      12 | func main() {
+      13 | entry:
+      14 |   c = alloc pmem cell_t
+      15 |   call set(c)
+      16 |   ret
+      17 | }
+
+Cross-tier correlation. The strand WAW race below is seen by both the
+static checker and the dynamic shadow state; both observations share
+one bundle fingerprint and render as one bundle with a witness per
+tier:
+
+  $ cat > waw.nvmir <<'EOF'
+  > struct s_t { f: int, g: int }
+  > 
+  > func main() {
+  > entry:
+  >   p = alloc pmem s_t
+  >   strand_begin 1
+  >   store p->f, 1  @ waw.c:5
+  >   flush exact p->f  @ waw.c:6
+  >   strand_end 1
+  >   strand_begin 2
+  >   store p->f, 2  @ waw.c:9
+  >   flush exact p->f  @ waw.c:10
+  >   strand_end 2
+  >   fence  @ waw.c:12
+  >   ret
+  > }
+  > EOF
+  $ deepmc explain waw.nvmir --strand --entry main | head -10
+  explain waw.nvmir (strand model): 2 witness(es) in 1 evidence bundle(s)
+  
+  == bundle #1 f42f7bf0495857e4 [strand-dependence] waw.c:9 (main) ==
+  tiers: static+dynamic
+  [static] witness 32378ae679bb85fa — strands 1 and 2 both write n0.f; dependent strands must not persist concurrently
+    store              W n0.f                   @ waw.c:9
+    covering-flush     F n0.f                   @ waw.c:10
+    ordering-fence     FENCE                    @ waw.c:12
+  [dynamic] witness 9ceb58a924f88ea5 — WAW race: strands 1 and 2 both write obj0[0] without an ordering barrier (previous write at waw.c:5)
+    shadow transition (strand 2, 0 fence(s) seen): shadow obj0[0]: written(strand 1, fence 0) -> written(strand 2, fence 0) with no ordering barrier
+
+A fuzz witness carries the reproducing genome and the schedule's
+coverage digest; the delete-fence shape below is invisible to the
+fixed schedule, so the static slice and the fuzz genome correlate
+into one bundle:
+
+  $ cat > sync.nvmir <<'EOF'
+  > struct rec_t { a: int, b: int }
+  > 
+  > func sync_update(h: ptr rec_t) {
+  > entry:
+  >   tx_begin             @ sync.c:10
+  >   tx_add exact h->a    @ sync.c:11
+  >   store h->a, 1        @ sync.c:12
+  >   flush exact h->a     @ sync.c:13
+  >   tx_end               @ sync.c:15
+  >   tx_begin             @ sync.c:20
+  >   tx_add exact h->b    @ sync.c:21
+  >   store h->b, 2        @ sync.c:22
+  >   flush exact h->b     @ sync.c:23
+  >   fence                @ sync.c:24
+  >   tx_end               @ sync.c:25
+  >   ret
+  > }
+  > 
+  > func main() {
+  > entry:
+  >   h = alloc pmem rec_t
+  >   call sync_update(h)
+  >   ret
+  > }
+  > EOF
+  $ deepmc explain sync.nvmir --entry main --fuzz 12 --seed 1 | head -17
+  explain sync.nvmir (strict model): 2 witness(es) in 1 evidence bundle(s)
+  
+  == bundle #1 ade4bf6161cbadb5 [missing-persist-barrier] sync.c:13 (sync_update) ==
+  tiers: static+fuzz
+  [static] witness 51854af179ee8d00 — flush of n1.a is not followed by a persist barrier before the next persistent operation (TX{ at sync.c:20)
+    call path: sync_update
+    written-store      W n1.a                   @ sync.c:12
+    flush              F n1.a                   @ sync.c:13
+    ordering-fence     FENCE                    @ sync.c:24
+    tx-begin           TX{                      @ sync.c:10
+    tx-end             }TX                      @ sync.c:15
+  [fuzz] witness 134f838bed37bd24 — flush at sync.c:13 is unordered at the tx-end boundary: a crash at the injected delay point loses or reorders it (no fence since the write-back)
+    genome: probe@2
+    schedule: 19a29bcb71502c5c1d1dbbcb53d7a333
+    transition: flush at sync.c:13 is unordered at the tx-end boundary: a crash at the injected delay point loses or reorders it (no fence since the write-back)
+  
+  annotated listing:
+
+Crash-space witnesses carry the crash point, the persisted-subset
+image id and the inconsistency; recovery witnesses add the corruption
+record and the verdict. The journal exemplar exercises both:
+
+  $ deepmc explain ../../examples/programs/journal_recover.nvmir --epoch --entry main --crash --recover 2>/dev/null | grep -E '== bundle|tiers:|crash at|corruption:'
+  == bundle #1 2d6cd280d36e1144 [semantic-mismatch] jrec.c:23 (prepare) ==
+  tiers: static
+  == bundle #2 fbafe45f205ef57e [silent-corruption-accept] jrec.c:32 (recover) ==
+  tiers: recover
+    crash at point 1, image cbf29ce484222325 (verdict silent-accept)
+    corruption: 0:0/torn-line
+  == bundle #3 bd092f0d1dfe0bde [unguarded-recovery-read] jrec.c:32 (recover) ==
+  tiers: recover
+    crash at point 1, image cbf29ce484222325 (verdict silent-accept)
+    corruption: 0:0/torn-line
+  == bundle #4 dc03f61628ed55ff [unguarded-recovery-read] jrec.c:33 (recover) ==
+  tiers: recover
+    crash at point 4, image cbf29ce484222325 (verdict silent-accept)
+    corruption: 0:1/torn-line
+
+An unflushed write that reaches program exit is a crash-space
+inconsistency; with no warning to anchor to, it forms its own bundle
+keyed by the witness fingerprint:
+
+  $ cat > lost.nvmir <<'EOF'
+  > struct cell_t { v: int }
+  > 
+  > func main() {
+  > entry:
+  >   c = alloc pmem cell_t
+  >   store c->v, 42  @ cell.c:5
+  >   ret
+  > }
+  > EOF
+  $ deepmc explain lost.nvmir --entry main --crash | grep -A4 'crash-space'
+  == bundle #2 5a5486df89d802bd crash-space inconsistency ==
+  tiers: crash
+  [crash] witness 5a5486df89d802bd
+    crash at exit, image cbf29ce484222325
+    persisted: (none)
+
+The machine form mirrors the report schema -- bundles with per-tier
+evidence, each witness tagged with its tier and content fingerprint:
+
+  $ deepmc explain sync.nvmir --entry main --fuzz 12 --seed 1 --json | grep -o '"[a-z_]*":' | sort -u
+  "bundle":
+  "bundles":
+  "call_path":
+  "category":
+  "evidence":
+  "file":
+  "fingerprint":
+  "function":
+  "genome":
+  "line":
+  "message":
+  "model":
+  "origin":
+  "role":
+  "rule":
+  "schedule":
+  "slice":
+  "tier":
+  "tiers":
+  "transition":
+  "warning":
+  "what":
+  "witness":
+
+--html embeds each warning's witness as a collapsed evidence block in
+the standard report:
+
+  $ deepmc explain waw.nvmir --strand --entry main --html w.html > /dev/null
+  $ grep -c 'details class="witness"' w.html
+  1
+
+Witness capture is explain's own switch: a plain `deepmc check` of the
+same program never pays for capture and emits no witness fields:
+
+  $ deepmc check sync.nvmir --json 2>/dev/null | grep -c '"witness"'
+  0
+  [1]

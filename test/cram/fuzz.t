@@ -73,6 +73,18 @@ The JSON schema is pinned by its key set:
   "seed":
   "target":
 
+--metrics-json switches the telemetry registry on for the campaign:
+the fuzz instruments report the schedule executions (baseline replay
+included) and the probe detection behind the warning above, and
+--trace-out records the campaign span:
+
+  $ deepmc fuzz sync.nvmir --seed 1 --budget 12 --metrics-json fm.json --trace-out ft.json > /dev/null
+  $ grep -o '"fuzz\.[a-z_]*": [0-9]*' fm.json
+  "fuzz.execs": 13
+  "fuzz.probe_detections": 1
+  $ grep -o '"name": "fuzz-campaign"' ft.json | sort -u
+  "name": "fuzz-campaign"
+
 The bench section scores guided vs random campaigns over the
 injection campaign's false-negative corpus; at seed 1 the guided
 sweep recovers every known miss and random scheduling provably does

@@ -12,6 +12,8 @@ everything --metrics-json can report:
   crash.points_sampled       counter   crash points whose subset space was sampled, not exhaustive
   dynamic.raw_checks         counter   tracked reads checked for RAW conflicts
   dynamic.waw_checks         counter   tracked writes checked for WAW/RAW conflicts
+  explain.bundles            counter   evidence bundles after cross-tier correlation
+  explain.witnesses          counter   witnesses collected across tiers by the provenance engine
   fuzz.execs                 counter   schedule executions (one interleaved run of all clients)
   fuzz.fp_killed             counter   inter-thread candidates killed by crash-image validation
   fuzz.interthread_detections counter   validated inter-thread persistency inconsistencies

@@ -69,6 +69,21 @@ The three corruption kinds all appear across the enumerated images:
   "kind": "stale-line"
   "kind": "torn-line"
 
+--metrics-json switches the telemetry registry on for the run: the
+recover instruments report images checked, corruptions injected and
+the per-verdict counts, and --trace-out records the verification
+span:
+
+  $ deepmc recover ../../examples/programs/journal_recover.nvmir --epoch --metrics-json rm.json --trace-out rt.json > /dev/null 2>&1
+  [124]
+  $ grep -o '"recover\.[a-z_{}=-]*": [0-9][0-9]*' rm.json
+  "recover.corruptions_injected": 12
+  "recover.images_checked": 21
+  "recover.verdicts{verdict=restored}": 9
+  "recover.verdicts{verdict=silent-accept}": 12
+  $ grep -o '"name": "recover-verify"' rt.json | sort -u
+  "name": "recover-verify"
+
 Disabling the media model turns the run into a plain
 restart-consistency check; the unguarded journal is consistent on
 every uncorrupted image:

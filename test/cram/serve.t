@@ -29,9 +29,36 @@ byte-identical to a cold check throughout:
   >  '{"cmd":"check","name":"edit.nvmir","model":"strict","program":"struct r { a: int, b: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 2 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
   >  '{"cmd":"check","name":"edit.nvmir","model":"strict","program":"struct r { a: int, b: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\nfunc iso() {\nentry:\n  q = alloc pmem r\n  store q->b, 3 @ i.c:20\n  flush exact q->b @ i.c:21\n  fence @ i.c:22\n  ret\n}\n"}' \
   > | deepmc serve --stdio --domains 1 2>/dev/null
-  {"status":"ok","cache":"miss","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":2,"invalidated":["iso","main"],"roots_rechecked":["main","iso"],"roots_reused":[]}
-  {"status":"ok","cache":"hit","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":0,"invalidated":[],"roots_rechecked":[],"roots_reused":[]}
-  {"status":"ok","cache":"partial","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":1,"invalidated":["iso"],"roots_rechecked":["iso"],"roots_reused":["main"]}
+  {"status":"ok","cache":"miss","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":2,"invalidated":["iso","main"],"roots_rechecked":["main","iso"],"roots_reused":[],"trace_id":"000001-fb7ce4d2"}
+  {"status":"ok","cache":"hit","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":0,"invalidated":[],"roots_rechecked":[],"roots_reused":[],"trace_id":"000002-fb7ce4d2"}
+  {"status":"ok","cache":"partial","model":"strict","warnings":[{"rule":"unflushed-write","category":"model-violation","model":"strict","file":"m.c","line":10,"function":"main","origin":"static","message":"write to n0.a is never flushed or logged before it must be durable"}],"trace_count":2,"event_count":4,"peak_paths":1,"functions_invalidated":1,"invalidated":["iso"],"roots_rechecked":["iso"],"roots_reused":["main"],"trace_id":"000003-cfefeab1"}
+
+Every response carries a trace id -- the request sequence number plus
+a digest of the request itself -- linking the reply to the daemon's
+`serve-request' Obs span. Ids are deterministic, so replaying a
+conversation in a fresh daemon reproduces the responses byte-for-byte,
+trace ids included; and for one request asked twice, the warm (hit)
+answer differs from the cold (miss) answer only in cache bookkeeping
+and the sequence half of the trace id -- the digest half and the
+warnings payload are byte-identical:
+
+  $ printf '%s\n' \
+  >  '{"cmd":"check","name":"t.nvmir","model":"strict","program":"struct r { a: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\n"}' \
+  >  '{"cmd":"check","name":"t.nvmir","model":"strict","program":"struct r { a: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\n"}' \
+  > | deepmc serve --stdio --domains 1 2>/dev/null > conv1.out
+  $ printf '%s\n' \
+  >  '{"cmd":"check","name":"t.nvmir","model":"strict","program":"struct r { a: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\n"}' \
+  >  '{"cmd":"check","name":"t.nvmir","model":"strict","program":"struct r { a: int }\nfunc main() {\nentry:\n  p = alloc pmem r\n  store p->a, 1 @ m.c:10\n  ret\n}\n"}' \
+  > | deepmc serve --stdio --domains 1 2>/dev/null > conv2.out
+  $ diff conv1.out conv2.out && echo replay byte-identical
+  replay byte-identical
+  $ sed -E 's/.*"trace_id":"[0-9]+-([0-9a-f]+)".*/\1/' conv1.out | sort -u | wc -l | tr -d ' '
+  1
+  $ grep -o '"warnings":\[[^]]*\]' conv1.out | sort -u | wc -l | tr -d ' '
+  1
+  $ sed -E 's/,"trace_id":"[^"]*"//' conv1.out | grep -c '"trace_id"'
+  0
+  [1]
 
 Injection requests run the mutation operators server-side and memoize
 by text; malformed input of any kind is an error response, never a
@@ -44,11 +71,11 @@ dead daemon; shutdown echoes the request id:
   >  '{"cmd":"check","name":"bad.nvmir","program":"func broken("}' \
   >  '{"cmd":"shutdown","id":9}' \
   > | deepmc serve --stdio --domains 1 2>/dev/null
-  {"status":"ok","cache":"miss","mutants":["edit.nvmir/delete-flush/0"],"mutant_count":1}
+  {"status":"ok","cache":"miss","mutants":["edit.nvmir/delete-flush/0"],"mutant_count":1,"trace_id":"000001-af0b74e9"}
   {"status":"error","error":"invalid literal at 0"}
-  {"status":"error","error":"unknown cmd \"frobnicate\""}
-  {"status":"error","error":"parse error at line 1: expected parameter name, got end of input"}
-  {"id":9,"status":"ok","bye":true}
+  {"status":"error","error":"unknown cmd \"frobnicate\"","trace_id":"000002-352f4674"}
+  {"status":"error","error":"parse error at line 1: expected parameter name, got end of input","trace_id":"000003-490accd9"}
+  {"id":9,"status":"ok","bye":true,"trace_id":"000004-cd5eb130"}
 
 The stats request reports the served count, the shared pool (including
 worker parks: idle workers sit in a blocking wait, not a spin), and
@@ -57,8 +84,8 @@ not:
 
   $ printf '%s\n' '{"cmd":"stats"}' '{"cmd":"shutdown"}' \
   > | deepmc serve --stdio --domains 1 2>/dev/null | sed -E 's/[0-9]+/N/g'
-  {"status":"ok","served":N,"pool":{"size":N,"alive":N,"jobs":N,"chunks":N,"parks":N},"metrics":{}}
-  {"status":"ok","bye":true}
+  {"status":"ok","served":N,"pool":{"size":N,"alive":N,"jobs":N,"chunks":N,"parks":N},"metrics":{},"trace_id":"N-bNaNfN"}
+  {"status":"ok","bye":true,"trace_id":"N-NacdNcN"}
 
 Watch mode polls a directory and re-checks only files whose content
 digest changed; --once does a single pass (every file is new to a

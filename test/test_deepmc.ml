@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
+      ("explain", Test_explain.suite);
     ]

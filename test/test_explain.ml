@@ -1,0 +1,186 @@
+(* The provenance engine (lib/explain): witness JSON round-trips
+   through the report encoder, and independent tier observations of one
+   bug correlate to one evidence bundle. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Witness generator over all five variants *)
+
+let short_string =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 0 12)
+         (oneof [ char_range 'a' 'z'; char_range '0' '9'; return ' ' ])))
+
+let gen_loc =
+  QCheck.Gen.(
+    map2
+      (fun f l -> Nvmir.Loc.make ~file:(Fmt.str "f%s.c" f) ~line:l)
+      short_string (int_range 0 999))
+
+let gen_event_ref =
+  QCheck.Gen.(
+    map
+      (fun (((role, what), loc), fname) ->
+        Analysis.Witness.event_ref ~role ~what ~loc ~fname)
+      (pair (pair (pair short_string short_string) gen_loc) short_string))
+
+let gen_lines = QCheck.Gen.(list_size (int_range 0 5) (pair nat nat))
+
+let gen_witness =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun slice path ->
+            Analysis.Witness.Static { s_slice = slice; s_call_path = path })
+          (list_size (int_range 0 6) gen_event_ref)
+          (list_size (int_range 0 4) short_string);
+        map
+          (fun ((t, s), f) ->
+            Analysis.Witness.Dynamic
+              { d_transition = t; d_strand = s; d_fences = f })
+          (pair (pair short_string nat) nat);
+        map
+          (fun ((g, s), t) ->
+            Analysis.Witness.Fuzz
+              { f_genome = g; f_schedule = s; f_transition = t })
+          (pair (pair short_string short_string) short_string);
+        map
+          (fun ((task, persisted), detail) ->
+            Analysis.Witness.Crash
+              {
+                c_task = task;
+                c_image = Analysis.Witness.image_id persisted;
+                c_persisted = persisted;
+                c_detail = detail;
+              })
+          (pair (pair short_string gen_lines) short_string);
+        map
+          (fun (((task, persisted), corr), verdict) ->
+            Analysis.Witness.Recover
+              {
+                r_task = task;
+                r_image = Analysis.Witness.image_id persisted;
+                r_persisted = persisted;
+                r_corruptions = corr;
+                r_verdict = verdict;
+              })
+          (pair
+             (pair
+                (pair short_string gen_lines)
+                (list_size (int_range 0 4)
+                   (map
+                      (fun ((o, s), k) -> (o, s, k))
+                      (pair (pair nat nat) short_string))))
+             short_string);
+      ])
+
+let arb_witness =
+  QCheck.make
+    ~print:(fun w -> Fmt.str "%a" Analysis.Witness.pp w)
+    gen_witness
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip property: decode (encode w) = w *)
+
+let prop_witness_roundtrip =
+  QCheck.Test.make ~name:"witness JSON round-trips" ~count:500 arb_witness
+    (fun w ->
+      match Explain.witness_of_json (Deepmc.Json_report.of_witness w) with
+      | Some w' -> w = w'
+      | None -> false)
+
+let prop_fingerprint_stable =
+  QCheck.Test.make ~name:"fingerprint survives the JSON round-trip"
+    ~count:200 arb_witness (fun w ->
+      match Explain.witness_of_json (Deepmc.Json_report.of_witness w) with
+      | Some w' ->
+        Analysis.Witness.fingerprint w = Analysis.Witness.fingerprint w'
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Directed: two tiers, one bundle *)
+
+(* The strand WAW race: the static checker and the dynamic shadow state
+   each observe the same (rule, file, line), so explain must produce
+   exactly one bundle carrying a witness from both tiers. *)
+let waw_src =
+  {|
+struct s { f: int, g: int }
+func main() {
+entry:
+  p = alloc pmem s
+  strand_begin 1
+  store p->f, 1 @ waw.c:5
+  flush exact p->f @ waw.c:6
+  strand_end 1
+  strand_begin 2
+  store p->f, 2 @ waw.c:9
+  flush exact p->f @ waw.c:10
+  strand_end 2
+  fence @ waw.c:12
+  ret
+}
+|}
+
+let with_witnesses f =
+  Analysis.Witness.set_enabled true;
+  Fun.protect ~finally:(fun () -> Analysis.Witness.set_enabled false) f
+
+let test_cross_tier_correlation () =
+  with_witnesses @@ fun () ->
+  let prog = Nvmir.Parser.parse waw_src in
+  let driver = Deepmc.Driver.make Analysis.Model.Strand in
+  let report = Deepmc.Driver.analyze driver ~entry:"main" prog in
+  let bundles = Explain.build report in
+  check Alcotest.int "one bundle" 1 (List.length bundles);
+  let b = List.hd bundles in
+  check
+    Alcotest.(list string)
+    "static and dynamic tiers" [ "static"; "dynamic" ] (Explain.tiers b);
+  check Alcotest.int "two witnesses" 2 (List.length b.Explain.b_evidence);
+  (* the bundle key is the tier-independent bug identity *)
+  List.iter
+    (fun (e : Explain.evidence) ->
+      match e.Explain.ev_warning with
+      | Some w ->
+        check Alcotest.string "bundle key matches warning identity"
+          b.Explain.b_fingerprint
+          (Analysis.Warning.bundle_fingerprint w)
+      | None -> Alcotest.fail "warning-backed evidence expected")
+    b.Explain.b_evidence;
+  (* ...while the per-tier witnesses are distinct observations *)
+  match b.Explain.b_evidence with
+  | [ a; d ] ->
+    check Alcotest.bool "distinct witness fingerprints" true
+      (a.Explain.ev_fingerprint <> d.Explain.ev_fingerprint)
+  | _ -> Alcotest.fail "expected exactly two evidence entries"
+
+let test_disabled_capture_attaches_nothing () =
+  Analysis.Witness.set_enabled false;
+  let prog = Nvmir.Parser.parse waw_src in
+  let driver = Deepmc.Driver.make Analysis.Model.Strand in
+  let report = Deepmc.Driver.analyze driver ~entry:"main" prog in
+  check Alcotest.bool "warnings still fire" true
+    (report.Deepmc.Driver.warnings <> []);
+  List.iter
+    (fun (w : Analysis.Warning.t) ->
+      check Alcotest.bool "no witness when disabled" true
+        (w.Analysis.Warning.witness = None))
+    report.Deepmc.Driver.warnings;
+  check Alcotest.int "no bundles without witnesses" 0
+    (List.length (Explain.build report))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    QCheck_alcotest.to_alcotest prop_witness_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fingerprint_stable;
+    tc "cross-tier correlation: static+dynamic -> one bundle" `Quick
+      test_cross_tier_correlation;
+    tc "disabled capture attaches no witnesses" `Quick
+      test_disabled_capture_attaches_nothing;
+  ]
